@@ -1,0 +1,228 @@
+(* Benchmark harness: one Bechamel measurement group per paper table,
+   timing the computational kernel that regenerates it, followed by the
+   printed rows of each table on a representative subset of the suite
+   (set RAR_BENCH_FULL=1 for all twelve circuits; EXPERIMENTS.md records
+   a full run).
+
+   Groups:
+     table_i    benchmark preparation (generate + derive clock + STA)
+     table_ii   G-RAR under the gate-based vs path-based delay model
+     table_iii  the three virtual-library variants
+     table_iv_v base retiming vs RVL-RAR vs G-RAR (areas)
+     table_vi   placement decode + verification pass
+     table_vii  LP engine ablation: network simplex vs SSP vs closure
+     table_viii error-rate simulation
+     table_ix   movable-master local search
+     fig1       clocking arithmetic (diagram rendering)
+     fig4       the worked-example pipeline end to end *)
+
+open Bechamel
+open Toolkit
+
+module Report = Rar_report.Report
+module Suite = Rar_circuits.Suite
+module Fig4 = Rar_circuits.Fig4
+module Stage = Rar_retime.Stage
+module Rgraph = Rar_retime.Rgraph
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Vl = Rar_vl.Vl
+module Movable = Rar_vl.Movable
+module Sim = Rar_sim.Sim
+module Sta = Rar_sta.Sta
+module Difflp = Rar_flow.Difflp
+module Transform = Rar_netlist.Transform
+module Clocking = Rar_sta.Clocking
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+(* Representative circuit for the timed kernels: s1423 is the smallest
+   benchmark on which every engine behaves non-trivially. *)
+let ctx = Report.create ~names:[ "s1423" ] ~sim_cycles:50 ()
+let circuit = "s1423"
+
+let prepared = lazy (Report.prepared ctx circuit)
+let stage_path = lazy (Report.stage ctx circuit)
+let stage_gate = lazy (Report.stage ctx ~model:Sta.Gate_based circuit)
+
+let grar_result = lazy (Report.grar ctx circuit ~c:1.0)
+
+let sim_design =
+  lazy
+    (let r = Lazy.force grar_result in
+     let st = r.Grar.stage in
+     let cc = Stage.cc st in
+     let staged = Transform.apply_retiming cc r.Grar.outcome.Outcome.placements in
+     let p = Lazy.force prepared in
+     {
+       Sim.staged;
+       lib = p.Suite.lib;
+       clocking = p.Suite.clocking;
+       ed_sinks =
+         List.map
+           (fun s -> Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
+           r.Grar.outcome.Outcome.ed_sinks;
+     })
+
+let tests =
+  [
+    Test.make ~name:"table_i/prepare" (Staged.stage (fun () ->
+        ignore (Suite.load circuit)));
+    Test.make ~name:"table_ii/grar_path" (Staged.stage (fun () ->
+        ignore (ok (Grar.run_on_stage ~c:1.0 (Lazy.force stage_path)))));
+    Test.make ~name:"table_ii/grar_gate" (Staged.stage (fun () ->
+        ignore (ok (Grar.run_on_stage ~c:1.0 (Lazy.force stage_gate)))));
+    Test.make ~name:"table_iii/nvl" (Staged.stage (fun () ->
+        ignore (ok (Vl.run_on_stage ~c:1.0 Vl.Nvl (Lazy.force stage_path)))));
+    Test.make ~name:"table_iii/evl" (Staged.stage (fun () ->
+        ignore (ok (Vl.run_on_stage ~c:1.0 Vl.Evl (Lazy.force stage_path)))));
+    Test.make ~name:"table_iii/rvl" (Staged.stage (fun () ->
+        ignore (ok (Vl.run_on_stage ~c:1.0 Vl.Rvl (Lazy.force stage_path)))));
+    Test.make ~name:"table_iv_v/base" (Staged.stage (fun () ->
+        ignore (ok (Base.run_on_stage ~c:1.0 (Lazy.force stage_path)))));
+    Test.make ~name:"table_vi/decode_verify" (Staged.stage (fun () ->
+        let st = Lazy.force stage_path in
+        let g = Rgraph.build ~edl_overhead:1.0 st in
+        let r = ok (Rgraph.solve g) in
+        let placements = Rgraph.placements_of g r in
+        ignore (Outcome.assemble ~c:1.0 st placements)));
+    Test.make ~name:"table_vii/engine_simplex" (Staged.stage (fun () ->
+        let g = Rgraph.build ~edl_overhead:1.0 (Lazy.force stage_path) in
+        ignore (ok (Rgraph.solve ~engine:Difflp.Network_simplex g))));
+    Test.make ~name:"table_vii/engine_ssp" (Staged.stage (fun () ->
+        let g = Rgraph.build ~edl_overhead:1.0 (Lazy.force stage_path) in
+        ignore (ok (Rgraph.solve ~engine:Difflp.Ssp g))));
+    Test.make ~name:"table_vii/engine_closure" (Staged.stage (fun () ->
+        let g = Rgraph.build ~edl_overhead:1.0 (Lazy.force stage_path) in
+        ignore (ok (Rgraph.solve ~engine:Difflp.Closure g))));
+    Test.make ~name:"table_viii/sim_50_cycles" (Staged.stage (fun () ->
+        ignore (Sim.error_rate ~cycles:50 ~seed:"bench" (Lazy.force sim_design))));
+    Test.make ~name:"table_ix/movable" (Staged.stage (fun () ->
+        let p = Lazy.force prepared in
+        ignore
+          (ok
+             (Movable.run ~max_moves:2 ~lib:p.Suite.lib
+                ~clocking:p.Suite.clocking ~c:1.0 p.Suite.two_phase))));
+    Test.make ~name:"ablation/edl_cluster" (Staged.stage (fun () ->
+        let r = Lazy.force grar_result in
+        ignore
+          (Rar_retime.Edl_cluster.annotate
+             ~lib:(Lazy.force prepared).Suite.lib r.Grar.outcome)));
+    Test.make ~name:"ablation/period_search" (Staged.stage (fun () ->
+        ignore
+          (Rar_retime.Period_search.min_feasible ~lib:(Fig4.library ())
+             (Fig4.circuit ()))));
+    Test.make ~name:"ablation/classic_retiming" (Staged.stage (fun () ->
+        let p = Lazy.force prepared in
+        let g =
+          Rar_retime.Classic.of_netlist ~host_registers:1 ~lib:p.Suite.lib
+            p.Suite.flop_netlist
+        in
+        let pmin = Rar_retime.Classic.min_period g in
+        ignore (ok (Rar_retime.Classic.retime g ~period:pmin))));
+    Test.make ~name:"fig1/clocking" (Staged.stage (fun () ->
+        let c = Clocking.of_p 1.0 in
+        ignore (Format.asprintf "%a" Clocking.pp_diagram c)));
+    Test.make ~name:"fig4/worked_example" (Staged.stage (fun () ->
+        ignore
+          (ok
+             (Grar.run ~lib:(Fig4.library ()) ~clocking:Fig4.clocking ~c:2.0
+                (Fig4.circuit ())))));
+  ]
+
+let run_benchmarks () =
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 10) ()
+  in
+  Printf.printf "== Bechamel kernels (circuit %s, monotonic clock) ==\n%!"
+    circuit;
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        ols)
+    tests
+
+let run_tables () =
+  let names =
+    if Sys.getenv_opt "RAR_BENCH_FULL" = Some "1" then
+      Rar_circuits.Spec.names
+    else [ "s1196"; "s1238"; "s1423"; "s1488"; "s5378" ]
+  in
+  let t = Report.create ~names ~sim_cycles:200 () in
+  List.iter
+    (fun (_, title, body) ->
+      Printf.printf "\n%s\n\n%s%!" title body)
+    (Report.all_tables t)
+
+(* Ablation: how much of the EDL saving survives once the error-signal
+   collection tree (folded into c by the paper) is made explicit. *)
+let run_cluster_ablation () =
+  let lib = (Lazy.force prepared).Suite.lib in
+  Printf.printf "\n== Ablation: error-collection tree (circuit %s, c = 1) ==\n"
+    circuit;
+  Printf.printf "  %-6s %6s %12s %14s %10s\n" "engine" "EDL#" "seq area"
+    "seq + OR tree" "tree gates";
+  let show tag (o : Outcome.t) =
+    let o', tree = Rar_retime.Edl_cluster.annotate ~lib o in
+    Printf.printf "  %-6s %6d %12.2f %14.2f %10d\n" tag
+      (Outcome.ed_count o) o.Outcome.seq_area o'.Outcome.seq_area
+      tree.Rar_retime.Edl_cluster.or_gates
+  in
+  show "base" (ok (Base.run_on_stage ~c:1.0 (Lazy.force stage_path))).Base.outcome;
+  show "rvl"
+    (ok (Vl.run_on_stage ~c:1.0 Vl.Rvl (Lazy.force stage_path))).Vl.outcome;
+  show "grar" (Lazy.force grar_result).Grar.outcome
+
+(* Ablation: resynthesis (buffer cleanup + timing-driven decomposition
+   of wide gates) before retiming — the paper's related-work lever. *)
+let run_resynth_ablation () =
+  let lib = Rar_liberty.Liberty.default () in
+  Printf.printf "\n== Ablation: resynthesis before retiming (circuit %s, c = 1) ==\n"
+    circuit;
+  let spec = Option.get (Rar_circuits.Spec.find circuit) in
+  let net = Rar_circuits.Generator.generate spec in
+  let net', rs = Rar_retime.Resynth.optimize ~lib net in
+  Printf.printf
+    "  rewrites: %d bufs removed, %d inv pairs removed, %d gates decomposed \
+     (+%d internals)\n"
+    rs.Rar_retime.Resynth.bufs_removed rs.Rar_retime.Resynth.inv_pairs_removed
+    rs.Rar_retime.Resynth.gates_decomposed rs.Rar_retime.Resynth.gates_added;
+  let show tag n =
+    let p = Suite.prepare ~lib n in
+    match
+      Stage.make ~lib ~clocking:p.Suite.clocking p.Suite.cc
+    with
+    | Error e -> Printf.printf "  %s: %s\n" tag e
+    | Ok st -> (
+      match Grar.run_on_stage ~c:1.0 st with
+      | Error e -> Printf.printf "  %s: %s\n" tag e
+      | Ok r ->
+        Printf.printf
+          "  %-12s P=%.3f slaves=%d edl=%d seq=%.2f comb=%.2f total=%.2f\n"
+          tag p.Suite.p r.Grar.outcome.Outcome.n_slaves
+          (Outcome.ed_count r.Grar.outcome)
+          r.Grar.outcome.Outcome.seq_area r.Grar.outcome.Outcome.comb_area
+          r.Grar.outcome.Outcome.total_area)
+  in
+  show "original" net;
+  show "resynthesised" net'
+
+let () =
+  run_benchmarks ();
+  run_cluster_ablation ();
+  run_resynth_ablation ();
+  run_tables ()

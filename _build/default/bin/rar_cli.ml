@@ -1,0 +1,582 @@
+(* rar — command-line driver for the resilient-retiming reproduction.
+
+   Subcommands:
+     rar table <n>     regenerate a paper table (1-9)
+     rar all           regenerate every table
+     rar info          benchmark and clocking overview
+     rar run           run one engine on one circuit, verbosely
+     rar bench         run the engines on a user ".bench" netlist
+     rar dot           export a benchmark stage as Graphviz *)
+
+open Cmdliner
+
+module Report = Rar_report.Report
+module Suite = Rar_circuits.Suite
+module Spec = Rar_circuits.Spec
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Vl = Rar_vl.Vl
+module Clocking = Rar_sta.Clocking
+module Netlist = Rar_netlist.Netlist
+module Bench_io = Rar_netlist.Bench_io
+module Stats = Rar_netlist.Stats
+module Dot = Rar_netlist.Dot
+module Transform = Rar_netlist.Transform
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+
+let circuits_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "circuits" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated benchmark names (default: the full Table I \
+           suite). Available: $(b,s1196) .. $(b,s38584), $(b,plasma).")
+
+let sim_cycles_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "sim-cycles" ] ~docv:"N"
+        ~doc:"Random vector pairs per error-rate measurement (Table VIII).")
+
+let ctx names sim_cycles = Report.create ?names ~sim_cycles ()
+
+(* --- rar table ----------------------------------------------------- *)
+
+let table_cmd =
+  let number =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Table number (1-9), as in the paper's §VI.")
+  in
+  let run verbose names sim_cycles n =
+    setup_logs verbose;
+    let t = ctx names sim_cycles in
+    match Report.table t n with
+    | Ok s ->
+      print_endline (Report.title n);
+      print_newline ();
+      print_string s;
+      `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate one of the paper's tables.")
+    Term.(
+      ret (const run $ verbose_arg $ circuits_arg $ sim_cycles_arg $ number))
+
+(* --- rar all ------------------------------------------------------- *)
+
+let all_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
+  in
+  let run verbose names sim_cycles out =
+    setup_logs verbose;
+    let t = ctx names sim_cycles in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (_, title, body) ->
+        Buffer.add_string buf title;
+        Buffer.add_string buf "\n\n";
+        Buffer.add_string buf body;
+        Buffer.add_char buf '\n')
+      (Report.all_tables t);
+    print_string (Buffer.contents buf);
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc
+    | None -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table.")
+    Term.(ret (const run $ verbose_arg $ circuits_arg $ sim_cycles_arg $ out))
+
+(* --- rar info ------------------------------------------------------ *)
+
+let info_cmd =
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark to describe in detail.")
+  in
+  let run verbose name =
+    setup_logs verbose;
+    match name with
+    | None ->
+      Printf.printf "Benchmarks: %s\n" (String.concat ", " Spec.names);
+      `Ok ()
+    | Some name -> (
+      match Suite.load name with
+      | Error e -> `Error (false, e)
+      | Ok p ->
+        Format.printf "%a@." Rar_netlist.Netlist.pp_summary p.Suite.flop_netlist;
+        Format.printf "%a@." Stats.pp (Stats.compute p.Suite.flop_netlist);
+        Format.printf "clocking: %a@." Clocking.pp p.Suite.clocking;
+        Format.printf "%a@." Clocking.pp_diagram p.Suite.clocking;
+        Printf.printf "NCE (initial latch design): %d\n" p.Suite.nce;
+        (match
+           Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
+         with
+        | Ok st -> Format.printf "%a@." Stage.pp_summary st
+        | Error e -> Printf.printf "stage: %s\n" e);
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a benchmark (or list them all).")
+    Term.(ret (const run $ verbose_arg $ name_arg))
+
+(* --- rar run ------------------------------------------------------- *)
+
+let approach_conv =
+  Arg.enum
+    [ ("grar", `Grar); ("grar-gate", `Grar_gate); ("base", `Base);
+      ("nvl", `Nvl); ("evl", `Evl); ("rvl", `Rvl) ]
+
+let pp_outcome name approach c (o : Outcome.t) runtime =
+  Printf.printf
+    "%s %s c=%.2f: slaves=%d masters=%d edl=%d seq_area=%.2f comb_area=%.2f \
+     total=%.2f runtime=%.2fs\n"
+    name approach c o.Outcome.n_slaves o.Outcome.n_masters
+    (Outcome.ed_count o) o.Outcome.seq_area o.Outcome.comb_area
+    o.Outcome.total_area runtime
+
+let run_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let approach =
+    Arg.(
+      value & opt approach_conv `Grar
+      & info [ "approach"; "a" ] ~docv:"APPROACH"
+          ~doc:
+            "One of $(b,grar), $(b,grar-gate), $(b,base), $(b,nvl), \
+             $(b,evl), $(b,rvl).")
+  in
+  let c_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "c" ] ~docv:"C" ~doc:"EDL area overhead factor (0.5 .. 2).")
+  in
+  let run verbose name approach c =
+    setup_logs verbose;
+    let t = Report.create ~names:[ name ] () in
+    (try
+       (match approach with
+       | `Grar ->
+         let r = Report.grar t name ~c in
+         pp_outcome name "G-RAR" c r.Grar.outcome r.Grar.runtime_s
+       | `Grar_gate ->
+         let r = Report.grar t ~model:Rar_sta.Sta.Gate_based name ~c in
+         pp_outcome name "G-RAR(gate)" c r.Grar.outcome r.Grar.runtime_s
+       | `Base ->
+         let r = Report.base t name ~c in
+         pp_outcome name "Base" c r.Base.outcome r.Base.runtime_s
+       | (`Nvl | `Evl | `Rvl) as v ->
+         let variant =
+           match v with `Nvl -> Vl.Nvl | `Evl -> Vl.Evl | `Rvl -> Vl.Rvl
+         in
+         let r = Report.vl t name ~variant ~c in
+         pp_outcome name (Vl.variant_name variant) c r.Vl.outcome
+           r.Vl.runtime_s);
+       `Ok ()
+     with Failure e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one retiming engine on one benchmark.")
+    Term.(ret (const run $ verbose_arg $ name_arg $ approach $ c_arg))
+
+(* --- rar bench ----------------------------------------------------- *)
+
+let bench_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"ISCAS89 '.bench' netlist.")
+  in
+  let c_arg =
+    Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc:"EDL overhead.")
+  in
+  let lib_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "lib" ] ~docv:"LIBFILE"
+          ~doc:"Liberty (.lib) cell library to use instead of the built-in.")
+  in
+  let run verbose file c libfile =
+    setup_logs verbose;
+    let lib =
+      match libfile with
+      | None -> Ok None
+      | Some path ->
+        Result.map Option.some (Rar_liberty.Liberty_io.parse_file path)
+    in
+    match lib with
+    | Error e -> `Error (false, e)
+    | Ok lib -> (
+    match Bench_io.parse_file file with
+    | Error e -> `Error (false, e)
+    | Ok net -> (
+      let p = Suite.prepare ?lib net in
+      Printf.printf "%s: P=%.3f ns, %d flops, NCE=%d, flop area=%.2f\n"
+        (Netlist.name net) p.Suite.p p.Suite.n_flops p.Suite.nce
+        p.Suite.flop_area;
+      match
+        Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
+      with
+      | Error e -> `Error (false, e)
+      | Ok st ->
+        (match Base.run_on_stage ~c st with
+        | Ok r -> pp_outcome file "Base" c r.Base.outcome r.Base.runtime_s
+        | Error e -> Printf.printf "base: %s\n" e);
+        (match Grar.run_on_stage ~c st with
+        | Ok r -> pp_outcome file "G-RAR" c r.Grar.outcome r.Grar.runtime_s
+        | Error e -> Printf.printf "grar: %s\n" e);
+        `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run base retiming and G-RAR on a '.bench' netlist file.")
+    Term.(ret (const run $ verbose_arg $ file $ c_arg $ lib_arg))
+
+(* --- rar dot ------------------------------------------------------- *)
+
+let dot_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let out =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output .dot path.")
+  in
+  let run verbose name out =
+    setup_logs verbose;
+    match Suite.load name with
+    | Error e -> `Error (false, e)
+    | Ok p ->
+      Dot.write_file out p.Suite.cc.Transform.comb;
+      Printf.printf "wrote %s\n" out;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a benchmark's combinational stage as DOT.")
+    Term.(ret (const run $ verbose_arg $ name_arg $ out))
+
+(* --- rar period ---------------------------------------------------- *)
+
+let period_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let run verbose name =
+    setup_logs verbose;
+    match Suite.load name with
+    | Error e -> `Error (false, e)
+    | Ok p -> (
+      Printf.printf "%s: derived P = %.3f ns (critical path at 72%%)\n" name
+        p.Suite.p;
+      match Rar_retime.Period_search.min_feasible ~lib:p.Suite.lib p.Suite.cc with
+      | Error e -> `Error (false, e)
+      | Ok f -> (
+        Printf.printf
+          "min feasible P (legal slave retiming exists): %.3f ns (%d \
+           iterations)\n"
+          f.Rar_retime.Period_search.p f.Rar_retime.Period_search.iterations;
+        match
+          Rar_retime.Period_search.min_detection_free ~lib:p.Suite.lib
+            p.Suite.cc
+        with
+        | Error e -> `Error (false, e)
+        | Ok d ->
+          Printf.printf
+            "min detection-free P (G-RAR reaches 0 EDL):   %.3f ns (%d \
+             iterations)\n"
+            d.Rar_retime.Period_search.p d.Rar_retime.Period_search.iterations;
+          Printf.printf
+            "headroom bought by error detection: %.1f%%\n"
+            (100.
+            *. (d.Rar_retime.Period_search.p -. f.Rar_retime.Period_search.p)
+            /. d.Rar_retime.Period_search.p);
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "period"
+       ~doc:
+         "Binary-search the minimum feasible and minimum detection-free \
+          stage delays (min-period retiming, the paper's other classic \
+          objective).")
+    Term.(ret (const run $ verbose_arg $ name_arg))
+
+(* --- rar trace ------------------------------------------------------ *)
+
+let trace_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let out =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output .vcd path.")
+  in
+  let cycles =
+    Arg.(
+      value & opt int 4
+      & info [ "cycles" ] ~docv:"N" ~doc:"Random cycles to record.")
+  in
+  let run verbose name out cycles =
+    setup_logs verbose;
+    let t = Report.create ~names:[ name ] () in
+    try
+      let r = Report.grar t name ~c:1.0 in
+      let p = Report.prepared t name in
+      let st = r.Grar.stage in
+      let cc = Stage.cc st in
+      let staged =
+        Transform.apply_retiming cc
+          r.Grar.outcome.Outcome.placements
+      in
+      let design =
+        {
+          Rar_sim.Sim.staged;
+          lib = p.Suite.lib;
+          clocking = p.Suite.clocking;
+          ed_sinks =
+            List.map
+              (fun s ->
+                Rar_sim.Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
+              r.Grar.outcome.Outcome.ed_sinks;
+        }
+      in
+      let vcd = Rar_sim.Vcd.create design in
+      let rng = Rar_util.Rng.of_string (name ^ "/trace") in
+      let n = Array.length (Rar_netlist.Netlist.inputs staged) in
+      let vec () = Array.init n (fun _ -> Rar_util.Rng.bool rng) in
+      let prev = ref (vec ()) in
+      for _ = 1 to cycles do
+        let next = vec () in
+        ignore (Rar_sim.Vcd.record_cycle vcd ~prev:!prev ~next);
+        prev := next
+      done;
+      Rar_sim.Vcd.write vcd out;
+      Printf.printf "wrote %d cycles of the G-RAR-retimed %s to %s\n" cycles
+        name out;
+      `Ok ()
+    with Failure e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Simulate the G-RAR-retimed benchmark and dump a VCD waveform.")
+    Term.(ret (const run $ verbose_arg $ name_arg $ out $ cycles))
+
+(* --- rar classic ----------------------------------------------------- *)
+
+let classic_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let run verbose name =
+    setup_logs verbose;
+    match Suite.load name with
+    | Error e -> `Error (false, e)
+    | Ok p -> (
+      try
+        let g =
+          Rar_retime.Classic.of_netlist ~host_registers:1 ~lib:p.Suite.lib
+            p.Suite.flop_netlist
+        in
+        let p0 = Rar_retime.Classic.period_of g in
+        let pmin = Rar_retime.Classic.min_period g in
+        Printf.printf
+          "%s: original period %.3f ns, minimum retimed period %.3f ns \
+           (%.1f%% faster)\n"
+          name p0 pmin
+          (100. *. (p0 -. pmin) /. p0);
+        match Rar_retime.Classic.retime g ~period:pmin with
+        | Error e -> `Error (false, e)
+        | Ok o ->
+          Printf.printf
+            "min-area retiming at %.3f ns: %d -> %d registers (achieved \
+             %.3f ns)\n"
+            pmin o.Rar_retime.Classic.registers_before
+            o.Rar_retime.Classic.registers_after
+            o.Rar_retime.Classic.achieved_period;
+          `Ok ()
+      with Invalid_argument e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "classic"
+       ~doc:
+         "Classic Leiserson–Saxe min-period / min-area retiming of the \
+          flop-based benchmark (the paper's §II-C background algorithm).")
+    Term.(ret (const run $ verbose_arg $ name_arg))
+
+(* --- rar lib -------------------------------------------------------- *)
+
+let lib_cmd =
+  let out =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Dump the default library as Liberty text to FILE (stdout \
+                when omitted).")
+  in
+  let run verbose out =
+    setup_logs verbose;
+    let text = Rar_liberty.Liberty_io.print (Rar_liberty.Liberty.default ()) in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string text);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lib"
+       ~doc:
+         "Dump the built-in standard-cell library in Liberty (.lib) \
+          syntax (generic-CMOS subset; re-readable with 'rar bench \
+          --lib').")
+    Term.(ret (const run $ verbose_arg $ out))
+
+(* --- rar timing ----------------------------------------------------- *)
+
+let timing_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let count =
+    Arg.(
+      value & opt int 3
+      & info [ "paths"; "n" ] ~docv:"N" ~doc:"Worst endpoints to report.")
+  in
+  let run verbose name count =
+    setup_logs verbose;
+    match Suite.load name with
+    | Error e -> `Error (false, e)
+    | Ok p ->
+      let sta =
+        Rar_sta.Sta.analyse p.Suite.lib Rar_sta.Sta.Path_based
+          p.Suite.cc.Transform.comb
+      in
+      let sinks =
+        Array.to_list (Rar_netlist.Netlist.outputs p.Suite.cc.Transform.comb)
+        |> List.map (fun s -> (Rar_sta.Sta.arrival_at_sink sta s, s))
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+      in
+      List.iteri
+        (fun i (_, s) ->
+          if i < count then begin
+            print_string
+              (Rar_sta.Sta.report_path sta ~clocking:p.Suite.clocking ~sink:s);
+            print_newline ()
+          end)
+        sinks;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "timing"
+       ~doc:"Print commercial-style critical-path timing reports.")
+    Term.(ret (const run $ verbose_arg $ name_arg $ count))
+
+(* --- rar sweep ------------------------------------------------------ *)
+
+let sweep_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write CSV to FILE.")
+  in
+  let run verbose name out =
+    setup_logs verbose;
+    let t = Report.create ~names:[ name ] () in
+    try
+      let tab =
+        Rar_report.Text_table.create
+          ~headers:
+            [ ("c", Rar_report.Text_table.R);
+              ("grar_slaves", Rar_report.Text_table.R);
+              ("grar_edl", Rar_report.Text_table.R);
+              ("grar_seq_area", Rar_report.Text_table.R);
+              ("base_slaves", Rar_report.Text_table.R);
+              ("base_edl", Rar_report.Text_table.R);
+              ("base_seq_area", Rar_report.Text_table.R);
+              ("saving_pct", Rar_report.Text_table.R) ]
+      in
+      List.iter
+        (fun c ->
+          let g = (Report.grar t name ~c).Grar.outcome in
+          let b = (Report.base t name ~c).Rar_retime.Base_retiming.outcome in
+          Rar_report.Text_table.add_row tab
+            [ Printf.sprintf "%.2f" c;
+              string_of_int g.Outcome.n_slaves;
+              string_of_int (Outcome.ed_count g);
+              Printf.sprintf "%.2f" g.Outcome.seq_area;
+              string_of_int b.Outcome.n_slaves;
+              string_of_int (Outcome.ed_count b);
+              Printf.sprintf "%.2f" b.Outcome.seq_area;
+              Printf.sprintf "%.2f"
+                (100.
+                *. (b.Outcome.seq_area -. g.Outcome.seq_area)
+                /. b.Outcome.seq_area) ])
+        [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 2.5; 3.0 ];
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Rar_report.Text_table.render_csv tab);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | None -> print_string (Rar_report.Text_table.render tab));
+      `Ok ()
+    with Failure e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep the EDL overhead factor c and emit the G-RAR vs base \
+          trade-off as a table or CSV series.")
+    Term.(ret (const run $ verbose_arg $ name_arg $ out))
+
+let main =
+  Cmd.group
+    (Cmd.info "rar" ~version:"1.0"
+       ~doc:
+         "Retiming of two-phase latch-based resilient circuits — \
+          reproduction of Cheng et al. (DAC 2017 / journal extension).")
+    [ table_cmd; all_cmd; info_cmd; run_cmd; bench_cmd; dot_cmd; period_cmd;
+      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/error_rate_demo.ml: Array List Printf Rar_circuits Rar_netlist Rar_retime Rar_sim Sys

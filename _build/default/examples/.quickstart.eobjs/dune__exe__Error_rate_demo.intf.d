@@ -1,0 +1,1 @@
+examples/error_rate_demo.mli:

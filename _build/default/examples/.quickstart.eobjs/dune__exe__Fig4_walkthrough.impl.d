@@ -1,0 +1,1 @@
+examples/fig4_walkthrough.ml: Array Filename List Printf Rar_circuits Rar_liberty Rar_netlist Rar_retime Rar_sta String

@@ -1,0 +1,1 @@
+examples/fig4_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/pipeline_explorer.ml: Array List Printf Rar_circuits Rar_retime String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Rar_circuits Rar_retime Rar_sta Rar_vl Sys

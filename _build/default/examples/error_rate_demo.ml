@@ -1,0 +1,57 @@
+(* Error-rate simulation (Table VIII): retime a benchmark, realise the
+   slave latches as netlist elements, then drive random vectors through
+   an event-driven timing simulation and count resiliency-window hits.
+
+   Run with:  dune exec examples/error_rate_demo.exe [circuit] [cycles] *)
+
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Sim = Rar_sim.Sim
+module Transform = Rar_netlist.Transform
+
+let design p (stage : Stage.t) (o : Outcome.t) =
+  let cc = Stage.cc stage in
+  let staged = Transform.apply_retiming cc o.Outcome.placements in
+  {
+    Sim.staged;
+    lib = p.Suite.lib;
+    clocking = p.Suite.clocking;
+    ed_sinks =
+      List.map
+        (fun s -> Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
+        o.Outcome.ed_sinks;
+  }
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s1423" in
+  let cycles =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 500
+  in
+  let p = match Suite.load name with Ok p -> p | Error e -> failwith e in
+  let stage =
+    match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Printf.printf "%s: %d random vector pairs per design\n\n" name cycles;
+  let show tag stage' o =
+    let d = design p stage' o in
+    let r = Sim.error_rate ~cycles ~seed:(name ^ "/" ^ tag) d in
+    Printf.printf
+      "%-6s: error rate %6.2f%%  (%d error cycles, %d flags, %d EDL \
+       masters, silent-failure cycles: %d)\n"
+      tag r.Sim.error_rate r.Sim.error_cycles r.Sim.error_events
+      (Outcome.ed_count o) r.Sim.silent_cycles
+  in
+  (match Base.run_on_stage ~c:1.0 stage with
+  | Ok r -> show "base" r.Base.stage r.Base.outcome
+  | Error e -> print_endline e);
+  (match Grar.run_on_stage ~c:1.0 stage with
+  | Ok r -> show "G-RAR" r.Grar.stage r.Grar.outcome
+  | Error e -> print_endline e);
+  Printf.printf
+    "\nA silent-failure cycle would mean a non-error-detecting master \
+     captured\nmid-transition — the verification pass guarantees zero.\n"

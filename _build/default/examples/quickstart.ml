@@ -1,0 +1,60 @@
+(* Quickstart: retime one benchmark with every engine and compare.
+
+   Run with:  dune exec examples/quickstart.exe [circuit]        *)
+
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Vl = Rar_vl.Vl
+module Clocking = Rar_sta.Clocking
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s1423" in
+  let c = 1.0 in
+  (* 1. Load a benchmark: generates the flop-based netlist, converts it
+     to two-phase master/slave form and derives the §VI-A clocking. *)
+  let p =
+    match Suite.load name with Ok p -> p | Error e -> failwith e
+  in
+  Printf.printf "Circuit %s: max stage delay P = %.3f ns\n" name p.Suite.p;
+  Format.printf "%a@.@." Clocking.pp_diagram p.Suite.clocking;
+  (* 2. Analyse the retiming stage: regions, per-sink classification. *)
+  let stage =
+    match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Format.printf "%a@.@." Stage.pp_summary stage;
+  (* 3. The un-retimed two-phase design (slaves at the master outputs)
+     usually violates max delay on near-critical paths — retiming is
+     not optional in this flow. *)
+  let initial = Outcome.of_initial ~c stage in
+  Printf.printf "initial : %d slaves, %d would-be EDL, %d max-delay violations\n"
+    initial.Outcome.n_slaves
+    (Outcome.ed_count initial)
+    (List.length initial.Outcome.violations);
+  (* 4. Compare the engines at EDL overhead c = 1. *)
+  let show tag (o : Outcome.t) runtime =
+    Printf.printf
+      "%-8s: %4d slaves  %4d EDL  seq area %8.2f  total %8.2f  (%.2f s)\n" tag
+      o.Outcome.n_slaves (Outcome.ed_count o) o.Outcome.seq_area
+      o.Outcome.total_area runtime
+  in
+  (match Base.run_on_stage ~c stage with
+  | Ok r -> show "base" r.Base.outcome r.Base.runtime_s
+  | Error e -> Printf.printf "base: %s\n" e);
+  List.iter
+    (fun variant ->
+      match Vl.run_on_stage ~c variant stage with
+      | Ok r -> show (Vl.variant_name variant) r.Vl.outcome r.Vl.runtime_s
+      | Error e -> Printf.printf "%s: %s\n" (Vl.variant_name variant) e)
+    Vl.all_variants;
+  (match Grar.run_on_stage ~c stage with
+  | Ok r ->
+    show "G-RAR" r.Grar.outcome r.Grar.runtime_s;
+    Printf.printf
+      "\nG-RAR converted %d retiming-dependent masters to plain latches.\n"
+      (List.length r.Grar.modelled_non_ed)
+  | Error e -> Printf.printf "grar: %s\n" e)

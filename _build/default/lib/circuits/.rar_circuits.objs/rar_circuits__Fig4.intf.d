@@ -1,0 +1,1 @@
+lib/circuits/fig4.mli: Rar_liberty Rar_netlist Rar_sta

@@ -1,0 +1,1 @@
+lib/circuits/generator.ml: Array Float Hashtbl List Option Printf Rar_netlist Rar_util Spec

@@ -1,0 +1,1 @@
+lib/circuits/generator.mli: Rar_netlist Spec

@@ -1,0 +1,1 @@
+lib/circuits/plasma.ml: Array Printf Rar_netlist Rar_util

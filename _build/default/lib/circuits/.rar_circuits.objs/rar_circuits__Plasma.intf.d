@@ -1,0 +1,1 @@
+lib/circuits/plasma.mli: Rar_netlist

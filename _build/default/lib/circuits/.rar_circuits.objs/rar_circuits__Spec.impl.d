@@ -1,0 +1,1 @@
+lib/circuits/spec.ml: List String

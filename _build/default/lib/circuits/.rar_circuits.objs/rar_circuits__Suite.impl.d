@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Array Float Generator List Plasma Printf Rar_liberty Rar_netlist Rar_sta Spec String Sys

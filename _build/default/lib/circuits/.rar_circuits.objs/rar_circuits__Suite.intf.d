@@ -1,0 +1,1 @@
+lib/circuits/suite.mli: Rar_liberty Rar_netlist Rar_sta

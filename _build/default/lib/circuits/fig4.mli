@@ -1,0 +1,39 @@
+(** The paper's illustrative circuit (Fig. 4 / Fig. 5), reconstructed.
+
+    The figure itself is not in the text, so gate delays and the exact
+    topology are re-derived from every number the prose quotes. The
+    reconstruction reproduces:
+
+    - [D^f(G7) = 8], [D^f(G8) = 9], [D^f(O9) = 9];
+    - [A(G6,G7,O9) = 9], [A(G3,G6,O9) = 12], [A(G5,G7,O9) = 7],
+      [A(I2,G5,O9) = 12.2] (paper: 12);
+    - regions [V_m = {I1}] (plus the virtual sources), [V_n = {G7, G8,
+      O9}], the rest [V_r];
+    - the optimal retiming [r(I2) = r(G3) = r(G4) = r(G5) = r(G6) =
+      r(P(O9)) = -1] with three slave latches and a non-error-detecting
+      O9 (Cut2, 4 area units at c = 2) beating the min-latch solution
+      (Cut1: two slaves + one EDL master = 5 units);
+    - with low overhead (c = 0.5) the trade flips and Cut1 wins.
+
+    Known deviations from the prose, caused by the reconstruction:
+    [D^b(I1, O9) = 8] (paper: 9) and [g(O9) = {G4, G5, G6}] (paper:
+    {G5, G6}) — both on the same side of every threshold that the
+    algorithm actually tests. *)
+
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Clocking = Rar_sta.Clocking
+
+val library : unit -> Liberty.t
+(** Constant-delay cells; zero-delay, zero-setup latches ([D_l = 0]). *)
+
+val clocking : Clocking.t
+(** [phi1 = gamma1 = phi2 = gamma2 = 2.5]: period 10, max delay 12.5. *)
+
+val circuit : unit -> Transform.comb_circuit
+(** The combinational stage: sources [pi_a, pi_b]; gates [I1, I2, G3
+    .. G8]; sink [O9]. *)
+
+val node : Transform.comb_circuit -> string -> int
+(** Node id by name; raises [Not_found]. *)

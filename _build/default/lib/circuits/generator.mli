@@ -1,0 +1,18 @@
+(** Seeded layered-DAG benchmark generator.
+
+    Produces a flip-flop-based sequential netlist from a {!Spec.t}:
+
+    - sources (primary inputs and flop outputs) sit at layer 0;
+    - combinational gates fill layers [1 .. depth], each taking at
+      least one fanin from the previous layer (so the depth target is
+      met) and the rest from earlier layers with a locality bias;
+    - endpoint drivers (flop D pins and primary outputs) are sampled so
+      that [nce_target] of them hang off the deepest layers — these
+      become the near-critical endpoints once the clock is derived;
+    - every gate and source ends up with at least one fanout (dangling
+      gates are preferentially recycled as endpoint drivers, then
+      appended as extra fanins to downstream n-ary gates).
+
+    The same spec and seed always produce the identical netlist. *)
+
+val generate : Spec.t -> Rar_netlist.Netlist.t

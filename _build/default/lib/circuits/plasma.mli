@@ -1,0 +1,22 @@
+(** Structured generator for a Plasma-like 3-stage MIPS pipeline
+    (stands in for the OpenCores Plasma core of Table I).
+
+    Unlike the seeded random ISCAS89 stand-ins, this netlist is built
+    from real datapath structure, so its timing profile is CPU-shaped:
+
+    - {b fetch}: 32-bit ripple PC incrementer, branch-target mux;
+    - {b decode}: 32-entry x 32-bit flop register file with two
+      mux-tree read ports, opcode decode cloud, immediate extension;
+    - {b execute}: ripple-carry adder/subtractor, bitwise unit,
+      5-stage barrel shifter, comparator, ALU result mux tree;
+    - {b writeback}: per-bit write-enable muxes into the register
+      file.
+
+    The carry chains make the execute stage dominate the clock period,
+    so the near-critical endpoints are the ALU-fed pipeline registers —
+    the same shape that makes the real Plasma a good resiliency
+    benchmark. *)
+
+val generate : unit -> Rar_netlist.Netlist.t
+(** Deterministic (the RNG only randomises the decode cloud, from a
+    fixed seed). *)

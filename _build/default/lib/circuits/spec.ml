@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  n_flops : int;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;
+  depth : int;
+  nce_target : int;
+  seed : string;
+}
+
+let mk name n_flops n_pi n_po n_gates depth nce_target =
+  { name; n_flops; n_pi; n_po; n_gates; depth; nce_target; seed = name }
+
+(* Flop/PI/PO counts follow Table I (flops) and the published ISCAS89
+   interfaces; gate counts of the four largest circuits are ~halved;
+   depth is calibrated so the measured max delay tracks Table I's P
+   column (roughly 31 ps of loaded delay per level in the default
+   library). *)
+let table_i =
+  [
+    mk "s1196" 32 14 14 529 13 6;
+    mk "s1238" 32 14 14 508 16 4;
+    mk "s1423" 91 17 5 657 19 54;
+    mk "s1488" 14 8 19 653 13 6;
+    mk "s5378" 198 35 49 1400 16 55;
+    mk "s9234" 160 36 39 2000 16 61;
+    mk "s13207" 502 62 152 4000 16 188;
+    mk "s15850" 524 77 150 4500 26 174;
+    mk "s35932" 1763 35 320 8000 32 288;
+    mk "s38417" 1494 28 106 9000 32 213;
+    mk "s38584" 1271 38 304 8500 23 632;
+  ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun s -> s.name = name) table_i
+
+let names = List.map (fun s -> s.name) table_i @ [ "plasma" ]

@@ -1,0 +1,37 @@
+(** Benchmark specifications mirroring Table I.
+
+    The genuine ISCAS89 netlists and the OpenCores Plasma RTL are not
+    redistributable inside this repository, so each benchmark is a
+    seeded pseudo-random (or, for Plasma, structured) circuit generated
+    to match the observable statistics Table I reports and that drive
+    every downstream experiment: flip-flop count, I/O counts, a gate
+    count setting the combinational area scale, a logic depth setting
+    the max stage delay [P], and a target number of near-critical
+    endpoints (NCE). Genuine ".bench" netlists can be dropped in via
+    {!Rar_netlist.Bench_io} and run through the same flows.
+
+    Gate counts of the four largest circuits are scaled to roughly half
+    of the originals to keep the full table suite fast; the paper's
+    comparisons are all relative, which the scaling preserves
+    (documented in EXPERIMENTS.md). *)
+
+type t = {
+  name : string;
+  n_flops : int;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;
+  depth : int;          (** target logic depth, calibrated to Table I's P *)
+  nce_target : int;     (** endpoints wired near the critical depth *)
+  seed : string;        (** RNG stream name; defaults to [name] *)
+}
+
+val table_i : t list
+(** The eleven ISCAS89 rows. Plasma is generated structurally by
+    {!Plasma} and is not in this list. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by name. *)
+
+val names : string list
+(** All benchmark names including ["plasma"], in Table I order. *)

@@ -1,0 +1,105 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+
+type prepared = {
+  name : string;
+  flop_netlist : Netlist.t;
+  two_phase : Netlist.t;
+  cc : Transform.comb_circuit;
+  lib : Liberty.t;
+  clocking : Clocking.t;
+  p : float;
+  n_flops : int;
+  nce : int;
+  flop_area : float;
+  runtime_s : float;
+}
+
+let derive_clocking lib cc =
+  let sta = Sta.analyse lib Sta.Path_based cc.Transform.comb in
+  let worst =
+    Array.fold_left
+      (fun acc s -> Float.max acc (Sta.arrival_at_sink sta s))
+      0.
+      (Netlist.outputs cc.Transform.comb)
+  in
+  (* The paper sets P so the near-critical endpoint count is
+     reasonable: we place the measured critical path at 72% of P, i.e.
+     just above the period (70% of P), so a handful of endpoints are
+     genuinely stuck in the window while the bulk of the near-critical
+     set is retimable — the profile Tables I and VI exhibit. *)
+  let p = worst /. 0.72 in
+  (Clocking.of_p p, p)
+
+let prepare ?lib net =
+  let t0 = Sys.time () in
+  let lib = match lib with Some l -> l | None -> Liberty.default () in
+  let two_phase = Transform.to_two_phase net in
+  let cc = Transform.extract_comb two_phase in
+  let clocking, p = derive_clocking lib cc in
+  let sta = Sta.analyse lib Sta.Path_based cc.Transform.comb in
+  (* NCE of the initial two-phase design: source pins latched, so the
+     slave-opening floor delays every path. *)
+  let latched ~v ~pin =
+    let u = (Netlist.fanins cc.Transform.comb v).(pin) in
+    Netlist.kind cc.Transform.comb u = Netlist.Input
+  in
+  let arr =
+    Sta.forward_with_latches sta ~clocking ~latch:(Liberty.latch lib) ~latched
+  in
+  let period = Clocking.period clocking in
+  let nce =
+    Array.fold_left
+      (fun acc s -> if Liberty.arc_max arr.(s) > period then acc + 1 else acc)
+      0
+      (Netlist.outputs cc.Transform.comb)
+  in
+  let flop_area =
+    Liberty.comb_area lib net
+    +. Array.fold_left
+         (fun acc v ->
+           match Netlist.kind net v with
+           | Netlist.Seq Netlist.Flop -> acc +. (Liberty.flop lib).Liberty.seq_area
+           | _ -> acc)
+         0. (Netlist.seqs net)
+  in
+  let n_flops =
+    Array.fold_left
+      (fun acc v ->
+        match Netlist.kind net v with
+        | Netlist.Seq Netlist.Flop -> acc + 1
+        | _ -> acc)
+      0 (Netlist.seqs net)
+  in
+  {
+    name = Netlist.name net;
+    flop_netlist = net;
+    two_phase;
+    cc;
+    lib;
+    clocking;
+    p;
+    n_flops;
+    nce;
+    flop_area;
+    runtime_s = Sys.time () -. t0;
+  }
+
+let load ?lib name =
+  let lname = String.lowercase_ascii name in
+  if lname = "plasma" then Ok (prepare ?lib (Plasma.generate ()))
+  else
+    match Spec.find lname with
+    | Some spec -> Ok (prepare ?lib (Generator.generate spec))
+    | None -> Error (Printf.sprintf "Suite.load: unknown benchmark %S" name)
+
+let load_all ?lib () =
+  List.map
+    (fun name ->
+      match load ?lib name with
+      | Ok p -> p
+      | Error e -> failwith e)
+    Spec.names

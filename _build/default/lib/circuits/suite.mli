@@ -1,0 +1,38 @@
+(** Prepared benchmarks: generate, convert to two-phase, derive the
+    clock, measure the Table I statistics. The single entry point every
+    experiment driver uses. *)
+
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+
+type prepared = {
+  name : string;
+  flop_netlist : Netlist.t;   (** original flip-flop design *)
+  two_phase : Netlist.t;      (** after master/slave splitting *)
+  cc : Transform.comb_circuit;
+  lib : Liberty.t;
+  clocking : Clocking.t;      (** the paper's 0.3/0/0.35/0.05 split of [p] *)
+  p : float;                  (** derived max stage delay *)
+  n_flops : int;
+  nce : int;                  (** measured near-critical endpoints *)
+  flop_area : float;          (** area of the flop-based design (Table I) *)
+  runtime_s : float;          (** preparation time *)
+}
+
+val derive_clocking : Liberty.t -> Transform.comb_circuit -> Clocking.t * float
+(** Path-based STA over the stage; [p] is the measured critical arrival
+    plus a latch-delay guard band, split per §VI-A. *)
+
+val prepare : ?lib:Liberty.t -> Netlist.t -> prepared
+(** Prepare an arbitrary flop-based netlist (e.g. a parsed ".bench"
+    file). [lib] defaults to {!Liberty.default}. *)
+
+val load : ?lib:Liberty.t -> string -> (prepared, string) result
+(** Load a named benchmark (Table I names or ["plasma"];
+    case-insensitive). *)
+
+val load_all : ?lib:Liberty.t -> unit -> prepared list
+(** All twelve, in Table I order. *)

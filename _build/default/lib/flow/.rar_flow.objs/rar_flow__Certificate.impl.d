@@ -1,0 +1,1 @@
+lib/flow/certificate.ml: Array Float Format Problem

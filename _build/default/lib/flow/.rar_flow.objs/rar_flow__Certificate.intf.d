@@ -1,0 +1,1 @@
+lib/flow/certificate.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/flow/closure.ml: Array Float List Maxflow

@@ -1,0 +1,1 @@
+lib/flow/difflp.ml: Array Buffer Closure Float Netsimplex Printf Problem Rar_util Ssp

@@ -1,0 +1,1 @@
+lib/flow/difflp.mli:

@@ -1,0 +1,1 @@
+lib/flow/maxflow.ml: Array Float List Queue Rar_util

@@ -1,0 +1,1 @@
+lib/flow/netsimplex.ml: Array Float List Problem Queue

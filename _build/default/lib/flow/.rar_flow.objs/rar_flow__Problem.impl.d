@@ -1,0 +1,1 @@
+lib/flow/problem.ml: Array Printf Rar_util

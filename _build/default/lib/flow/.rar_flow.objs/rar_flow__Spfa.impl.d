@@ -1,0 +1,1 @@
+lib/flow/spfa.ml: Array List Printf Queue

@@ -1,0 +1,1 @@
+lib/flow/ssp.ml: Array Float Problem Rar_util Spfa

@@ -1,0 +1,1 @@
+lib/flow/ssp.mli: Problem

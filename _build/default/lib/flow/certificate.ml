@@ -1,0 +1,51 @@
+type report = {
+  conservation_violations : int;
+  negative_flows : int;
+  dual_violations : int;
+  slackness_violations : int;
+  objective : float;
+}
+
+let eps = 1e-6
+
+let check p ~flow ~potentials =
+  let n = Problem.node_count p in
+  let balance = Array.make n 0. in
+  let negative_flows = ref 0 in
+  let dual_violations = ref 0 in
+  let slackness_violations = ref 0 in
+  let objective = ref 0. in
+  Problem.iter_arcs p (fun i a ->
+      let x = flow.(i) in
+      if x < -.eps then incr negative_flows;
+      balance.(a.Problem.dst) <- balance.(a.Problem.dst) +. x;
+      balance.(a.Problem.src) <- balance.(a.Problem.src) -. x;
+      objective := !objective +. (float_of_int a.Problem.cost *. x);
+      let reduced =
+        a.Problem.cost + potentials.(a.Problem.src)
+        - potentials.(a.Problem.dst)
+      in
+      if reduced < 0 then incr dual_violations;
+      if x > eps && reduced <> 0 then incr slackness_violations);
+  let conservation_violations = ref 0 in
+  for v = 0 to n - 1 do
+    if Float.abs (balance.(v) -. Problem.demand p v) > 1e-5 then
+      incr conservation_violations
+  done;
+  {
+    conservation_violations = !conservation_violations;
+    negative_flows = !negative_flows;
+    dual_violations = !dual_violations;
+    slackness_violations = !slackness_violations;
+    objective = !objective;
+  }
+
+let is_optimal r =
+  r.conservation_violations = 0 && r.negative_flows = 0
+  && r.dual_violations = 0 && r.slackness_violations = 0
+
+let pp ppf r =
+  Format.fprintf ppf
+    "conservation=%d negative=%d dual=%d slackness=%d objective=%.6f"
+    r.conservation_violations r.negative_flows r.dual_violations
+    r.slackness_violations r.objective

@@ -1,0 +1,30 @@
+(** Optimality certificates for min-cost-flow solutions.
+
+    A flow [x] and node potentials [pi] jointly certify optimality of
+    both (paper §IV-D: the retiming values are the duals of the flow):
+
+    - primal feasibility: conservation at every node, [x >= 0];
+    - dual feasibility: reduced cost [c + pi(src) - pi(dst) >= 0] on
+      every arc;
+    - complementary slackness: arcs carrying flow have zero reduced
+      cost.
+
+    Used by the test-suite to check the solvers against each other
+    without trusting either, and exposed so downstream users can audit
+    a retiming result. *)
+
+type report = {
+  conservation_violations : int;
+  negative_flows : int;
+  dual_violations : int;
+  slackness_violations : int;
+  objective : float;
+}
+
+val check :
+  Problem.t -> flow:float array -> potentials:int array -> report
+
+val is_optimal : report -> bool
+(** All violation counts zero. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,213 @@
+module Vec = Rar_util.Vec
+
+type cons = { u : int; v : int; bound : int }
+
+type t = { n : int; cons : cons Vec.t; coeff : float array }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Difflp.create: n <= 0";
+  { n; cons = Vec.create (); coeff = Array.make n 0. }
+
+let var_count t = t.n
+
+let check_var t x name =
+  if x < 0 || x >= t.n then
+    invalid_arg (Printf.sprintf "Difflp.%s: variable %d out of range" name x)
+
+let add_constraint t ~u ~v ~bound =
+  check_var t u "add_constraint";
+  check_var t v "add_constraint";
+  if u = v then begin
+    if bound < 0 then
+      invalid_arg "Difflp.add_constraint: r(u) - r(u) <= negative is infeasible"
+    (* trivially true otherwise; drop *)
+  end
+  else Vec.add_last t.cons { u; v; bound }
+
+let add_objective t v a =
+  check_var t v "add_objective";
+  t.coeff.(v) <- t.coeff.(v) +. a
+
+let iter_constraints t f = Vec.iter (fun c -> f ~u:c.u ~v:c.v ~bound:c.bound) t.cons
+let objective_coeff t v = t.coeff.(v)
+
+type engine = Network_simplex | Ssp | Closure
+
+let engine_name = function
+  | Network_simplex -> "network-simplex"
+  | Ssp -> "ssp"
+  | Closure -> "closure"
+
+let all_engines = [ Network_simplex; Ssp; Closure ]
+
+let objective_value t r =
+  let acc = ref 0. in
+  Array.iteri (fun v a -> acc := !acc +. (a *. float_of_int r.(v))) t.coeff;
+  !acc
+
+let check t r =
+  if Array.length r <> t.n then Error "solution length mismatch"
+  else begin
+    let bad = ref None in
+    Vec.iter
+      (fun c ->
+        if !bad = None && r.(c.u) - r.(c.v) > c.bound then
+          bad :=
+            Some
+              (Printf.sprintf "violated: r(%d) - r(%d) = %d > %d" c.u c.v
+                 (r.(c.u) - r.(c.v)) c.bound))
+      t.cons;
+    match !bad with None -> Ok () | Some msg -> Error msg
+  end
+
+let balanced t =
+  Float.abs (Array.fold_left ( +. ) 0. t.coeff) <= 1e-6
+
+let to_problem t =
+  let p = Problem.create ~n:t.n in
+  Vec.iter
+    (fun c -> ignore (Problem.add_arc p ~src:c.u ~dst:c.v ~cost:c.bound))
+    t.cons;
+  Array.iteri (fun v a -> if a <> 0. then Problem.add_demand p v a) t.coeff;
+  p
+
+let normalise reference r =
+  let base = r.(reference) in
+  Array.map (fun x -> x - base) r
+
+let solve_flow t ~reference ~use_simplex =
+  if not (balanced t) then
+    Error "Difflp.solve: objective coefficients do not sum to zero"
+  else begin
+    let p = to_problem t in
+    let from_potentials pi = normalise reference (Array.map (fun x -> -x) pi) in
+    if use_simplex then
+      match Netsimplex.solve p with
+      | Ok s -> Ok (from_potentials s.Netsimplex.potentials)
+      | Error _ -> (
+        (* Pivot-cap or similar: fall back to SSP, which shares the
+           feasibility checks. *)
+        match Ssp.solve p with
+        | Ok s -> Ok (from_potentials s.Ssp.potentials)
+        | Error e -> Error e)
+    else
+      match Ssp.solve p with
+      | Ok s -> Ok (from_potentials s.Ssp.potentials)
+      | Error e -> Error e
+  end
+
+let solve_closure t ~reference =
+  (* Translate assuming every feasible normalised solution is in
+     {-1, 0}; selection means r = -1. *)
+  let implications = ref [] in
+  let must_select = ref [] in
+  let must_reject = ref [ reference ] in
+  let infeasible = ref None in
+  Vec.iter
+    (fun c ->
+      if c.bound >= 1 then () (* slack within a binary window *)
+      else if c.bound = 0 then implications := (c.v, c.u) :: !implications
+      else if c.bound = -1 then begin
+        must_select := c.u :: !must_select;
+        must_reject := c.v :: !must_reject
+      end
+      else
+        infeasible :=
+          Some
+            (Printf.sprintf
+               "constraint r(%d) - r(%d) <= %d is outside the binary window"
+               c.u c.v c.bound))
+    t.cons;
+  match !infeasible with
+  | Some msg -> Error ("Difflp.solve (closure): " ^ msg)
+  | None -> (
+    let inst =
+      {
+        Closure.n = t.n;
+        profit = Array.copy t.coeff;
+        implications = !implications;
+        must_select = !must_select;
+        must_reject = !must_reject;
+      }
+    in
+    match Closure.solve inst with
+    | Error e -> Error ("Difflp.solve (closure): " ^ e)
+    | Ok o ->
+      Ok (Array.init t.n (fun v -> if o.Closure.selected.(v) then -1 else 0)))
+
+let solve ?(engine = Network_simplex) t ~reference =
+  check_var t reference "solve";
+  let result =
+    match engine with
+    | Network_simplex -> solve_flow t ~reference ~use_simplex:true
+    | Ssp -> solve_flow t ~reference ~use_simplex:false
+    | Closure -> solve_closure t ~reference
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok r -> (
+    match check t r with
+    | Ok () -> Ok r
+    | Error msg ->
+      Error
+        (Printf.sprintf "Difflp.solve (%s): internal error, %s"
+           (engine_name engine) msg))
+
+let solve_brute t ~lo ~hi ~reference =
+  check_var t reference "solve_brute";
+  if hi < lo then invalid_arg "Difflp.solve_brute: hi < lo";
+  let width = hi - lo + 1 in
+  let r = Array.make t.n lo in
+  r.(reference) <- 0;
+  let best = ref None in
+  let consider () =
+    match check t r with
+    | Error _ -> ()
+    | Ok () ->
+      let obj = objective_value t r in
+      (match !best with
+      | Some (_, b) when b <= obj -> ()
+      | _ -> best := Some (Array.copy r, obj))
+  in
+  let rec go v =
+    if v = t.n then consider ()
+    else if v = reference then go (v + 1)
+    else
+      for x = lo to lo + width - 1 do
+        r.(v) <- x;
+        go (v + 1)
+      done
+  in
+  go 0;
+  !best
+
+let to_lp_format t ~name =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Minimize\n obj:";
+  let first = ref true in
+  Array.iteri
+    (fun v a ->
+      if a <> 0. then begin
+        Buffer.add_string buf
+          (Printf.sprintf " %s%g %s"
+             (if a >= 0. then (if !first then "" else "+ ") else "- ")
+             (Float.abs a) (name v));
+        first := false
+      end)
+    t.coeff;
+  if !first then Buffer.add_string buf " 0 r0";
+  Buffer.add_string buf "\nSubject To\n";
+  let i = ref 0 in
+  Vec.iter
+    (fun c ->
+      incr i;
+      Buffer.add_string buf
+        (Printf.sprintf " c%d: %s - %s <= %d\n" !i (name c.u) (name c.v)
+           c.bound))
+    t.cons;
+  Buffer.add_string buf "Bounds\n";
+  for v = 0 to t.n - 1 do
+    Buffer.add_string buf (Printf.sprintf " %s free\n" (name v))
+  done;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf

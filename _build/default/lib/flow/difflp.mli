@@ -1,0 +1,57 @@
+(** Difference-constraint linear programs with integral optima — the
+    form every retiming problem in this project takes (paper Eq. 10):
+
+    minimise  [sum a(v) * r(v)]
+    subject to [r(u) - r(v) <= bound]  for each constraint,
+
+    with integer bounds. The objective coefficients must sum to zero
+    (retiming objectives always do: each latch-cost breadth appears
+    once positively and once negatively) — the LP is shift-invariant
+    and solutions are normalised to [r(reference) = 0].
+
+    Three exact engines (DESIGN.md §5): the paper's network simplex,
+    successive shortest paths on the same flow dual, and — exploiting
+    that all our retimings have [r in {-1, 0}] — a max-flow closure
+    reduction. A brute-force enumerator backs property tests. *)
+
+type t
+
+val create : n:int -> t
+val var_count : t -> int
+
+val add_constraint : t -> u:int -> v:int -> bound:int -> unit
+(** [r(u) - r(v) <= bound]. *)
+
+val add_objective : t -> int -> float -> unit
+(** Accumulate a coefficient onto variable [v]. *)
+
+val iter_constraints : t -> (u:int -> v:int -> bound:int -> unit) -> unit
+val objective_coeff : t -> int -> float
+
+type engine = Network_simplex | Ssp | Closure
+
+val engine_name : engine -> string
+val all_engines : engine list
+
+val solve : ?engine:engine -> t -> reference:int -> (int array, string) result
+(** Optimal [r] with [r(reference) = 0]. Default engine is
+    [Network_simplex] (with automatic fallback to [Ssp] if its pivot
+    cap trips). The [Closure] engine additionally requires that every
+    feasible normalised solution lies in [{-1, 0}] — the caller's bound
+    constraints must enforce this, as retiming's region bounds do. *)
+
+val solve_brute :
+  t -> lo:int -> hi:int -> reference:int -> (int array * float) option
+(** Exhaustive search over [r(v) in [lo, hi]] with [r(reference) = 0];
+    [None] when infeasible. Exponential — property tests only. *)
+
+val to_lp_format : t -> name:(int -> string) -> string
+(** Render the LP in CPLEX "LP file" syntax (minimise, subject-to,
+    bounds free), so an instance can be cross-checked with an external
+    solver — the paper solved the same formulation with Gurobi.
+    [name] supplies variable names. *)
+
+val check : t -> int array -> (unit, string) result
+(** Verify every constraint against a candidate solution. *)
+
+val objective_value : t -> int array -> float

@@ -1,0 +1,15 @@
+(** Dinic max-flow over float capacities, the engine behind
+    {!Closure}. *)
+
+type t
+
+val create : n:int -> t
+val add_edge : t -> src:int -> dst:int -> cap:float -> unit
+(** Directed edge; capacities accumulate if added twice. *)
+
+val run : t -> source:int -> sink:int -> float
+(** Max-flow value. May be called once per instance. *)
+
+val min_cut_source_side : t -> source:int -> bool array
+(** After {!run}: nodes reachable from [source] in the residual
+    graph. *)

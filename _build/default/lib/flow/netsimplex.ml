@@ -1,0 +1,232 @@
+type solution = {
+  flow : float array;
+  potentials : int array;
+  objective : float;
+  pivots : int;
+}
+
+let eps = 1e-9
+
+type arc = {
+  src : int;
+  dst : int;
+  cost : int;
+  mutable flow : float;
+  mutable in_tree : bool;
+}
+
+let solve ?max_pivots p =
+  let n = Problem.node_count p in
+  let m = Problem.arc_count p in
+  let max_pivots =
+    match max_pivots with Some k -> k | None -> 200 * max 64 m
+  in
+  if Float.abs (Problem.total_demand p) > 1e-6 then
+    Error "Netsimplex.solve: total demand is not zero"
+  else begin
+    let root = n in
+    let nn = n + 1 in
+    let cmax =
+      let c = ref 1 in
+      Problem.iter_arcs p (fun _ a -> c := max !c (abs a.Problem.cost));
+      !c
+    in
+    let big_m = (nn + 1) * (cmax + 1) in
+    let arcs = Array.make (m + n) { src = 0; dst = 0; cost = 0; flow = 0.; in_tree = false } in
+    Problem.iter_arcs p (fun i a ->
+        arcs.(i) <-
+          { src = a.Problem.src; dst = a.Problem.dst; cost = a.Problem.cost;
+            flow = 0.; in_tree = false });
+    (* Artificial star arcs, all in the initial tree. *)
+    for v = 0 to n - 1 do
+      let d = Problem.demand p v in
+      let a =
+        if d >= 0. then { src = root; dst = v; cost = big_m; flow = d; in_tree = true }
+        else { src = v; dst = root; cost = big_m; flow = -.d; in_tree = true }
+      in
+      arcs.(m + v) <- a
+    done;
+    (* Tree structure. *)
+    let parent = Array.make nn (-1) in
+    let parent_arc = Array.make nn (-1) in
+    let depth = Array.make nn 0 in
+    let pi = Array.make nn 0 in
+    let tree_adj = Array.make nn [] in
+    for v = 0 to n - 1 do
+      let ai = m + v in
+      parent.(v) <- root;
+      parent_arc.(v) <- ai;
+      depth.(v) <- 1;
+      pi.(v) <- (if arcs.(ai).src = root then big_m else -big_m);
+      tree_adj.(v) <- [ ai ];
+      tree_adj.(root) <- ai :: tree_adj.(root)
+    done;
+    let other_end ai v =
+      let a = arcs.(ai) in
+      if a.src = v then a.dst else a.src
+    in
+    let exception Unbounded in
+    let exception Infeasible of string in
+    let pivots = ref 0 in
+    let cursor = ref 0 in
+    let total_arcs = m + n in
+    (try
+       let improving = ref true in
+       while !improving do
+         (* Entering arc: first non-tree arc with negative reduced cost,
+            scanning round-robin from the cursor. *)
+         let entering = ref (-1) in
+         let scanned = ref 0 in
+         while !entering < 0 && !scanned < total_arcs do
+           let i = (!cursor + !scanned) mod total_arcs in
+           let a = arcs.(i) in
+           if (not a.in_tree) && a.cost + pi.(a.src) - pi.(a.dst) < 0 then
+             entering := i;
+           incr scanned
+         done;
+         cursor := (!cursor + !scanned) mod total_arcs;
+         if !entering < 0 then improving := false
+         else begin
+           incr pivots;
+           if !pivots > max_pivots then
+             raise (Infeasible "pivot limit exceeded (possible cycling)");
+           let e = arcs.(!entering) in
+           let u = e.src and v = e.dst in
+           (* Walk both endpoints to their LCA, recording (arc, direction)
+              where direction = +1 if cycle flow (oriented u->v through e,
+              then v ~> lca ~> u) increases the arc's flow. *)
+           let u_path = ref [] and v_path = ref [] in
+           let x = ref u and y = ref v in
+           while depth.(!x) > depth.(!y) do
+             let ai = parent_arc.(!x) in
+             (* u-side: cycle direction is parent -> x (downward) *)
+             u_path := (ai, arcs.(ai).dst = !x) :: !u_path;
+             x := parent.(!x)
+           done;
+           while depth.(!y) > depth.(!x) do
+             let ai = parent_arc.(!y) in
+             (* v-side: cycle direction is y -> parent (upward) *)
+             v_path := (ai, arcs.(ai).src = !y) :: !v_path;
+             y := parent.(!y)
+           done;
+           while !x <> !y do
+             let ai = parent_arc.(!x) in
+             u_path := (ai, arcs.(ai).dst = !x) :: !u_path;
+             x := parent.(!x);
+             let aj = parent_arc.(!y) in
+             v_path := (aj, arcs.(aj).src = !y) :: !v_path;
+             y := parent.(!y)
+           done;
+           (* direction=true means flow increases; false means decreases. *)
+           let cycle = !u_path @ !v_path in
+           let theta = ref infinity in
+           let leaving = ref (-1) in
+           List.iter
+             (fun (ai, increases) ->
+               if not increases then
+                 if arcs.(ai).flow < !theta -. eps then begin
+                   theta := arcs.(ai).flow;
+                   leaving := ai
+                 end)
+             cycle;
+           if !leaving < 0 then raise Unbounded;
+           let theta = if !theta = infinity then 0. else !theta in
+           e.flow <- e.flow +. theta;
+           List.iter
+             (fun (ai, increases) ->
+               let a = arcs.(ai) in
+               a.flow <- (if increases then a.flow +. theta else a.flow -. theta);
+               if a.flow < 0. then a.flow <- 0.)
+             cycle;
+           (* Exchange leaving for entering in the tree. *)
+           let l = arcs.(!leaving) in
+           let child_end =
+             (* deeper endpoint of the leaving arc *)
+             if parent.(l.src) >= 0 && parent_arc.(l.src) = !leaving then l.src
+             else l.dst
+           in
+           l.in_tree <- false;
+           e.in_tree <- true;
+           let remove_from lst ai = List.filter (fun x -> x <> ai) lst in
+           tree_adj.(l.src) <- remove_from tree_adj.(l.src) !leaving;
+           tree_adj.(l.dst) <- remove_from tree_adj.(l.dst) !leaving;
+           tree_adj.(u) <- !entering :: tree_adj.(u);
+           tree_adj.(v) <- !entering :: tree_adj.(v);
+           (* Identify the detached component (the old subtree of
+              [child_end]) by DFS over the updated adjacency *minus* the
+              entering arc, then re-hang it from the entering arc's
+              endpoint inside it. *)
+           let in_detached = Array.make nn false in
+           let stack = ref [ child_end ] in
+           in_detached.(child_end) <- true;
+           while !stack <> [] do
+             match !stack with
+             | [] -> ()
+             | c :: rest ->
+               stack := rest;
+               List.iter
+                 (fun ai ->
+                   if ai <> !entering then begin
+                     let o = other_end ai c in
+                     if not in_detached.(o) then begin
+                       in_detached.(o) <- true;
+                       stack := o :: !stack
+                     end
+                   end)
+                 tree_adj.(c)
+           done;
+           let w = if in_detached.(u) then u else v in
+           let z = if w = u then v else u in
+           assert (in_detached.(w) && not in_detached.(z));
+           (* BFS from w inside the detached set, re-assigning parents. *)
+           parent.(w) <- z;
+           parent_arc.(w) <- !entering;
+           depth.(w) <- depth.(z) + 1;
+           pi.(w) <-
+             (if e.src = z then pi.(z) + e.cost else pi.(z) - e.cost);
+           let q = Queue.create () in
+           Queue.add w q;
+           let done_ = Array.make nn false in
+           done_.(w) <- true;
+           while not (Queue.is_empty q) do
+             let c = Queue.pop q in
+             List.iter
+               (fun ai ->
+                 if ai <> parent_arc.(c) then begin
+                   let o = other_end ai c in
+                   if in_detached.(o) && not done_.(o) then begin
+                     done_.(o) <- true;
+                     parent.(o) <- c;
+                     parent_arc.(o) <- ai;
+                     depth.(o) <- depth.(c) + 1;
+                     let a = arcs.(ai) in
+                     pi.(o) <-
+                       (if a.src = c then pi.(c) + a.cost else pi.(c) - a.cost);
+                     Queue.add o q
+                   end
+                 end)
+               tree_adj.(c)
+           done
+         end
+       done;
+       (* Optimal basis reached; check artificial arcs are drained. *)
+       for v = 0 to n - 1 do
+         if arcs.(m + v).flow > 1e-6 then
+           raise (Infeasible "demands cannot be routed")
+       done;
+       let flow = Array.init m (fun i -> arcs.(i).flow) in
+       let objective = ref 0. in
+       for i = 0 to m - 1 do
+         objective := !objective +. (float_of_int arcs.(i).cost *. flow.(i))
+       done;
+       Ok
+         {
+           flow;
+           potentials = Array.sub pi 0 n;
+           objective = !objective;
+           pivots = !pivots;
+         }
+     with
+    | Unbounded -> Error "Netsimplex.solve: unbounded (negative cycle)"
+    | Infeasible msg -> Error ("Netsimplex.solve: " ^ msg))
+  end

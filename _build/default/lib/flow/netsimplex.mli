@@ -1,0 +1,24 @@
+(** Network simplex for uncapacitated min-cost transshipment.
+
+    The solver the paper uses (via Gurobi) for Eq. 14. Maintains a
+    spanning-tree basis rooted at an artificial node whose big-M arcs
+    absorb infeasibility; pivots exchange a negative-reduced-cost
+    non-tree arc against the cycle arc that bounds the flow change.
+    Integer costs give integer node potentials, which are exactly the
+    retiming values (up to sign and normalisation).
+
+    Entering-arc selection scans round-robin from a rotating cursor; a
+    generous pivot cap guards against (never yet observed) cycling, and
+    {!Difflp} falls back to {!Ssp} if the cap is hit. *)
+
+type solution = {
+  flow : float array;      (** per problem arc id *)
+  potentials : int array;  (** [r(v) = -potentials(v)] solves the primal *)
+  objective : float;
+  pivots : int;            (** pivot count, for the ablation bench *)
+}
+
+val solve : ?max_pivots:int -> Problem.t -> (solution, string) result
+(** [max_pivots] defaults to [200 * max 64 (arc count)]. Errors on
+    unbalanced demand, negative cycles / unbounded objective,
+    infeasible demands, or pivot-cap exhaustion. *)

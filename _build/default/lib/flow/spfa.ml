@@ -1,0 +1,47 @@
+let inf = max_int / 2
+
+(* Queue-based Bellman–Ford with a relaxation-count cycle detector: a
+   node enqueued more than [n] times lies on (or is fed by) a negative
+   cycle. *)
+let run ~n ~arcs ~init =
+  let out = Array.make n [] in
+  Array.iter (fun (u, v, c) -> out.(u) <- (v, c) :: out.(u)) arcs;
+  let dist = Array.copy init in
+  let in_queue = Array.make n false in
+  let passes = Array.make n 0 in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if dist.(v) < inf then begin
+      Queue.add v q;
+      in_queue.(v) <- true
+    end
+  done;
+  let bad = ref None in
+  while !bad = None && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    in_queue.(u) <- false;
+    List.iter
+      (fun (v, c) ->
+        if dist.(u) + c < dist.(v) then begin
+          dist.(v) <- dist.(u) + c;
+          if not in_queue.(v) then begin
+            passes.(v) <- passes.(v) + 1;
+            if passes.(v) > n then bad := Some v
+            else begin
+              Queue.add v q;
+              in_queue.(v) <- true
+            end
+          end
+        end)
+      out.(u)
+  done;
+  match !bad with
+  | Some v -> Error (Printf.sprintf "negative cycle (through node %d)" v)
+  | None -> Ok dist
+
+let from_virtual_root ~n ~arcs = run ~n ~arcs ~init:(Array.make n 0)
+
+let from_root ~n ~arcs ~root =
+  let init = Array.make n inf in
+  init.(root) <- 0;
+  run ~n ~arcs ~init

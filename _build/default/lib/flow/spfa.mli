@@ -1,0 +1,19 @@
+(** Bellman–Ford/SPFA shortest distances over arc lists, used for
+    initial potentials, feasibility certificates and negative-cycle
+    detection. Distances are integers (arc costs are integers). *)
+
+val from_virtual_root :
+  n:int -> arcs:(int * int * int) array -> (int array, string) result
+(** Distances [d] with [d.(v) <= d.(u) + cost] for every arc
+    [(u, v, cost)], starting every node at distance 0 (a virtual root
+    with zero-cost arcs to all nodes). [Error] names a node on a
+    negative cycle. All distances are [<= 0]. *)
+
+val from_root :
+  n:int -> arcs:(int * int * int) array -> root:int ->
+  (int array, string) result
+(** Single-source variant; unreachable nodes hold [inf]. Errors on a
+    negative cycle reachable from [root]. *)
+
+val inf : int
+(** The unreachable sentinel, [max_int / 2]. *)

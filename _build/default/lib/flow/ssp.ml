@@ -1,0 +1,157 @@
+module Heap = Rar_util.Heap
+
+type solution = {
+  flow : float array;
+  potentials : int array;
+  objective : float;
+}
+
+let eps = 1e-9
+
+(* Internal residual arc representation: pairs of mutually inverse arcs.
+   Real problem arcs are uncapacitated (cap = infinity) with integer
+   cost; virtual source/sink arcs are capacitated with cost 0. *)
+type rarc = {
+  dst : int;
+  cost : int;
+  mutable cap : float; (* remaining capacity *)
+  inv : int;           (* index of the inverse arc in [arcs] *)
+  problem_arc : int;   (* id in the problem, -1 for virtual; forward only *)
+}
+
+let solve p =
+  let n = Problem.node_count p in
+  if Float.abs (Problem.total_demand p) > 1e-6 then
+    Error "Ssp.solve: total demand is not zero"
+  else begin
+    (* Feasibility / initial potentials via SPFA over the real arcs. *)
+    let plain =
+      Array.init (Problem.arc_count p) (fun i ->
+          let a = Problem.arc p i in
+          (a.Problem.src, a.Problem.dst, a.Problem.cost))
+    in
+    match Spfa.from_virtual_root ~n ~arcs:plain with
+    | Error e -> Error ("Ssp.solve: " ^ e)
+    | Ok pi0 ->
+      let nn = n + 2 in
+      let source = n and sink = n + 1 in
+      let arcs = Rar_util.Vec.create () in
+      let heads = Array.make nn [] in
+      let add_pair u v cost cap problem_arc =
+        let i = Rar_util.Vec.length arcs in
+        Rar_util.Vec.add_last arcs
+          { dst = v; cost; cap; inv = i + 1; problem_arc };
+        Rar_util.Vec.add_last arcs
+          { dst = u; cost = -cost; cap = 0.; inv = i; problem_arc = -1 };
+        heads.(u) <- i :: heads.(u);
+        heads.(v) <- (i + 1) :: heads.(v)
+      in
+      Problem.iter_arcs p (fun id a ->
+          add_pair a.Problem.src a.Problem.dst a.Problem.cost infinity id);
+      let total_supply = ref 0. in
+      for v = 0 to n - 1 do
+        let d = Problem.demand p v in
+        if d > eps then add_pair v sink 0 d (-1)
+        else if d < -.eps then begin
+          add_pair source v 0 (-.d) (-1);
+          total_supply := !total_supply -. d
+        end
+      done;
+      let head_arr = Array.map Array.of_list heads in
+      let arcs = Rar_util.Vec.to_array arcs in
+      (* Potentials over nn nodes; virtual endpoints start at 0 relative
+         to the SPFA potentials (whose arcs all cost 0 anyway). *)
+      let pi = Array.make nn 0 in
+      Array.blit pi0 0 pi 0 n;
+      (* Virtual sink potential: keep v->sink (cost 0) reduced costs
+         non-negative, i.e. pi(sink) <= min pi(v) over demand nodes.
+         Source arcs are fine at pi(source) = 0 since pi0 <= 0. *)
+      for v = 0 to n - 1 do
+        if Problem.demand p v > eps && pi0.(v) < pi.(sink) then
+          pi.(sink) <- pi0.(v)
+      done;
+      let dist = Array.make nn Spfa.inf in
+      let parent_arc = Array.make nn (-1) in
+      let routed = ref 0. in
+      let exception Infeasible in
+      (try
+         let continue = ref true in
+         while !continue do
+           (* Dijkstra with reduced costs from [source]. *)
+           Array.fill dist 0 nn Spfa.inf;
+           Array.fill parent_arc 0 nn (-1);
+           dist.(source) <- 0;
+           let heap = Heap.create () in
+           Heap.add heap 0. source;
+           let visited = Array.make nn false in
+           let rec drain () =
+             match Heap.pop_min heap with
+             | None -> ()
+             | Some (_, u) ->
+               if not visited.(u) then begin
+                 visited.(u) <- true;
+                 Array.iter
+                   (fun ai ->
+                     let a = arcs.(ai) in
+                     if a.cap > eps then begin
+                       let rc = a.cost + pi.(u) - pi.(a.dst) in
+                       (* rc >= 0 by potential invariant *)
+                       if dist.(u) + rc < dist.(a.dst) then begin
+                         dist.(a.dst) <- dist.(u) + rc;
+                         parent_arc.(a.dst) <- ai;
+                         Heap.add heap (float_of_int dist.(a.dst)) a.dst
+                       end
+                     end)
+                   head_arr.(u);
+                 drain ()
+               end
+               else drain ()
+           in
+           drain ();
+           if dist.(sink) >= Spfa.inf then begin
+             if !total_supply -. !routed > 1e-6 then raise Infeasible;
+             continue := false
+           end
+           else begin
+             (* Update potentials, find bottleneck, augment. *)
+             let d_sink = dist.(sink) in
+             for v = 0 to nn - 1 do
+               pi.(v) <- pi.(v) + min dist.(v) d_sink
+             done;
+             let bottleneck = ref infinity in
+             let v = ref sink in
+             while !v <> source do
+               let a = arcs.(parent_arc.(!v)) in
+               if a.cap < !bottleneck then bottleneck := a.cap;
+               v := arcs.(a.inv).dst
+             done;
+             let v = ref sink in
+             while !v <> source do
+               let ai = parent_arc.(!v) in
+               let a = arcs.(ai) in
+               a.cap <- a.cap -. !bottleneck;
+               arcs.(a.inv).cap <- arcs.(a.inv).cap +. !bottleneck;
+               v := arcs.(a.inv).dst
+             done;
+             routed := !routed +. !bottleneck
+           end
+         done;
+         let flow = Array.make (Problem.arc_count p) 0. in
+         Array.iter
+           (fun (a : rarc) ->
+             if a.problem_arc >= 0 then
+               (* flow on a forward arc = capacity accumulated on inverse *)
+               flow.(a.problem_arc) <- arcs.(a.inv).cap)
+           arcs;
+         let objective = ref 0. in
+         Problem.iter_arcs p (fun id a ->
+             objective :=
+               !objective +. (float_of_int a.Problem.cost *. flow.(id)));
+         Ok
+           {
+             flow;
+             potentials = Array.sub pi 0 n;
+             objective = !objective;
+           }
+       with Infeasible -> Error "Ssp.solve: demands cannot be routed")
+  end

@@ -1,0 +1,19 @@
+(** Successive-shortest-paths min-cost flow.
+
+    Solves a {!Problem.t} (uncapacitated transshipment with float
+    demands and integer arc costs) by routing every unit of demand
+    along shortest residual paths from a super-source, with integer
+    node potentials maintained so Dijkstra runs on non-negative reduced
+    costs. Exact optimality; used both as a standalone engine and as a
+    cross-check of the network simplex. *)
+
+type solution = {
+  flow : float array;       (** per arc id of the problem *)
+  potentials : int array;   (** dual-optimal; [r(v) = -potentials(v)] solves
+                                the difference-constraint primal *)
+  objective : float;        (** [sum cost * flow] *)
+}
+
+val solve : Problem.t -> (solution, string) result
+(** Errors on: unbalanced total demand, a negative-cost cycle
+    (primal infeasible), or demands that cannot be routed. *)

@@ -1,0 +1,1 @@
+lib/liberty/liberty.ml: Array Float Hashtbl List Printf Rar_netlist

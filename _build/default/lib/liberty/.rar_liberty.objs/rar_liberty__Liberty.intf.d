@@ -1,0 +1,1 @@
+lib/liberty/liberty.mli: Rar_netlist

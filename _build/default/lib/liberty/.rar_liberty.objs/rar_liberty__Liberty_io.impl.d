@@ -1,0 +1,1 @@
+lib/liberty/liberty_io.ml: Array Buffer Float Liberty List Option Printf Rar_netlist String

@@ -1,0 +1,1 @@
+lib/liberty/liberty_io.mli: Liberty

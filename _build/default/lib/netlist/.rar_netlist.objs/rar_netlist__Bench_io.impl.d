@@ -1,0 +1,1 @@
+lib/netlist/bench_io.ml: Array Buffer Cell_kind Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/cell_kind.ml: Array Format Fun Printf String

@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Buffer Cell_kind Netlist Printf

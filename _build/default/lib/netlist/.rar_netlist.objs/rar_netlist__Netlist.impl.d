@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Cell_kind Format Hashtbl Printf Queue Rar_util Seq

@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Cell_kind Format Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/netlist/transform.ml: Array Hashtbl List Netlist Printf

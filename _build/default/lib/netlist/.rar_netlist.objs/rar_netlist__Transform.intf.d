@@ -1,0 +1,1 @@
+lib/netlist/transform.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/verilog_io.ml: Array Buffer Cell_kind Hashtbl List Netlist Printf Result String

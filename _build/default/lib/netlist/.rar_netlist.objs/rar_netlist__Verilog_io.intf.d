@@ -1,0 +1,1 @@
+lib/netlist/verilog_io.mli: Netlist

@@ -1,0 +1,32 @@
+(** ISCAS89 ".bench" reader and writer.
+
+    The textual format used by the ISCAS89 sequential benchmarks:
+
+    {v
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NAND(G0, G10)
+    v}
+
+    DFF lines become [Seq Flop] nodes. Fanout-only names referenced
+    before definition are handled (the format has no ordering rule).
+    Because a ".bench" OUTPUT names an existing signal rather than a
+    dedicated node, the writer/reader pair round-trips through explicit
+    [Output] nodes named ["<signal>$po"] when the output signal also
+    feeds logic, and plain where it does not. *)
+
+val parse : string -> (Netlist.t, string) result
+(** Parse from a string. The error carries a line number and reason. *)
+
+val parse_file : string -> (Netlist.t, string) result
+
+val print : Netlist.t -> string
+(** Render a netlist (combinational gates, flops, PIs, POs) back to
+    ".bench" text. Master/slave latches are rendered as [DFF] pairs
+    suffixed so a re-read produces an equivalent structure. Gates whose
+    kind has no ".bench" spelling (AOI/OAI/MUX) are emitted with their
+    library names, which {!parse} also accepts. *)
+
+val write_file : string -> Netlist.t -> unit

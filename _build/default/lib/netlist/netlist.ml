@@ -1,0 +1,325 @@
+module Vec = Rar_util.Vec
+
+type seq_role = Flop | Master | Slave
+
+type kind =
+  | Input
+  | Output
+  | Gate of { fn : Cell_kind.t; drive : int }
+  | Seq of seq_role
+
+type t = {
+  name : string;
+  kinds : kind array;
+  names : string array;
+  fanins : int array array;
+  fanouts : int array array;
+  by_name : (string, int) Hashtbl.t;
+  topo : int array; (* all nodes, combinational topological order *)
+  inputs : int array;
+  outputs : int array;
+  seqs : int array;
+  gates : int array; (* topological order *)
+}
+
+let is_comb_kind = function
+  | Gate _ -> true
+  | Input | Output | Seq _ -> false
+
+let expected_arity = function
+  | Input -> Some 0
+  | Output | Seq _ -> Some 1
+  | Gate _ -> None
+
+(* Topological order of the fanin relation with sequential elements and
+   primary inputs treated as sources: a node waits only on its
+   combinational (gate) fanins. Cycles through sequential elements are
+   therefore legal; a purely combinational cycle leaves nodes unplaced,
+   which we report as an error. Also returns the fanout table (built as
+   a by-product). *)
+let topo_sort kinds fanins names =
+  let n = Array.length kinds in
+  let fanout_count = Array.make n 0 in
+  for v = 0 to n - 1 do
+    Array.iter (fun u -> fanout_count.(u) <- fanout_count.(u) + 1) fanins.(v)
+  done;
+  let fanouts = Array.map (fun c -> Array.make c (-1)) fanout_count in
+  let cursor = Array.make n 0 in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun u ->
+        fanouts.(u).(cursor.(u)) <- v;
+        cursor.(u) <- cursor.(u) + 1)
+      fanins.(v)
+  done;
+  let constrains u = is_comb_kind kinds.(u) in
+  let indeg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    Array.iter (fun u -> if constrains u then indeg.(v) <- indeg.(v) + 1) fanins.(v)
+  done;
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!pos) <- u;
+    incr pos;
+    if constrains u then
+      Array.iter
+        (fun v ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v queue)
+        fanouts.(u)
+  done;
+  if !pos <> n then begin
+    let bad = ref "" in
+    for v = n - 1 downto 0 do
+      if indeg.(v) > 0 then bad := names.(v)
+    done;
+    Error !bad
+  end
+  else Ok (order, fanouts)
+
+let validate_arrays kinds names fanins =
+  let n = Array.length kinds in
+  let seen = Hashtbl.create n in
+  let check v =
+    let name = names.(v) in
+    if Hashtbl.mem seen name then
+      Error (Printf.sprintf "duplicate node name %S" name)
+    else begin
+      Hashtbl.add seen name ();
+      let fi = fanins.(v) in
+      if Array.exists (fun u -> u < 0 || u >= n) fi then
+        Error (Printf.sprintf "node %S references an unknown fanin" name)
+      else if Array.exists (fun u -> kinds.(u) = Output) fi then
+        Error (Printf.sprintf "node %S uses a primary output as a fanin" name)
+      else
+        match (expected_arity kinds.(v), kinds.(v)) with
+        | Some a, _ when Array.length fi <> a ->
+          Error
+            (Printf.sprintf "node %S: expected %d fanins, got %d" name a
+               (Array.length fi))
+        | Some _, _ -> Ok ()
+        | None, Gate { fn; drive } ->
+          if drive < 1 then Error (Printf.sprintf "gate %S: drive < 1" name)
+          else if not (Cell_kind.valid_arity fn (Array.length fi)) then
+            Error
+              (Printf.sprintf "gate %S: %s cannot take %d inputs" name
+                 (Cell_kind.name fn) (Array.length fi))
+          else Ok ()
+        | None, (Input | Output | Seq _) -> assert false
+    end
+  in
+  let rec loop v =
+    if v = n then Ok ()
+    else match check v with Ok () -> loop (v + 1) | Error _ as e -> e
+  in
+  loop 0
+
+let build_frozen net_name kinds names fanins =
+  (match validate_arrays kinds names fanins with
+  | Ok () -> ()
+  | Error msg -> failwith ("Netlist: " ^ msg));
+  match topo_sort kinds fanins names with
+  | Error node ->
+    failwith (Printf.sprintf "Netlist: combinational cycle through %S" node)
+  | Ok (topo, fanouts) ->
+    let n = Array.length kinds in
+    let by_name = Hashtbl.create n in
+    Array.iteri (fun v name -> Hashtbl.replace by_name name v) names;
+    let collect pred =
+      let acc = ref [] in
+      for v = n - 1 downto 0 do
+        if pred kinds.(v) then acc := v :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let inputs = collect (fun k -> k = Input) in
+    let outputs = collect (fun k -> k = Output) in
+    let seqs = collect (fun k -> match k with Seq _ -> true | _ -> false) in
+    let gates =
+      Array.of_seq
+        (Seq.filter (fun v -> is_comb_kind kinds.(v)) (Array.to_seq topo))
+    in
+    { name = net_name; kinds; names; fanins; fanouts; by_name; topo; inputs;
+      outputs; seqs; gates }
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type pending = {
+    b_kind : kind;
+    b_name : string;
+    mutable b_fanins : int list option;
+  }
+
+  type builder = { net_name : string; nodes : pending Vec.t }
+
+  let create ?(name = "netlist") () = { net_name = name; nodes = Vec.create () }
+
+  let add t kind name fanins =
+    let id = Vec.length t.nodes in
+    Vec.add_last t.nodes { b_kind = kind; b_name = name; b_fanins = fanins };
+    id
+
+  let add_input t name = add t Input name (Some [])
+  let add_output t name ~fanin = add t Output name (Some [ fanin ])
+
+  let add_gate t name ~fn ?(drive = 1) ~fanins () =
+    add t (Gate { fn; drive }) name (Some fanins)
+
+  let add_seq t name ~role ~fanin = add t (Seq role) name (Some [ fanin ])
+
+  let add_gate_deferred t name ~fn ?(drive = 1) () =
+    add t (Gate { fn; drive }) name None
+
+  let add_seq_deferred t name ~role = add t (Seq role) name None
+  let add_output_deferred t name = add t Output name None
+
+  let connect t id ~fanins =
+    let p = Vec.get t.nodes id in
+    match p.b_fanins with
+    | Some _ -> invalid_arg "Netlist.Builder.connect: node already connected"
+    | None -> p.b_fanins <- Some fanins
+
+  let node_count t = Vec.length t.nodes
+
+  let freeze t =
+    let n = Vec.length t.nodes in
+    let kinds = Array.make n Input in
+    let names = Array.make n "" in
+    let fanins = Array.make n [||] in
+    for v = 0 to n - 1 do
+      let p = Vec.get t.nodes v in
+      kinds.(v) <- p.b_kind;
+      names.(v) <- p.b_name;
+      match p.b_fanins with
+      | None ->
+        failwith
+          (Printf.sprintf "Netlist: deferred node %S was never connected"
+             p.b_name)
+      | Some fi -> fanins.(v) <- Array.of_list fi
+    done;
+    build_frozen t.net_name kinds names fanins
+
+  type t = builder
+end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let name t = t.name
+let node_count t = Array.length t.kinds
+let kind t v = t.kinds.(v)
+let node_name t v = t.names.(v)
+let find t name = Hashtbl.find_opt t.by_name name
+let fanins t v = t.fanins.(v)
+let fanouts t v = t.fanouts.(v)
+let fanout_count t v = Array.length t.fanouts.(v)
+let inputs t = t.inputs
+let outputs t = t.outputs
+let seqs t = t.seqs
+let gates t = t.gates
+let topo_comb t = t.topo
+let is_comb t v = is_comb_kind t.kinds.(v)
+let is_seq t v = match t.kinds.(v) with Seq _ -> true | _ -> false
+
+let iter_edges t f =
+  for v = 0 to node_count t - 1 do
+    Array.iter (fun u -> f u v) t.fanins.(v)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cones and depth                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fanin_cone t v =
+  let mark = Array.make (node_count t) false in
+  let rec go v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      if is_comb t v then Array.iter go t.fanins.(v)
+    end
+  in
+  mark.(v) <- true;
+  (* Expand through v's fanins regardless of v's own kind: the cone of a
+     sequential or output endpoint is the logic driving its D pin. *)
+  Array.iter go t.fanins.(v);
+  mark
+
+let fanout_cone t v =
+  let mark = Array.make (node_count t) false in
+  let rec go v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      if is_comb t v then Array.iter go t.fanouts.(v)
+    end
+  in
+  mark.(v) <- true;
+  Array.iter go t.fanouts.(v);
+  mark
+
+let comb_depth t =
+  let n = node_count t in
+  let depth = Array.make n 0 in
+  let best = ref 0 in
+  Array.iter
+    (fun v ->
+      if is_comb t v then begin
+        let d = ref 0 in
+        Array.iter (fun u -> if is_comb t u then d := max !d depth.(u)) t.fanins.(v);
+        depth.(v) <- !d + 1;
+        if depth.(v) > !best then best := depth.(v)
+      end)
+    t.topo;
+  !best
+
+let validate t =
+  match validate_arrays t.kinds t.names t.fanins with
+  | Error _ as e -> e
+  | Ok () -> (
+    match topo_sort t.kinds t.fanins t.names with
+    | Error node -> Error (Printf.sprintf "combinational cycle through %S" node)
+    | Ok _ -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_drive t v d =
+  (match t.kinds.(v) with
+  | Gate _ when d >= 1 -> ()
+  | Gate _ -> invalid_arg "Netlist.with_drive: drive < 1"
+  | Input | Output | Seq _ -> invalid_arg "Netlist.with_drive: not a gate");
+  let kinds = Array.copy t.kinds in
+  (match kinds.(v) with
+  | Gate { fn; _ } -> kinds.(v) <- Gate { fn; drive = d }
+  | Input | Output | Seq _ -> assert false);
+  { t with kinds }
+
+let map_gates t f =
+  let kinds =
+    Array.mapi
+      (fun v k ->
+        match k with
+        | Gate _ -> (
+          match f v k with
+          | Gate _ as g -> g
+          | Input | Output | Seq _ ->
+            invalid_arg "Netlist.map_gates: gate rewritten to non-gate")
+        | Input | Output | Seq _ -> k)
+      t.kinds
+  in
+  { t with kinds }
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d pi, %d po, %d gates, %d seq, depth %d" t.name
+    (Array.length t.inputs) (Array.length t.outputs) (Array.length t.gates)
+    (Array.length t.seqs) (comb_depth t)

@@ -1,0 +1,134 @@
+(** Gate-level sequential netlists.
+
+    A netlist is a directed graph of typed nodes: primary inputs,
+    primary outputs, combinational gates and sequential elements
+    (flip-flops, or master/slave latches after two-phase conversion).
+    Nodes are addressed by dense integer ids, which every other library
+    in this project uses as array indices.
+
+    Netlists are built through a {!Builder}, then frozen into an
+    immutable {!t} that precomputes fanouts and a combinational
+    topological order. Combinational cycles are rejected at freeze
+    time; cycles through sequential elements are legal. *)
+
+type seq_role =
+  | Flop    (** edge-triggered D flip-flop (original benchmark form) *)
+  | Master  (** master latch of a two-phase pair (fixed by retiming) *)
+  | Slave   (** slave latch of a two-phase pair (retimed) *)
+
+type kind =
+  | Input
+  | Output                                    (** one fanin *)
+  | Gate of { fn : Cell_kind.t; drive : int } (** drive strength >= 1 *)
+  | Seq of seq_role                           (** one fanin (D pin) *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val add_input : t -> string -> int
+  (** Fresh primary-input node; returns its id. *)
+
+  val add_output : t -> string -> fanin:int -> int
+  val add_gate :
+    t -> string -> fn:Cell_kind.t -> ?drive:int -> fanins:int list -> unit -> int
+  val add_seq : t -> string -> role:seq_role -> fanin:int -> int
+
+  val add_gate_deferred :
+    t -> string -> fn:Cell_kind.t -> ?drive:int -> unit -> int
+  (** Gate whose fanins are supplied later with {!connect}; needed when
+      parsing formats that reference signals before defining them. *)
+
+  val add_seq_deferred : t -> string -> role:seq_role -> int
+  val add_output_deferred : t -> string -> int
+
+  val connect : t -> int -> fanins:int list -> unit
+  (** Set the fanins of a deferred node. Raises [Invalid_argument] if
+      the node already has fanins. *)
+
+  val node_count : t -> int
+
+  val freeze : t -> netlist
+  (** Validate and seal. Raises [Failure] describing the defect when
+      the netlist is malformed: dangling deferred fanins, bad arities,
+      combinational cycles, outputs/seqs without a driver. *)
+end
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val node_count : t -> int
+val kind : t -> int -> kind
+val node_name : t -> int -> string
+val find : t -> string -> int option
+(** Look a node up by name. *)
+
+val fanins : t -> int -> int array
+(** Fanin ids, in pin order. Do not mutate. *)
+
+val fanouts : t -> int -> int array
+(** Fanout ids (each repeated once per connected pin). Do not mutate. *)
+
+val fanout_count : t -> int -> int
+
+val inputs : t -> int array
+val outputs : t -> int array
+val seqs : t -> int array
+(** All sequential nodes, in id order. *)
+
+val gates : t -> int array
+(** All combinational gate nodes, in topological order. *)
+
+val topo_comb : t -> int array
+(** All nodes in an order where every node follows its combinational
+    fanins; sequential nodes and inputs are sources (their fanin edge
+    is not an ordering constraint). Note the asymmetry: a sequential
+    node follows its (combinational) driver, but nodes {e reading} a
+    sequential output may appear before it — evaluation passes that
+    treat sequential values as state must initialise them up front or
+    iterate to a fixpoint. *)
+
+val is_comb : t -> int -> bool
+val is_seq : t -> int -> bool
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges t f] calls [f u v] for every connection u -> v (once
+    per pin). *)
+
+(** {1 Queries} *)
+
+val fanin_cone : t -> int -> bool array
+(** [fanin_cone t v] marks every node reaching [v] through purely
+    combinational paths, stopping at (and including) inputs and
+    sequential nodes; [v] itself is marked. *)
+
+val fanout_cone : t -> int -> bool array
+(** Dual of {!fanin_cone}: nodes reachable from [v] without passing
+    through a sequential element, stopping at outputs/seqs. *)
+
+val comb_depth : t -> int
+(** Longest combinational path, counted in gates. *)
+
+val validate : t -> (unit, string) result
+(** Re-run the structural checks on a frozen netlist (useful after
+    hand-editing in tests). *)
+
+(** {1 Rewriting} *)
+
+val with_drive : t -> int -> int -> t
+(** [with_drive t v d] returns a copy where gate [v] has drive [d].
+    Raises [Invalid_argument] when [v] is not a gate or [d < 1]. *)
+
+val map_gates : t -> (int -> kind -> kind) -> t
+(** Rebuild with each gate's kind rewritten (topology unchanged);
+    non-gate nodes are passed through unchanged and must be returned
+    unchanged. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line "name: #pi #po #gate #seq depth" summary. *)

@@ -1,0 +1,18 @@
+(** Aggregate statistics over a netlist, used by Table I reporting and
+    by generator calibration. *)
+
+type t = {
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  n_flops : int;
+  n_masters : int;
+  n_slaves : int;
+  depth : int;              (** longest combinational path, in gates *)
+  avg_fanin : float;        (** mean gate fanin *)
+  avg_fanout : float;       (** mean fanout of gate/input/seq drivers *)
+  fn_histogram : (Cell_kind.t * int) list;  (** gate kind counts *)
+}
+
+val compute : Netlist.t -> t
+val pp : Format.formatter -> t -> unit

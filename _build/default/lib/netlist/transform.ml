@@ -1,0 +1,182 @@
+module B = Netlist.Builder
+
+(* Rebuild [net] node by node. [remap] decides, per original node, what
+   to create; it returns the new id downstream fanouts should use and
+   optionally a (deferred new id, original fanin owner) pair to wire up
+   in a second pass. All flows below share this two-pass skeleton. *)
+
+let to_two_phase net =
+  let n = Netlist.node_count net in
+  let b = B.create ~name:(Netlist.name net) () in
+  let repr = Array.make n (-1) in
+  (* new id that fanouts of original node v reference *)
+  let deferred = ref [] in
+  (* (new deferred id, original id whose fanins it takes) *)
+  for v = 0 to n - 1 do
+    let name = Netlist.node_name net v in
+    match Netlist.kind net v with
+    | Netlist.Input -> repr.(v) <- B.add_input b name
+    | Netlist.Output ->
+      let id = B.add_output_deferred b name in
+      deferred := (id, v) :: !deferred
+    | Netlist.Gate { fn; drive } ->
+      let id = B.add_gate_deferred b name ~fn ~drive () in
+      repr.(v) <- id;
+      deferred := (id, v) :: !deferred
+    | Netlist.Seq Netlist.Flop ->
+      let m = B.add_seq_deferred b (name ^ "$m") ~role:Netlist.Master in
+      let s = B.add_seq b (name ^ "$s") ~role:Netlist.Slave ~fanin:m in
+      repr.(v) <- s;
+      deferred := (m, v) :: !deferred
+    | Netlist.Seq role ->
+      let id = B.add_seq_deferred b name ~role in
+      repr.(v) <- id;
+      deferred := (id, v) :: !deferred
+  done;
+  List.iter
+    (fun (id, v) ->
+      let fanins =
+        Array.to_list (Array.map (fun u -> repr.(u)) (Netlist.fanins net v))
+      in
+      B.connect b id ~fanins)
+    !deferred;
+  B.freeze b
+
+type comb_circuit = {
+  comb : Netlist.t;
+  source_of : (int * int) array;
+  sink_of : (int * int) array;
+  gate_of : int array;
+}
+
+let extract_comb net =
+  let n = Netlist.node_count net in
+  (* Resolve the combinational driver seen through slave latches: the
+     value feeding downstream logic originates at the slave's
+     transitive driver. *)
+  let rec driver v =
+    match Netlist.kind net v with
+    | Netlist.Seq Netlist.Slave -> driver (Netlist.fanins net v).(0)
+    | _ -> v
+  in
+  let b = B.create ~name:(Netlist.name net ^ "$comb") () in
+  let repr = Array.make n (-1) in
+  let sources = ref [] and sinks = ref [] and gate_pairs = ref [] in
+  let deferred = ref [] in
+  for v = 0 to n - 1 do
+    let name = Netlist.node_name net v in
+    match Netlist.kind net v with
+    | Netlist.Input ->
+      let id = B.add_input b name in
+      repr.(v) <- id;
+      sources := (id, v) :: !sources
+    | Netlist.Seq (Netlist.Master | Netlist.Flop) ->
+      (* Q side: a fresh source. D side: a fresh sink, wired in pass 2. *)
+      let q = B.add_input b (name ^ "$q") in
+      repr.(v) <- q;
+      sources := (q, v) :: !sources;
+      let d = B.add_output_deferred b (name ^ "$d") in
+      sinks := (d, v) :: !sinks;
+      deferred := (d, v) :: !deferred
+    | Netlist.Seq Netlist.Slave -> () (* bypassed *)
+    | Netlist.Gate { fn; drive } ->
+      let id = B.add_gate_deferred b name ~fn ~drive () in
+      repr.(v) <- id;
+      gate_pairs := (id, v) :: !gate_pairs;
+      deferred := (id, v) :: !deferred
+    | Netlist.Output ->
+      let id = B.add_output_deferred b name in
+      sinks := (id, v) :: !sinks;
+      deferred := (id, v) :: !deferred
+  done;
+  List.iter
+    (fun (id, v) ->
+      let fanins =
+        Array.to_list
+          (Array.map (fun u -> repr.(driver u)) (Netlist.fanins net v))
+      in
+      B.connect b id ~fanins)
+    !deferred;
+  let comb = B.freeze b in
+  let gate_of = Array.make (Netlist.node_count comb) (-1) in
+  List.iter (fun (id, v) -> gate_of.(id) <- v) !gate_pairs;
+  {
+    comb;
+    source_of = Array.of_list (List.rev !sources);
+    sink_of = Array.of_list (List.rev !sinks);
+    gate_of;
+  }
+
+type placement = { after : int; latched : (int * int) list }
+
+let count_slaves placements = List.length placements
+
+let apply_retiming cc placements =
+  let net = cc.comb in
+  let n = Netlist.node_count net in
+  (* For each (node, pin), the placement index that captures it, if any. *)
+  let capture = Hashtbl.create 64 in
+  List.iteri
+    (fun i p ->
+      List.iter
+        (fun (v, pin) ->
+          let fi = Netlist.fanins net v in
+          if pin < 0 || pin >= Array.length fi then
+            invalid_arg "Transform.apply_retiming: pin out of range";
+          if fi.(pin) <> p.after then
+            invalid_arg
+              (Printf.sprintf
+                 "Transform.apply_retiming: pin %d of %s is not driven by %s"
+                 pin (Netlist.node_name net v)
+                 (Netlist.node_name net p.after));
+          if Hashtbl.mem capture (v, pin) then
+            invalid_arg "Transform.apply_retiming: pin latched twice";
+          Hashtbl.add capture (v, pin) i)
+        p.latched)
+    placements;
+  let b = B.create ~name:(Netlist.name net ^ "$retimed") () in
+  let repr = Array.make n (-1) in
+  let deferred = ref [] in
+  for v = 0 to n - 1 do
+    let name = Netlist.node_name net v in
+    match Netlist.kind net v with
+    | Netlist.Input -> repr.(v) <- B.add_input b name
+    | Netlist.Gate { fn; drive } ->
+      let id = B.add_gate_deferred b name ~fn ~drive () in
+      repr.(v) <- id;
+      deferred := (id, v) :: !deferred
+    | Netlist.Output ->
+      let id = B.add_output_deferred b name in
+      deferred := (id, v) :: !deferred
+    | Netlist.Seq _ ->
+      invalid_arg "Transform.apply_retiming: expected a combinational circuit"
+  done;
+  (* One physical slave per placement, created after its driver exists. *)
+  let slave_id =
+    Array.of_list
+      (List.mapi
+         (fun i p ->
+           let name =
+             Printf.sprintf "%s$slv%d" (Netlist.node_name net p.after) i
+           in
+           B.add_seq_deferred b name ~role:Netlist.Slave)
+         placements)
+  in
+  let placement_after = Array.of_list (List.map (fun p -> p.after) placements) in
+  Array.iteri
+    (fun i s -> B.connect b s ~fanins:[ repr.(placement_after.(i)) ])
+    slave_id;
+  List.iter
+    (fun (id, v) ->
+      let fanins =
+        Array.to_list
+          (Array.mapi
+             (fun pin u ->
+               match Hashtbl.find_opt capture (v, pin) with
+               | Some i -> slave_id.(i)
+               | None -> repr.(u))
+             (Netlist.fanins net v))
+      in
+      B.connect b id ~fanins)
+    !deferred;
+  B.freeze b

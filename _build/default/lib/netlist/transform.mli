@@ -1,0 +1,60 @@
+(** Structural transforms: flip-flop to two-phase conversion, extraction
+    of the combinational retiming view, and re-insertion of retimed
+    slave latches.
+
+    The paper's flow (§III): every flip-flop becomes a master+slave
+    latch pair; masters stay fixed, slaves are retimed through the
+    combinational logic. The retiming algorithms work on a
+    {!comb_circuit}: the circuit cut at its master latches, where every
+    launch point (master Q pin or primary input) becomes an [Input]
+    node and every capture point (master D pin or primary output)
+    becomes an [Output] node. Following Fig. 4, primary inputs/outputs
+    are treated as virtual master latches of the environment, so every
+    source initially carries one retimable slave latch. *)
+
+val to_two_phase : Netlist.t -> Netlist.t
+(** Replace every [Seq Flop] node by a [Seq Master] feeding a
+    [Seq Slave] (names suffixed ["$m"] / ["$s"]). Other nodes are
+    unchanged. Idempotent on netlists without flops. *)
+
+type comb_circuit = {
+  comb : Netlist.t;
+    (** Purely combinational: [Input], [Gate] and [Output] nodes only.
+        Slave latches of the source netlist are bypassed. *)
+  source_of : (int * int) array;
+    (** [(comb_input_id, original_id)] pairs: the original node is the
+        master latch or primary input this source stands for. *)
+  sink_of : (int * int) array;
+    (** [(comb_output_id, original_id)] pairs, original node being the
+        capturing master latch or primary output. *)
+  gate_of : int array;
+    (** [gate_of.(comb_id) = original_id] for gates; [-1] for
+        non-gates. *)
+}
+
+val extract_comb : Netlist.t -> comb_circuit
+(** Cut a two-phase (or flop-based — flops act like master+slave at the
+    same spot) netlist at its sequential elements. Existing [Slave]
+    nodes are bypassed: their position is an input to retiming, not
+    part of the extracted topology. *)
+
+type placement = {
+  after : int;                (** comb node id the slave is placed after *)
+  latched : (int * int) list; (** (fanout node, pin) pairs fed through the slave *)
+}
+(** One shared slave latch per driver, feeding the given subset of its
+    fanout pins; remaining pins stay directly connected (this is the
+    fanout-sharing realisation of the β=1/k cost model). Placing a
+    slave after an [Input] node reproduces the un-retimed position. *)
+
+val apply_retiming : comb_circuit -> placement list -> Netlist.t
+(** Materialise slave latches inside the combinational circuit. The
+    result is a netlist whose inputs stand for master Q pins and whose
+    outputs stand for master D pins, with [Seq Slave] nodes at the
+    chosen positions — the physical stage used by the error-rate
+    simulator. Raises [Invalid_argument] on a placement referencing a
+    pin twice or a non-existent edge. *)
+
+val count_slaves : placement list -> int
+(** Number of physical slave latches a placement list realises (one per
+    element). *)

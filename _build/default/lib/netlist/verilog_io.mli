@@ -1,0 +1,21 @@
+(** Structural Verilog reader/writer (gate-primitive subset).
+
+    The writer emits one module per netlist using Verilog's built-in
+    gate primitives where they exist ([and], [nand], [or], [nor],
+    [xor], [xnor], [not], [buf]; output port first) and instance-style
+    cells for the rest ([aoi21], [oai21], [mux2] — inputs in pin
+    order — and the sequential cells [dff], [latch_m], [latch_s] with
+    ports [(Q, D)]). Non-unit drive strengths are recorded as an
+    attribute, e.g. [(* drive = 2 *) nand g1 (y, a, b);].
+
+    The reader accepts exactly that subset (plus whitespace/comments),
+    which is enough to round-trip any netlist this project produces and
+    to import gate-level netlists written in the same style. *)
+
+val print : Netlist.t -> string
+val write_file : string -> Netlist.t -> unit
+
+val parse : string -> (Netlist.t, string) result
+(** Errors carry a line number and reason. *)
+
+val parse_file : string -> (Netlist.t, string) result

@@ -1,0 +1,1 @@
+lib/report/report.ml: Hashtbl List Option Printf Rar_circuits Rar_netlist Rar_retime Rar_sim Rar_sta Rar_vl Text_table

@@ -1,0 +1,1 @@
+lib/report/report.mli: Rar_circuits Rar_retime Rar_sim Rar_sta Rar_vl

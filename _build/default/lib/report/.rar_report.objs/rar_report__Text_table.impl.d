@@ -1,0 +1,1 @@
+lib/report/text_table.ml: Buffer List Printf String

@@ -1,0 +1,471 @@
+module Suite = Rar_circuits.Suite
+module Spec = Rar_circuits.Spec
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Vl = Rar_vl.Vl
+module Movable = Rar_vl.Movable
+module Sim = Rar_sim.Sim
+module Sta = Rar_sta.Sta
+module Transform = Rar_netlist.Transform
+module T = Text_table
+
+let overheads = [ ("low", 0.5); ("medium", 1.0); ("high", 2.0) ]
+
+type t = {
+  names_ : string list;
+  sim_cycles : int;
+  movable_moves : int;
+  prepared_ : (string, Suite.prepared) Hashtbl.t;
+  stages : (string, Stage.t) Hashtbl.t;
+  grars : (string, Grar.t) Hashtbl.t;
+  bases : (string, Base.t) Hashtbl.t;
+  vls : (string, Vl.t) Hashtbl.t;
+  movables : (string, Movable.t) Hashtbl.t;
+  rates : (string, Sim.rate) Hashtbl.t;
+}
+
+let create ?(names = Spec.names) ?(sim_cycles = 300) ?(movable_moves = 4) () =
+  {
+    names_ = names;
+    sim_cycles;
+    movable_moves;
+    prepared_ = Hashtbl.create 16;
+    stages = Hashtbl.create 32;
+    grars = Hashtbl.create 64;
+    bases = Hashtbl.create 64;
+    vls = Hashtbl.create 128;
+    movables = Hashtbl.create 32;
+    rates = Hashtbl.create 64;
+  }
+
+let names t = t.names_
+
+let memo tbl key f =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.replace tbl key v;
+    v
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "Report: %s failed: %s" what e)
+
+let prepared t name =
+  memo t.prepared_ name (fun () -> ok_or_fail name (Suite.load name))
+
+let model_tag = function Sta.Gate_based -> "gate" | Sta.Path_based -> "path"
+
+let stage t ?(model = Sta.Path_based) name =
+  memo t.stages
+    (Printf.sprintf "%s/%s" name (model_tag model))
+    (fun () ->
+      let p = prepared t name in
+      ok_or_fail (name ^ " stage")
+        (Stage.make ~model ~lib:p.Suite.lib ~clocking:p.Suite.clocking
+           p.Suite.cc))
+
+let grar t ?(model = Sta.Path_based) name ~c =
+  memo t.grars
+    (Printf.sprintf "%s/%s/%g" name (model_tag model) c)
+    (fun () ->
+      ok_or_fail (name ^ " grar") (Grar.run_on_stage ~c (stage t ~model name)))
+
+let base t name ~c =
+  memo t.bases
+    (Printf.sprintf "%s/%g" name c)
+    (fun () -> ok_or_fail (name ^ " base") (Base.run_on_stage ~c (stage t name)))
+
+let vl t ?(post_swap = true) name ~variant ~c =
+  memo t.vls
+    (Printf.sprintf "%s/%s/%g/%b" name (Vl.variant_name variant) c post_swap)
+    (fun () ->
+      ok_or_fail (name ^ " vl")
+        (Vl.run_on_stage ~post_swap ~c variant (stage t name)))
+
+let movable t name ~c =
+  memo t.movables
+    (Printf.sprintf "%s/%g" name c)
+    (fun () ->
+      let p = prepared t name in
+      ok_or_fail (name ^ " movable")
+        (Movable.run ~max_moves:t.movable_moves ~lib:p.Suite.lib
+           ~clocking:p.Suite.clocking ~c p.Suite.two_phase))
+
+let sim_design t name st (outcome : Outcome.t) =
+  let p = prepared t name in
+  let cc = Stage.cc st in
+  let staged = Transform.apply_retiming cc outcome.Outcome.placements in
+  let ed_sinks =
+    List.map
+      (fun s -> Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
+      outcome.Outcome.ed_sinks
+  in
+  {
+    Sim.staged;
+    lib = p.Suite.lib;
+    clocking = p.Suite.clocking;
+    ed_sinks;
+  }
+
+let error_rate t name ~approach ~c =
+  let tag =
+    match approach with `Base -> "base" | `Rvl -> "rvl" | `Grar -> "grar"
+  in
+  memo t.rates
+    (Printf.sprintf "%s/%s/%g" name tag c)
+    (fun () ->
+      let st, outcome =
+        match approach with
+        | `Base ->
+          let r = base t name ~c in
+          (r.Base.stage, r.Base.outcome)
+        | `Rvl ->
+          let r = vl t name ~variant:Vl.Rvl ~c in
+          (r.Vl.stage, r.Vl.outcome)
+        | `Grar ->
+          let r = grar t name ~c in
+          (r.Grar.stage, r.Grar.outcome)
+      in
+      Sim.error_rate ~cycles:t.sim_cycles ~seed:(name ^ "/" ^ tag)
+        (sim_design t name st outcome))
+
+(* ------------------------------------------------------------------ *)
+(* Table helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let impr base x = 100. *. (base -. x) /. base
+
+let avg xs =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let seq_area (o : Outcome.t) = o.Outcome.seq_area
+let total_area (o : Outcome.t) = o.Outcome.total_area
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table_i t =
+  let tab =
+    T.create
+      ~headers:
+        [ ("Circuit", T.L); ("P (ns)", T.R); ("flop #", T.R); ("NCE #", T.R);
+          ("Prep (s)", T.R); ("Area", T.R) ]
+  in
+  let acc_p = ref [] and acc_f = ref [] and acc_n = ref [] and acc_r = ref []
+  and acc_a = ref [] in
+  List.iter
+    (fun name ->
+      let p = prepared t name in
+      acc_p := p.Suite.p :: !acc_p;
+      acc_f := float_of_int p.Suite.n_flops :: !acc_f;
+      acc_n := float_of_int p.Suite.nce :: !acc_n;
+      acc_r := p.Suite.runtime_s :: !acc_r;
+      acc_a := p.Suite.flop_area :: !acc_a;
+      T.add_row tab
+        [ name; T.fmt_f ~decimals:3 p.Suite.p; string_of_int p.Suite.n_flops;
+          string_of_int p.Suite.nce; T.fmt_f p.Suite.runtime_s;
+          T.fmt_f p.Suite.flop_area ])
+    t.names_;
+  T.add_rule tab;
+  T.add_row tab
+    [ "average"; T.fmt_f ~decimals:3 (avg !acc_p); T.fmt_f (avg !acc_f);
+      T.fmt_f (avg !acc_n); T.fmt_f (avg !acc_r); T.fmt_f (avg !acc_a) ];
+  T.render tab
+
+let table_ii t =
+  let headers =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " gate", T.R); (tag ^ " path", T.R); (tag ^ " impr%", T.R) ])
+         overheads
+  in
+  let tab = T.create ~headers in
+  let sums = Hashtbl.create 16 in
+  let push key x =
+    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
+  in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun (tag, c) ->
+            let gate_r = grar t ~model:Sta.Gate_based name ~c in
+            let path_r = grar t name ~c in
+            let g = total_area gate_r.Grar.outcome in
+            let p = total_area path_r.Grar.outcome in
+            push (tag ^ "g") g;
+            push (tag ^ "p") p;
+            push (tag ^ "i") (impr g p);
+            [ T.fmt_f g; T.fmt_f p; T.fmt_pct (impr g p) ])
+          overheads
+      in
+      T.add_row tab (name :: cells))
+    t.names_;
+  T.add_rule tab;
+  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
+  T.add_row tab
+    ("average"
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ T.fmt_f (avg_of (tag ^ "g")); T.fmt_f (avg_of (tag ^ "p"));
+             T.fmt_pct (avg_of (tag ^ "i")) ])
+         overheads);
+  T.render tab
+
+let table_iii t =
+  let headers =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " NVL", T.R); (tag ^ " EVL", T.R); (tag ^ " RVL", T.R) ])
+         overheads
+  in
+  let tab = T.create ~headers in
+  let sums = Hashtbl.create 16 in
+  let push key x =
+    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
+  in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun (tag, c) ->
+            List.map
+              (fun variant ->
+                let r = vl t name ~variant ~c in
+                let a = total_area r.Vl.outcome in
+                push (tag ^ Vl.variant_name variant) a;
+                T.fmt_f a)
+              Vl.all_variants)
+          overheads
+      in
+      T.add_row tab (name :: cells))
+    t.names_;
+  T.add_rule tab;
+  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
+  T.add_row tab
+    ("average"
+    :: List.concat_map
+         (fun (tag, _) ->
+           List.map
+             (fun v -> T.fmt_f (avg_of (tag ^ Vl.variant_name v)))
+             Vl.all_variants)
+         overheads);
+  T.render tab
+
+(* Tables IV and V share their shape: an area extractor selects
+   sequential vs total area. *)
+let table_iv_v t ~area =
+  let headers =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " Base", T.R); (tag ^ " RVL", T.R); (tag ^ " Impr%", T.R);
+             (tag ^ " G", T.R); (tag ^ " Impr%", T.R) ])
+         overheads
+  in
+  let tab = T.create ~headers in
+  let sums = Hashtbl.create 16 in
+  let push key x =
+    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
+  in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun (tag, c) ->
+            let b = area (base t name ~c).Base.outcome in
+            let r = area (vl t name ~variant:Vl.Rvl ~c).Vl.outcome in
+            let g = area (grar t name ~c).Grar.outcome in
+            push (tag ^ "b") b;
+            push (tag ^ "r") r;
+            push (tag ^ "ri") (impr b r);
+            push (tag ^ "g") g;
+            push (tag ^ "gi") (impr b g);
+            [ T.fmt_f b; T.fmt_f r; T.fmt_pct (impr b r); T.fmt_f g;
+              T.fmt_pct (impr b g) ])
+          overheads
+      in
+      T.add_row tab (name :: cells))
+    t.names_;
+  T.add_rule tab;
+  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
+  T.add_row tab
+    ("average"
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ T.fmt_f (avg_of (tag ^ "b")); T.fmt_f (avg_of (tag ^ "r"));
+             T.fmt_pct (avg_of (tag ^ "ri")); T.fmt_f (avg_of (tag ^ "g"));
+             T.fmt_pct (avg_of (tag ^ "gi")) ])
+         overheads);
+  T.render tab
+
+let table_iv t = table_iv_v t ~area:seq_area
+let table_v t = table_iv_v t ~area:total_area
+
+let table_vi t =
+  let headers =
+    [ ("Circuit", T.L); ("Approach", T.L) ]
+    @ List.concat_map
+        (fun (tag, _) -> [ (tag ^ " slave#", T.R); (tag ^ " EDL#", T.R) ])
+        overheads
+  in
+  let tab = T.create ~headers in
+  List.iter
+    (fun name ->
+      let row approach get =
+        let cells =
+          List.concat_map
+            (fun (_, c) ->
+              let o : Outcome.t = get c in
+              [ string_of_int o.Outcome.n_slaves;
+                string_of_int (Outcome.ed_count o) ])
+            overheads
+        in
+        T.add_row tab (name :: approach :: cells)
+      in
+      row "Base" (fun c -> (base t name ~c).Base.outcome);
+      row "RVL" (fun c -> (vl t name ~variant:Vl.Rvl ~c).Vl.outcome);
+      row "G" (fun c -> (grar t name ~c).Grar.outcome);
+      T.add_rule tab)
+    t.names_;
+  T.render tab
+
+let table_vii t =
+  let headers =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " Base", T.R); (tag ^ " RVL", T.R); (tag ^ " G", T.R) ])
+         overheads
+  in
+  let tab = T.create ~headers in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun (_, c) ->
+            [ T.fmt_f (base t name ~c).Base.runtime_s;
+              T.fmt_f (vl t name ~variant:Vl.Rvl ~c).Vl.runtime_s;
+              T.fmt_f (grar t name ~c).Grar.runtime_s ])
+          overheads
+      in
+      T.add_row tab (name :: cells))
+    t.names_;
+  T.render tab
+
+let table_viii t =
+  let headers =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " Base", T.R); (tag ^ " RVL", T.R); (tag ^ " G", T.R) ])
+         overheads
+  in
+  let tab = T.create ~headers in
+  let sums = Hashtbl.create 16 in
+  let push key x =
+    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
+  in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun (tag, c) ->
+            List.map
+              (fun (k, approach) ->
+                let r = error_rate t name ~approach ~c in
+                push (tag ^ k) r.Sim.error_rate;
+                T.fmt_pct r.Sim.error_rate)
+              [ ("b", `Base); ("r", `Rvl); ("g", `Grar) ])
+          overheads
+      in
+      T.add_row tab (name :: cells))
+    t.names_;
+  T.add_rule tab;
+  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
+  T.add_row tab
+    ("average"
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ T.fmt_pct (avg_of (tag ^ "b")); T.fmt_pct (avg_of (tag ^ "r"));
+             T.fmt_pct (avg_of (tag ^ "g")) ])
+         overheads);
+  T.render tab
+
+let table_ix t =
+  let headers =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " fixed", T.R); (tag ^ " movable", T.R);
+             (tag ^ " diff%", T.R) ])
+         overheads
+  in
+  let tab = T.create ~headers in
+  let sums = Hashtbl.create 16 in
+  let push key x =
+    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
+  in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun (tag, c) ->
+            let m = movable t name ~c in
+            let f = total_area m.Movable.fixed.Vl.outcome in
+            let v = total_area m.Movable.movable.Vl.outcome in
+            push (tag ^ "d") (impr f v);
+            [ T.fmt_f f; T.fmt_f v; T.fmt_pct (impr f v) ])
+          overheads
+      in
+      T.add_row tab (name :: cells))
+    t.names_;
+  T.add_rule tab;
+  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
+  T.add_row tab
+    ("average"
+    :: List.concat_map
+         (fun (tag, _) -> [ ""; ""; T.fmt_pct (avg_of (tag ^ "d")) ])
+         overheads);
+  T.render tab
+
+let title = function
+  | 1 -> "Table I: circuit information of original flop-based designs"
+  | 2 -> "Table II: total area, gate-based vs path-based delay G-RAR"
+  | 3 -> "Table III: total area of virtual library approaches"
+  | 4 -> "Table IV: sequential logic area (Base / RVL-RAR / G-RAR)"
+  | 5 -> "Table V: total area (Base / RVL-RAR / G-RAR)"
+  | 6 -> "Table VI: slave and error-detecting master latch counts"
+  | 7 -> "Table VII: run-time (s)"
+  | 8 -> "Table VIII: error-rate (%)"
+  | 9 -> "Table IX: fixed-master vs movable-master RVL-RAR"
+  | n -> Printf.sprintf "Table %d" n
+
+let table t = function
+  | 1 -> Ok (table_i t)
+  | 2 -> Ok (table_ii t)
+  | 3 -> Ok (table_iii t)
+  | 4 -> Ok (table_iv t)
+  | 5 -> Ok (table_v t)
+  | 6 -> Ok (table_vi t)
+  | 7 -> Ok (table_vii t)
+  | 8 -> Ok (table_viii t)
+  | 9 -> Ok (table_ix t)
+  | n -> Error (Printf.sprintf "no table %d (valid: 1-9)" n)
+
+let all_tables t =
+  List.map
+    (fun n ->
+      match table t n with
+      | Ok s -> (n, title n, s)
+      | Error e -> (n, title n, e))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]

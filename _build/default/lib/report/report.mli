@@ -1,0 +1,63 @@
+(** Experiment drivers: one function per table/figure of the paper's
+    evaluation (§VI). All engine runs are cached per context, so
+    rendering every table costs one pass over the benchmark suite.
+
+    Overheads follow §VI-A: low [c = 0.5], medium [c = 1.0], high
+    [c = 2.0]. *)
+
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Vl = Rar_vl.Vl
+module Movable = Rar_vl.Movable
+module Sta = Rar_sta.Sta
+
+val overheads : (string * float) list
+(** [("low", 0.5); ("medium", 1.0); ("high", 2.0)]. *)
+
+type t
+
+val create :
+  ?names:string list ->
+  ?sim_cycles:int ->
+  ?movable_moves:int ->
+  unit ->
+  t
+(** [names] defaults to the full Table I suite (12 circuits);
+    [sim_cycles] (default 300) drives Table VIII;
+    [movable_moves] (default 4) bounds Table IX's local search. *)
+
+val names : t -> string list
+
+(** {1 Cached engine access} (also used by the examples and benches) *)
+
+val prepared : t -> string -> Suite.prepared
+val stage : t -> ?model:Sta.model -> string -> Stage.t
+val grar : t -> ?model:Sta.model -> string -> c:float -> Grar.t
+val base : t -> string -> c:float -> Base.t
+val vl : t -> ?post_swap:bool -> string -> variant:Vl.variant -> c:float -> Vl.t
+val movable : t -> string -> c:float -> Movable.t
+val error_rate :
+  t -> string -> approach:[ `Base | `Rvl | `Grar ] -> c:float -> Rar_sim.Sim.rate
+
+(** {1 Tables} *)
+
+val table_i : t -> string
+val table_ii : t -> string
+val table_iii : t -> string
+val table_iv : t -> string
+val table_v : t -> string
+val table_vi : t -> string
+val table_vii : t -> string
+val table_viii : t -> string
+val table_ix : t -> string
+
+val table : t -> int -> (string, string) result
+(** Table by number, 1-9. *)
+
+val all_tables : t -> (int * string * string) list
+(** [(number, title, rendered)] for every table. *)
+
+val title : int -> string

@@ -1,0 +1,84 @@
+type align = L | R
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: column count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc r ->
+            match r with
+            | Rule -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | L -> s ^ String.make gap ' '
+      | R -> String.make gap ' ' ^ s
+  in
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth aligns i) (List.nth widths i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "|";
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "|\n"
+  in
+  line headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells c -> line c) rows;
+  Buffer.contents buf
+
+let render_csv t =
+  let buf = Buffer.create 512 in
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map quote cells));
+    Buffer.add_char buf '\n'
+  in
+  line (List.map fst t.headers);
+  List.iter
+    (function Rule -> () | Cells c -> line c)
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let fmt_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_pct x = Printf.sprintf "%.2f" x

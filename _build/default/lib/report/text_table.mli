@@ -1,0 +1,24 @@
+(** Minimal text-table rendering for the experiment reports. *)
+
+type align = L | R
+
+type t
+
+val create : headers:(string * align) list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on a column-count mismatch. *)
+
+val add_rule : t -> unit
+(** Horizontal separator before the next row. *)
+
+val render : t -> string
+
+val render_csv : t -> string
+(** Same content as comma-separated values (rules are dropped). *)
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float, default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** Percentage with 2 decimals (no sign for positives, to match the
+    paper's improvement columns). *)

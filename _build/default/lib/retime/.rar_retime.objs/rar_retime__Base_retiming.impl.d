@@ -1,0 +1,1 @@
+lib/retime/base_retiming.ml: List Outcome Printf Rar_flow Rar_liberty Rar_netlist Rar_sta Rgraph Sizing Stage Sys

@@ -1,0 +1,1 @@
+lib/retime/classic.ml: Array Hashtbl List Option Printf Rar_flow Rar_liberty Rar_netlist

@@ -1,0 +1,1 @@
+lib/retime/classic.mli: Rar_flow Rar_liberty Rar_netlist

@@ -1,0 +1,1 @@
+lib/retime/edl_cluster.ml: Outcome Rar_liberty Rar_netlist

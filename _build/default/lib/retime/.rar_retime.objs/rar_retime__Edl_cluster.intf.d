@@ -1,0 +1,1 @@
+lib/retime/edl_cluster.mli: Outcome Rar_liberty

@@ -1,0 +1,1 @@
+lib/retime/grar.mli: Outcome Rar_flow Rar_liberty Rar_netlist Rar_sta Stage

@@ -1,0 +1,1 @@
+lib/retime/outcome.ml: Array Format Hashtbl List Printf Rar_liberty Rar_netlist Rar_sta Stage

@@ -1,0 +1,1 @@
+lib/retime/outcome.mli: Format Rar_liberty Rar_netlist Stage

@@ -1,0 +1,1 @@
+lib/retime/period_search.ml: Array Base_retiming Float Grar Outcome Rar_liberty Rar_netlist Rar_sta Stage

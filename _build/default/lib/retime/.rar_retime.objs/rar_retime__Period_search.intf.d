@@ -1,0 +1,1 @@
+lib/retime/period_search.mli: Rar_liberty Rar_netlist Rar_sta

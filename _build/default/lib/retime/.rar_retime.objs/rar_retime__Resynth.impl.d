@@ -1,0 +1,1 @@
+lib/retime/resynth.ml: Array Float List Printf Rar_liberty Rar_netlist Rar_sta Rar_util

@@ -1,0 +1,1 @@
+lib/retime/resynth.mli: Rar_liberty Rar_netlist

@@ -1,0 +1,1 @@
+lib/retime/rgraph.ml: Array Hashtbl List Printf Rar_flow Rar_netlist Stage

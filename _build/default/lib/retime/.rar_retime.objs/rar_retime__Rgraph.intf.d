@@ -1,0 +1,1 @@
+lib/retime/rgraph.mli: Rar_flow Rar_netlist Stage

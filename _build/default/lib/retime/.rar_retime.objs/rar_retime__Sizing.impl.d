@@ -1,0 +1,1 @@
+lib/retime/sizing.ml: Array Hashtbl List Rar_liberty Rar_netlist Rar_sta Stage

@@ -1,0 +1,1 @@
+lib/retime/sizing.mli: Rar_netlist Stage

@@ -1,0 +1,1 @@
+lib/retime/stage.ml: Array Format Hashtbl List Logs Option Printf Rar_liberty Rar_netlist Rar_sta

@@ -1,0 +1,1 @@
+lib/retime/stage.mli: Format Rar_liberty Rar_netlist Rar_sta

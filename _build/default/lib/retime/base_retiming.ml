@@ -1,0 +1,48 @@
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+
+type t = {
+  outcome : Outcome.t;
+  stage : Stage.t;
+  r : int array;
+  lp_latches : float;
+  runtime_s : float;
+}
+
+let run_on_stage ?engine ~c stage =
+  let t0 = Sys.time () in
+  let g = Rgraph.build ~bias_early:true stage in
+  match Rgraph.solve ?engine g with
+  | Error e -> Error ("Base_retiming: " ^ e)
+  | Ok r -> (
+    let placements = Rgraph.placements_of g r in
+    match Rgraph.check_legal g placements with
+    | Error e -> Error ("Base_retiming: " ^ e)
+    | Ok () -> (
+      let lp_latches = Rgraph.modelled_latch_count g r in
+      let limit = Clocking.max_delay (Stage.clocking stage) in
+      match Sizing.fix ~deadlines:(fun _ -> limit) stage placements with
+      | Error e -> Error ("Base_retiming: " ^ e)
+      | Ok stage' ->
+        let outcome = Outcome.assemble ~c stage' placements in
+        if outcome.Outcome.violations <> [] then
+          Error
+            (Printf.sprintf
+               "Base_retiming: %d sinks violate max delay after sizing"
+               (List.length outcome.Outcome.violations))
+        else
+          Ok
+            { outcome; stage = stage'; r; lp_latches;
+              runtime_s = Sys.time () -. t0 }))
+
+let run ?engine ?(model = Sta.Path_based) ~lib ~clocking ~c cc =
+  let t0 = Sys.time () in
+  match Stage.make ~model ~lib ~clocking cc with
+  | Error e -> Error ("Base_retiming: " ^ e)
+  | Ok stage -> (
+    match run_on_stage ?engine ~c stage with
+    | Error _ as e -> e
+    | Ok r -> Ok { r with runtime_s = Sys.time () -. t0 })

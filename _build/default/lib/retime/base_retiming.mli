@@ -1,0 +1,36 @@
+(** Base retiming: the resiliency-unaware comparison point (paper
+    §VI-D).
+
+    Classic min-area (minimum latch count) retiming subject only to the
+    slave timing legality constraints — the EDL overhead is invisible
+    to the optimiser, exactly like a commercial retiming command.
+    Masters whose verified arrival falls in the resiliency window are
+    then replaced with error-detecting latches after the fact. *)
+
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+
+type t = {
+  outcome : Outcome.t;
+  stage : Stage.t;
+  r : int array;
+  lp_latches : float;
+  runtime_s : float;
+}
+
+val run :
+  ?engine:Difflp.engine ->
+  ?model:Sta.model ->
+  lib:Liberty.t ->
+  clocking:Clocking.t ->
+  c:float ->
+  Transform.comb_circuit ->
+  (t, string) result
+(** [c] only affects the area accounting of the after-the-fact EDL
+    assignment, never the optimisation. *)
+
+val run_on_stage :
+  ?engine:Difflp.engine -> c:float -> Stage.t -> (t, string) result

@@ -1,0 +1,421 @@
+module Netlist = Rar_netlist.Netlist
+module Liberty = Rar_liberty.Liberty
+module Difflp = Rar_flow.Difflp
+module Spfa = Rar_flow.Spfa
+module B = Netlist.Builder
+
+(* One retiming-graph connection: [w] registers between the driving
+   vertex and the consuming gate's pin. [phys_src] remembers which
+   netlist node actually drives the chain (distinguishes the PIs that
+   all map to the host vertex). *)
+type conn = {
+  src : int;       (* graph vertex *)
+  dst : int;       (* graph vertex; host for primary outputs *)
+  w : int;
+  phys_src : int;  (* netlist node id *)
+  sink_node : int; (* netlist node id of the consuming gate/output *)
+  pin : int;
+}
+
+type graph = {
+  net : Netlist.t;
+  lib : Liberty.t;
+  host_registers : int;
+  n : int;                    (* vertices: 0 = host, then gates *)
+  vertex_of_gate : int array; (* netlist id -> vertex or -1 *)
+  gate_of_vertex : int array; (* vertex -> netlist id; -1 for host *)
+  delays : float array;       (* per vertex *)
+  conns : conn list;
+  self_loop_regs : int;       (* registers on self loops: constant *)
+  registers_before : int;
+}
+
+let node_count g = g.n
+
+let of_netlist ?(host_registers = 0) ~lib net =
+  Array.iter
+    (fun v ->
+      match Netlist.kind net v with
+      | Netlist.Seq Netlist.Flop -> ()
+      | Netlist.Seq _ ->
+        invalid_arg "Classic.of_netlist: expected a flop-based netlist"
+      | _ -> ())
+    (Netlist.seqs net);
+  let nn = Netlist.node_count net in
+  let vertex_of_gate = Array.make nn (-1) in
+  let gates = Netlist.gates net in
+  Array.iteri (fun i v -> vertex_of_gate.(v) <- i + 1) gates;
+  let n = Array.length gates + 1 in
+  let gate_of_vertex = Array.make n (-1) in
+  Array.iteri (fun i v -> gate_of_vertex.(i + 1) <- v) gates;
+  let delays = Array.make n 0. in
+  Array.iter
+    (fun v ->
+      match Netlist.kind net v with
+      | Netlist.Gate { fn; drive } ->
+        let cell = Liberty.comb_cell lib fn ~drive in
+        delays.(vertex_of_gate.(v)) <-
+          Liberty.cell_delay_max cell
+            ~n_pins:(Array.length (Netlist.fanins net v))
+            ~load:(Liberty.gate_load lib net v)
+      | _ -> ())
+    gates;
+  (* Trace each node back through register chains to its driving
+     vertex. *)
+  let memo = Array.make nn None in
+  let rec origin ?(guard = 0) x =
+    if guard > nn then
+      invalid_arg "Classic.of_netlist: register-only cycle"
+    else
+      match memo.(x) with
+      | Some o -> o
+      | None ->
+        let o =
+          match Netlist.kind net x with
+          | Netlist.Input -> (0, 0, x)
+          | Netlist.Gate _ -> (vertex_of_gate.(x), 0, x)
+          | Netlist.Seq Netlist.Flop ->
+            let sv, w, phys = origin ~guard:(guard + 1) (Netlist.fanins net x).(0) in
+            (sv, w + 1, phys)
+          | Netlist.Seq _ | Netlist.Output ->
+            invalid_arg "Classic.of_netlist: unexpected driver kind"
+        in
+        memo.(x) <- Some o;
+        o
+  in
+  let conns = ref [] in
+  let self_loop_regs = ref 0 in
+  for v = 0 to nn - 1 do
+    match Netlist.kind net v with
+    | Netlist.Gate _ ->
+      Array.iteri
+        (fun pin x ->
+          let sv, w, phys = origin x in
+          let dv = vertex_of_gate.(v) in
+          if sv = dv && w > 0 then self_loop_regs := !self_loop_regs + w
+          else
+            conns :=
+              { src = sv; dst = dv; w; phys_src = phys; sink_node = v; pin }
+              :: !conns)
+        (Netlist.fanins net v)
+    | Netlist.Output ->
+      let x = (Netlist.fanins net v).(0) in
+      let sv, w, phys = origin x in
+      conns :=
+        { src = sv; dst = 0; w = w + host_registers; phys_src = phys;
+          sink_node = v; pin = 0 }
+        :: !conns
+    | Netlist.Input | Netlist.Seq _ -> ()
+  done;
+  (* Well-formedness: no zero-weight cycle (DFS over the w = 0 edges;
+     the W/D recurrence is meaningless otherwise). *)
+  let zero_adj = Array.make n [] in
+  List.iter
+    (fun c ->
+      if c.w = 0 && c.src <> c.dst then
+        zero_adj.(c.src) <- c.dst :: zero_adj.(c.src))
+    !conns;
+  let color = Array.make n 0 in
+  let rec dfs v =
+    color.(v) <- 1;
+    List.iter
+      (fun u ->
+        if color.(u) = 1 then
+          invalid_arg
+            "Classic.of_netlist: zero-weight cycle (a combinational \
+             input-to-output path closes it through the host; see \
+             ~host_registers)"
+        else if color.(u) = 0 then dfs u)
+      zero_adj.(v);
+    color.(v) <- 2
+  in
+  for v = 0 to n - 1 do
+    if color.(v) = 0 then dfs v
+  done;
+  let registers_before =
+    Array.fold_left
+      (fun acc v ->
+        match Netlist.kind net v with
+        | Netlist.Seq Netlist.Flop -> acc + 1
+        | _ -> acc)
+      0 (Netlist.seqs net)
+  in
+  { net; lib; host_registers; n; vertex_of_gate; gate_of_vertex; delays;
+    conns = !conns; self_loop_regs = !self_loop_regs; registers_before }
+
+(* ------------------------------------------------------------------ *)
+(* W / D matrices (Eq. 1-2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let big = max_int / 4
+
+let wd_matrices g =
+  let n = g.n in
+  let w = Array.make_matrix n n big in
+  let d = Array.make_matrix n n neg_infinity in
+  for v = 0 to n - 1 do
+    w.(v).(v) <- 0;
+    d.(v).(v) <- g.delays.(v)
+  done;
+  List.iter
+    (fun c ->
+      if c.src <> c.dst then begin
+        let cand_d = g.delays.(c.src) +. g.delays.(c.dst) in
+        if
+          c.w < w.(c.src).(c.dst)
+          || (c.w = w.(c.src).(c.dst) && cand_d > d.(c.src).(c.dst))
+        then begin
+          w.(c.src).(c.dst) <- c.w;
+          d.(c.src).(c.dst) <- cand_d
+        end
+      end)
+    g.conns;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if w.(i).(k) < big then
+        for j = 0 to n - 1 do
+          if w.(k).(j) < big then begin
+            let nw = w.(i).(k) + w.(k).(j) in
+            let nd = d.(i).(k) +. d.(k).(j) -. g.delays.(k) in
+            if nw < w.(i).(j) || (nw = w.(i).(j) && nd > d.(i).(j)) then begin
+              w.(i).(j) <- nw;
+              d.(i).(j) <- nd
+            end
+          end
+        done
+    done
+  done;
+  (w, d)
+
+let period_of g =
+  let w, d = wd_matrices g in
+  let worst = ref 0. in
+  for i = 0 to g.n - 1 do
+    for j = 0 to g.n - 1 do
+      if w.(i).(j) = 0 && d.(i).(j) > !worst then worst := d.(i).(j)
+    done
+  done;
+  !worst
+
+let constraint_arcs g (w, d) ~period =
+  let arcs = ref [] in
+  List.iter
+    (fun c ->
+      if c.src <> c.dst then arcs := (c.src, c.dst, c.w) :: !arcs)
+    g.conns;
+  for u = 0 to g.n - 1 do
+    for v = 0 to g.n - 1 do
+      if u <> v && w.(u).(v) < big && d.(u).(v) > period +. 1e-9 then
+        arcs := (u, v, w.(u).(v) - 1) :: !arcs
+    done
+  done;
+  Array.of_list !arcs
+
+let feasible g ~period =
+  let wd = wd_matrices g in
+  match Spfa.from_virtual_root ~n:g.n ~arcs:(constraint_arcs g wd ~period) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let min_period g =
+  let _, d = wd_matrices g in
+  let values = Hashtbl.create 64 in
+  for i = 0 to g.n - 1 do
+    for j = 0 to g.n - 1 do
+      if d.(i).(j) > neg_infinity then Hashtbl.replace values d.(i).(j) ()
+    done
+  done;
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) values [])
+  in
+  let arr = Array.of_list sorted in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  (* the largest D is always feasible (no constraints) *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible g ~period:arr.(mid) then hi := mid else lo := mid + 1
+  done;
+  arr.(!lo)
+
+(* ------------------------------------------------------------------ *)
+(* Min-area retiming at a period                                       *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  r : int array;
+  registers_before : int;
+  registers_after : int;
+  achieved_period : float;
+  retimed : Netlist.t;
+}
+
+let realize g r =
+  let net = g.net in
+  let nn = Netlist.node_count net in
+  let w_r c = c.w + r.(c.dst) - r.(c.src) in
+  (* Register chains per physical driver: length = max over its conns. *)
+  let chain_need = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let k = w_r c in
+      if k < 0 then failwith "Classic.realize: negative register count";
+      let cur = Option.value ~default:0 (Hashtbl.find_opt chain_need c.phys_src) in
+      if k > cur then Hashtbl.replace chain_need c.phys_src k)
+    g.conns;
+  let b = B.create ~name:(Netlist.name net ^ "$classic") () in
+  let fresh = Array.make nn (-1) in
+  let deferred = ref [] in
+  for v = 0 to nn - 1 do
+    let name = Netlist.node_name net v in
+    match Netlist.kind net v with
+    | Netlist.Input -> fresh.(v) <- B.add_input b name
+    | Netlist.Gate { fn; drive } ->
+      let id = B.add_gate_deferred b name ~fn ~drive () in
+      fresh.(v) <- id;
+      deferred := (id, v) :: !deferred
+    | Netlist.Output ->
+      let id = B.add_output_deferred b name in
+      fresh.(v) <- id;
+      deferred := (id, v) :: !deferred
+    | Netlist.Seq _ -> () (* old registers disappear *)
+  done;
+  (* Build the shared chains. *)
+  let chains = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun phys need ->
+      let nodes = Array.make (need + 1) (-1) in
+      nodes.(0) <- fresh.(phys);
+      for k = 1 to need do
+        nodes.(k) <-
+          B.add_seq_deferred b
+            (Printf.sprintf "%s$r%d" (Netlist.node_name net phys) k)
+            ~role:Netlist.Flop
+      done;
+      Hashtbl.replace chains phys nodes)
+    chain_need;
+  Hashtbl.iter
+    (fun phys (nodes : int array) ->
+      for k = 1 to Array.length nodes - 1 do
+        B.connect b nodes.(k) ~fanins:[ nodes.(k - 1) ]
+      done;
+      ignore phys)
+    chains;
+  (* Wire consumers: pin (sink, pin) takes chain node w_r. *)
+  let pin_driver = Hashtbl.create 256 in
+  List.iter
+    (fun c ->
+      let nodes =
+        match Hashtbl.find_opt chains c.phys_src with
+        | Some a -> a
+        | None -> [| fresh.(c.phys_src) |]
+      in
+      Hashtbl.replace pin_driver (c.sink_node, c.pin) nodes.(w_r c))
+    g.conns;
+  List.iter
+    (fun (id, v) ->
+      let fanins =
+        Array.to_list
+          (Array.mapi
+             (fun pin orig ->
+               match Hashtbl.find_opt pin_driver (v, pin) with
+               | Some d -> d
+               | None ->
+                 (* Self-loop connection (v feeds itself through
+                    registers): retiming never changes a cycle's
+                    register count, so rebuild the original chain
+                    privately. *)
+                 let rec depth x acc =
+                   match Netlist.kind net x with
+                   | Netlist.Seq Netlist.Flop ->
+                     depth (Netlist.fanins net x).(0) (acc + 1)
+                   | _ -> acc
+                 in
+                 let k = depth orig 0 in
+                 if k = 0 then fresh.(orig)
+                 else begin
+                   let rec chain_from node i =
+                     if i = 0 then node
+                     else
+                       chain_from
+                         (B.add_seq b
+                            (Printf.sprintf "%s$sl%d_%d"
+                               (Netlist.node_name net v) pin i)
+                            ~role:Netlist.Flop ~fanin:node)
+                         (i - 1)
+                   in
+                   chain_from fresh.(v) k
+                 end)
+             (Netlist.fanins net v))
+      in
+      B.connect b id ~fanins)
+    !deferred;
+  B.freeze b
+
+let retime ?(engine = Difflp.Network_simplex) g ~period =
+  if engine = Difflp.Closure then
+    Error "Classic.retime: the closure engine requires binary retiming values"
+  else begin
+    let wd = wd_matrices g in
+    let w_mat, d_mat = wd in
+    (* Variables: vertices plus a mirror per multi-fanout driver
+       (grouped by physical source so sharing matches realization). *)
+    let groups = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt groups c.phys_src) in
+        Hashtbl.replace groups c.phys_src (c :: cur))
+      g.conns;
+    let n_groups = Hashtbl.length groups in
+    let lp = Difflp.create ~n:(g.n + n_groups) in
+    let host = 0 in
+    let gi = ref g.n in
+    Hashtbl.iter
+      (fun _phys conns ->
+        let m = !gi in
+        incr gi;
+        let k = float_of_int (List.length conns) in
+        let wmax = List.fold_left (fun a c -> max a c.w) 0 conns in
+        List.iter
+          (fun c ->
+            (* edge src -> dst, weight w, breadth 1/k *)
+            Difflp.add_constraint lp ~u:c.src ~v:c.dst ~bound:c.w;
+            Difflp.add_objective lp c.dst (1. /. k);
+            Difflp.add_objective lp c.src (-1. /. k);
+            (* mirror edge dst -> m, weight wmax - w *)
+            Difflp.add_constraint lp ~u:c.dst ~v:m ~bound:(wmax - c.w);
+            Difflp.add_objective lp m (1. /. k);
+            Difflp.add_objective lp c.dst (-1. /. k))
+          conns)
+      groups;
+    (* Period constraints. *)
+    for u = 0 to g.n - 1 do
+      for v = 0 to g.n - 1 do
+        if u <> v && w_mat.(u).(v) < big && d_mat.(u).(v) > period +. 1e-9 then
+          Difflp.add_constraint lp ~u ~v ~bound:(w_mat.(u).(v) - 1)
+      done
+    done;
+    match Difflp.solve ~engine lp ~reference:host with
+    | Error e -> Error ("Classic.retime: " ^ e)
+    | Ok r_all ->
+      let r = Array.sub r_all 0 g.n in
+      let retimed = realize g r in
+      let registers_after =
+        Array.fold_left
+          (fun acc v ->
+            match Netlist.kind retimed v with
+            | Netlist.Seq Netlist.Flop -> acc + 1
+            | _ -> acc)
+          0 (Netlist.seqs retimed)
+      in
+      (* Measure the achieved period on the rebuilt netlist (the same
+         environment-register convention applies). *)
+      let g' = of_netlist ~host_registers:g.host_registers ~lib:g.lib retimed in
+      Ok
+        {
+          r;
+          registers_before = g.registers_before;
+          registers_after;
+          achieved_period = period_of g';
+          retimed;
+        }
+  end

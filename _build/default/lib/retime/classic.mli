@@ -1,0 +1,69 @@
+(** Classic Leiserson–Saxe retiming of flip-flop circuits (the §II-C
+    background the paper builds on).
+
+    Works on an ordinary flop-based netlist: registers may move
+    anywhere ([r(v)] is an unbounded integer — this is also the one
+    consumer of the flow engines outside the binary window, so the
+    closure shortcut does not apply).
+
+    - {!wd_matrices} — the [W]/[D] matrices of Eq. 1–2 by
+      lexicographic Floyd–Warshall (min registers, then max delay);
+      O(V^3), intended for the small-to-medium circuits of the
+      examples and tests;
+    - {!min_period} — binary search over the distinct [D] values, each
+      feasibility check a Bellman–Ford run over Eq. 3's constraints;
+    - {!retime} — min-area retiming at a chosen period (Eq. 3 with the
+      fanout-sharing breadths), solved by min-cost flow, realised back
+      into a netlist with shared register chains. *)
+
+module Netlist = Rar_netlist.Netlist
+module Liberty = Rar_liberty.Liberty
+module Difflp = Rar_flow.Difflp
+
+type graph
+
+val of_netlist : ?host_registers:int -> lib:Liberty.t -> Netlist.t -> graph
+(** Gate delays come from the library (worst pin, current loads);
+    primary I/O is attached to the host vertex, whose delay is 0.
+
+    Leiserson–Saxe requires every directed cycle to carry a register;
+    a purely combinational input-to-output path closes a zero-weight
+    cycle through the host and is rejected with [Invalid_argument].
+    Setting [host_registers] (default 0) declares that the environment
+    re-registers every output that many times (extra weight on the
+    output-to-host edges), which restores well-formedness for such
+    circuits at the cost of borrowing those environment registers.
+    Also raises [Invalid_argument] if the netlist contains latches
+    rather than flops. *)
+
+val node_count : graph -> int
+
+val wd_matrices : graph -> int array array * float array array
+(** [(w, d)] with [w.(u).(v) = W(u,v)] (register-minimal path count,
+    [max_int] if unreachable) and [d.(u).(v) = D(u,v)]. *)
+
+val period_of : graph -> float
+(** Current clock period (longest register-free combinational path). *)
+
+val min_period : graph -> float
+(** Smallest period achievable by retiming. *)
+
+val feasible : graph -> period:float -> bool
+
+type outcome = {
+  r : int array;            (** per graph vertex *)
+  registers_before : int;
+  registers_after : int;    (** shared count after retiming *)
+  achieved_period : float;
+    (** re-measured on the rebuilt netlist; may drift slightly above
+        the requested period because moving registers perturbs fanout
+        loads (delays were frozen when the graph was built) — the
+        effect the paper's size-only incremental compile cleans up *)
+  retimed : Netlist.t;
+}
+
+val retime :
+  ?engine:Difflp.engine -> graph -> period:float -> (outcome, string) result
+(** Min-area retiming meeting [period]. [engine] defaults to the
+    network simplex; the closure engine is rejected (solutions are not
+    binary). *)

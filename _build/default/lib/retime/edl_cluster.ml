@@ -1,0 +1,71 @@
+module Liberty = Rar_liberty.Liberty
+module Cell_kind = Rar_netlist.Cell_kind
+
+type t = {
+  n_signals : int;
+  clusters : int;
+  or_gates : int;
+  depth : int;
+  area : float;
+}
+
+(* Gates and depth of a balanced [arity]-ary OR tree over [n] leaves. *)
+let tree_of n arity =
+  if n <= 1 then (0, 0)
+  else begin
+    let gates = ref 0 and depth = ref 0 and width = ref n in
+    while !width > 1 do
+      let level = (!width + arity - 1) / arity in
+      gates := !gates + level;
+      depth := !depth + 1;
+      width := level
+    done;
+    (!gates, !depth)
+  end
+
+let build ?(max_cluster = 16) ?(or_arity = 4) ~lib n_ed =
+  if max_cluster < 2 then invalid_arg "Edl_cluster.build: max_cluster < 2";
+  if or_arity < 2 then invalid_arg "Edl_cluster.build: or_arity < 2";
+  if n_ed = 0 then
+    { n_signals = 0; clusters = 0; or_gates = 0; depth = 0; area = 0. }
+  else begin
+    let clusters = (n_ed + max_cluster - 1) / max_cluster in
+    let or_gates = ref 0 and worst_depth = ref 0 in
+    (* cluster trees: distribute signals as evenly as possible *)
+    let base = n_ed / clusters and extra = n_ed mod clusters in
+    for i = 0 to clusters - 1 do
+      let size = base + (if i < extra then 1 else 0) in
+      let g, d = tree_of size or_arity in
+      or_gates := !or_gates + g;
+      worst_depth := max !worst_depth d
+    done;
+    (* top-level tree over cluster outputs *)
+    let g, d = tree_of clusters or_arity in
+    or_gates := !or_gates + g;
+    let depth = !worst_depth + d in
+    let or_area =
+      (* synthetic libraries may not define an OR cell; fall back to a
+         fifth of the latch area, a typical OR4/latch ratio *)
+      match Liberty.comb_cell lib Cell_kind.Or ~drive:1 with
+      | cell -> cell.Liberty.area
+      | exception Invalid_argument _ ->
+        0.2 *. (Liberty.latch lib).Liberty.seq_area
+    in
+    {
+      n_signals = n_ed;
+      clusters;
+      or_gates = !or_gates;
+      depth;
+      area = float_of_int !or_gates *. or_area;
+    }
+  end
+
+let annotate ?max_cluster ?or_arity ~lib (o : Outcome.t) =
+  let tree =
+    build ?max_cluster ?or_arity ~lib (Outcome.ed_count o)
+  in
+  ( { o with
+      Outcome.seq_area = o.Outcome.seq_area +. tree.area;
+      total_area = o.Outcome.total_area +. tree.area;
+    },
+    tree )

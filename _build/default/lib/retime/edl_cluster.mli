@@ -1,0 +1,37 @@
+(** Error-signal collection trees (extension).
+
+    The paper's §II notes that "the error signals of all error
+    detecting latches within a pipeline stage must be routed and
+    collected with some type of OR gate tree", and that EDLs must be
+    grouped "into manageable clusters" [8]; its area model folds all of
+    this into the amortised overhead [c]. This module makes the
+    collection network explicit so its cost can be reported separately:
+    masters are packed into clusters of bounded size, each cluster gets
+    a balanced OR tree, and cluster outputs are collected by a final
+    tree.
+
+    The ablation bench uses this to show that G-RAR's EDL reduction
+    also shrinks the collection network — a second-order saving the
+    paper's [c] folds in implicitly. *)
+
+module Liberty = Rar_liberty.Liberty
+
+type t = {
+  n_signals : int;        (** error-detecting masters collected *)
+  clusters : int;         (** clusters of at most [max_cluster] signals *)
+  or_gates : int;         (** total OR gates, cluster trees + top tree *)
+  depth : int;            (** worst OR-tree depth, in gates *)
+  area : float;           (** OR-gate area total *)
+}
+
+val build :
+  ?max_cluster:int -> ?or_arity:int -> lib:Liberty.t -> int -> t
+(** [build ~lib n_ed]: [max_cluster] defaults to 16 (the Blade-style
+    cluster bound), [or_arity] to 4 (OR4 collection gates). [n_ed = 0]
+    yields the empty network. *)
+
+val annotate :
+  ?max_cluster:int -> ?or_arity:int -> lib:Liberty.t -> Outcome.t ->
+  Outcome.t * t
+(** Recompute an outcome's areas with the collection network of its
+    error-detecting set added to the sequential overhead. *)

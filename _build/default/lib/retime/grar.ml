@@ -1,0 +1,66 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+
+type t = {
+  outcome : Outcome.t;
+  stage : Stage.t;
+  r : int array;
+  modelled_non_ed : int list;
+  lp_latches : float;
+  runtime_s : float;
+}
+
+let run_on_stage ?engine ~c stage =
+  let t0 = Sys.time () in
+  let g = Rgraph.build ~edl_overhead:c stage in
+  match Rgraph.solve ?engine g with
+  | Error e -> Error ("Grar: " ^ e)
+  | Ok r -> (
+    let placements = Rgraph.placements_of g r in
+    match Rgraph.check_legal g placements with
+    | Error e -> Error ("Grar: " ^ e)
+    | Ok () -> (
+      let modelled_non_ed =
+        List.filter_map
+          (fun (s, pv) -> if r.(pv) = -1 then Some s else None)
+          (Rgraph.p_vars g)
+      in
+      let lp_latches = Rgraph.modelled_latch_count g r in
+      (* Size-only fix: paths the model made non-error-detecting must
+         truly avoid the resiliency window; everything else only needs
+         the hard max-delay bound. *)
+      let clocking = Stage.clocking stage in
+      let period = Clocking.period clocking in
+      let limit = Clocking.max_delay clocking in
+      let deadline s = if List.mem s modelled_non_ed then period else limit in
+      match Sizing.fix ~deadlines:deadline stage placements with
+      | Error e -> Error ("Grar: " ^ e)
+      | Ok stage' ->
+        let outcome = Outcome.assemble ~c stage' placements in
+        if outcome.Outcome.violations <> [] then
+          Error
+            (Printf.sprintf "Grar: %d sinks violate max delay after sizing"
+               (List.length outcome.Outcome.violations))
+        else
+          Ok
+            {
+              outcome;
+              stage = stage';
+              r;
+              modelled_non_ed;
+              lp_latches;
+              runtime_s = Sys.time () -. t0;
+            }))
+
+let run ?engine ?(model = Sta.Path_based) ~lib ~clocking ~c cc =
+  let t0 = Sys.time () in
+  match Stage.make ~model ~lib ~clocking cc with
+  | Error e -> Error ("Grar: " ^ e)
+  | Ok stage -> (
+    match run_on_stage ?engine ~c stage with
+    | Error _ as e -> e
+    | Ok r -> Ok { r with runtime_s = Sys.time () -. t0 })

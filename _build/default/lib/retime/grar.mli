@@ -1,0 +1,42 @@
+(** G-RAR: graph-based resiliency-aware retiming (paper §IV), the
+    paper's primary contribution.
+
+    Pipeline: stage analysis → modified retiming graph with [P(t)]
+    vertices and the [-c] EDL reward → min-cost-flow solve → slave
+    placement → verified assembly, with a size-only fix pass on any
+    sink the model claimed non-error-detecting but whose verified
+    arrival lands in the resiliency window. *)
+
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+
+type t = {
+  outcome : Outcome.t;
+  stage : Stage.t;          (** post-sizing stage (ids unchanged) *)
+  r : int array;            (** LP solution over the graph variables *)
+  modelled_non_ed : int list;  (** targets the LP decided need no EDL *)
+  lp_latches : float;       (** modelled (shared) slave-latch count *)
+  runtime_s : float;        (** CPU seconds, mirroring Table VII *)
+}
+
+val run :
+  ?engine:Difflp.engine ->
+  ?model:Sta.model ->
+  lib:Liberty.t ->
+  clocking:Clocking.t ->
+  c:float ->
+  Transform.comb_circuit ->
+  (t, string) result
+(** [model] defaults to the journal version's [Path_based]; pass
+    [Gate_based] to reproduce the DAC'17 model (Table II compares
+    both). [engine] defaults to the paper's network simplex. *)
+
+val run_on_stage :
+  ?engine:Difflp.engine ->
+  c:float ->
+  Stage.t ->
+  (t, string) result
+(** As {!run} but reusing an existing stage analysis. *)

@@ -1,0 +1,100 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+
+type t = {
+  placements : Transform.placement list;
+  n_slaves : int;
+  n_masters : int;
+  ed_sinks : int list;
+  violations : int list;
+  arrivals : (int * float) array;
+  edl_overhead : float;
+  seq_area : float;
+  comb_area : float;
+  total_area : float;
+}
+
+let eps = 1e-9
+
+let assemble ?ed ~c stage placements =
+  let net = Stage.comb stage in
+  let clocking = Stage.clocking stage in
+  let latched = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter (fun pin -> Hashtbl.replace latched pin ()) p.Transform.latched)
+    placements;
+  let arr =
+    Sta.forward_with_latches (Stage.sta stage) ~clocking
+      ~latch:(Stage.slave_latch stage)
+      ~latched:(fun ~v ~pin -> Hashtbl.mem latched (v, pin))
+  in
+  let period = Clocking.period clocking in
+  let limit = Clocking.max_delay clocking in
+  let sinks = Stage.sinks stage in
+  let arrivals =
+    Array.map (fun s -> (s, Liberty.arc_max arr.(s))) sinks
+  in
+  let needs_ed =
+    Array.to_list arrivals
+    |> List.filter_map (fun (s, a) -> if a > period +. eps then Some s else None)
+  in
+  let ed_sinks = match ed with Some e -> e | None -> needs_ed in
+  let violations =
+    (Array.to_list arrivals
+    |> List.filter_map (fun (s, a) -> if a > limit +. eps then Some s else None))
+    @ List.filter (fun s -> not (List.mem s ed_sinks)) needs_ed
+    |> List.sort_uniq compare
+  in
+  let lib = Stage.lib stage in
+  let latch_area = (Liberty.latch lib).Liberty.seq_area in
+  let n_slaves = List.length placements in
+  let n_masters = Array.length sinks in
+  let seq_area =
+    (float_of_int (n_slaves + n_masters) *. latch_area)
+    +. (float_of_int (List.length ed_sinks) *. c *. latch_area)
+  in
+  let comb_area = Liberty.comb_area lib net in
+  {
+    placements;
+    n_slaves;
+    n_masters;
+    ed_sinks;
+    violations;
+    arrivals;
+    edl_overhead = c;
+    seq_area;
+    comb_area;
+    total_area = seq_area +. comb_area;
+  }
+
+let initial_placements stage =
+  let net = Stage.comb stage in
+  Array.to_list (Netlist.inputs net)
+  |> List.filter_map (fun src ->
+         let latched =
+           Array.to_list (Netlist.fanouts net src)
+           |> List.sort_uniq compare
+           |> List.concat_map (fun v ->
+                  let pins = ref [] in
+                  Array.iteri
+                    (fun pin u -> if u = src then pins := (v, pin) :: !pins)
+                    (Netlist.fanins net v);
+                  !pins)
+         in
+         if latched = [] then None
+         else Some { Transform.after = src; latched })
+
+let of_initial ~c stage = assemble ~c stage (initial_placements stage)
+
+let ed_count t = List.length t.ed_sinks
+
+let pp ppf t =
+  Format.fprintf ppf
+    "slaves=%d masters=%d edl=%d seq_area=%.2f total=%.2f%s" t.n_slaves
+    t.n_masters (ed_count t) t.seq_area t.total_area
+    (if t.violations = [] then ""
+     else Printf.sprintf " VIOLATIONS=%d" (List.length t.violations))

@@ -1,0 +1,68 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+
+type search = { p : float; iterations : int; lo : float; hi : float }
+
+let worst_arrival ~model ~lib cc =
+  let sta = Sta.analyse lib model cc.Transform.comb in
+  Array.fold_left
+    (fun acc s -> Float.max acc (Sta.arrival_at_sink sta s))
+    0.
+    (Netlist.outputs cc.Transform.comb)
+
+(* Generic monotone binary search over P: [feasible p] must be monotone
+   (false ... false true ... true). *)
+let search ~model ~lib ~tol ~feasible cc =
+  let base = worst_arrival ~model ~lib cc in
+  if base <= 0. then Error "Period_search: empty circuit"
+  else begin
+    (* Bracket: grow hi until feasible (the constraints all loosen with
+       P), with a sanity cap. *)
+    let rec grow hi k =
+      if k = 0 then None
+      else if feasible hi then Some hi
+      else grow (hi *. 1.5) (k - 1)
+    in
+    match grow base 24 with
+    | None -> Error "Period_search: no feasible period found"
+    | Some hi0 ->
+      let lo = ref (base /. 4.) and hi = ref hi0 in
+      let iterations = ref 0 in
+      while (!hi -. !lo) /. !hi > tol do
+        incr iterations;
+        let mid = 0.5 *. (!lo +. !hi) in
+        if feasible mid then hi := mid else lo := mid
+      done;
+      Ok { p = !hi; iterations = !iterations; lo = !lo; hi = !hi }
+  end
+
+let stage_ok ~model ~lib cc p =
+  match Stage.make ~model ~lib ~clocking:(Clocking.of_p p) cc with
+  | Error _ -> None
+  | Ok st -> Some st
+
+let min_feasible ?(model = Sta.Path_based) ?(tol = 0.01) ~lib cc =
+  let feasible p =
+    match stage_ok ~model ~lib cc p with
+    | None -> false
+    | Some st -> (
+      match Base_retiming.run_on_stage ~c:1.0 st with
+      | Ok r -> r.Base_retiming.outcome.Outcome.violations = []
+      | Error _ -> false)
+  in
+  search ~model ~lib ~tol ~feasible cc
+
+let min_detection_free ?(model = Sta.Path_based) ?(tol = 0.01) ~lib cc =
+  let feasible p =
+    match stage_ok ~model ~lib cc p with
+    | None -> false
+    | Some st -> (
+      (* any c > 0 works: we only ask whether the EDL count reaches 0 *)
+      match Grar.run_on_stage ~c:1.0 st with
+      | Ok r -> Outcome.ed_count r.Grar.outcome = 0
+      | Error _ -> false)
+  in
+  search ~model ~lib ~tol ~feasible cc

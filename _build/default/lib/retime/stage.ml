@@ -1,0 +1,355 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+
+let src = Logs.Src.create "rar.retime.stage" ~doc:"Retiming stage analysis"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type region = Rm | Rn | Rr
+
+type sink_class =
+  | Never_ed
+  | Always_ed
+  | Target of { cut : int list }
+
+type t = {
+  cc : Transform.comb_circuit;
+  lib : Liberty.t;
+  clocking : Clocking.t;
+  sta : Sta.t;
+  regions : region array;
+  classes : (int * sink_class) list; (* per sink node id *)
+  initial_arr : Liberty.arc array;   (* un-retimed arrivals *)
+  max_paths : (int, float) Hashtbl.t;
+  illegal : (int * int) list;        (* edges that can never hold a slave *)
+  window : (int, (int * int) list) Hashtbl.t;
+    (* per Target sink: edges whose A exceeds the period *)
+}
+
+let cc t = t.cc
+let comb t = t.cc.Transform.comb
+let sta t = t.sta
+let lib t = t.lib
+let clocking t = t.clocking
+let model t = Sta.model t.sta
+let region t v = t.regions.(v)
+let sinks t = Netlist.outputs (comb t)
+let slave_latch t = Liberty.latch t.lib
+
+let classify t s =
+  match List.assoc_opt s t.classes with
+  | Some c -> c
+  | None -> invalid_arg "Stage.classify: not a sink node"
+
+let illegal_edges t = t.illegal
+
+let db_of_sink t s = Sta.backward t.sta ~sink:s
+
+let a_value t ~db ~u ~v =
+  Sta.arrival_with_slave_after t.sta ~clocking:t.clocking
+    ~latch:(slave_latch t) ~u ~v ~db
+
+let initial_arrival t s = Liberty.arc_max t.initial_arr.(s)
+
+let near_critical_endpoints t =
+  let period = Clocking.period t.clocking in
+  Array.fold_right
+    (fun s acc ->
+      if Sta.arrival_at_sink t.sta s > period then s :: acc else acc)
+    (sinks t) []
+
+let near_critical_initial t =
+  let period = Clocking.period t.clocking in
+  Array.fold_right
+    (fun s acc -> if initial_arrival t s > period then s :: acc else acc)
+    (sinks t) []
+
+let window_edges t s =
+  match Hashtbl.find_opt t.window s with
+  | Some edges -> edges
+  | None -> (
+    match classify t s with
+    | Never_ed -> []
+    | Always_ed ->
+      invalid_arg "Stage.window_edges: always-error-detecting sink"
+    | Target _ ->
+      (* Targets are populated eagerly at construction. *)
+      [])
+
+let max_path t s =
+  match Hashtbl.find_opt t.max_paths s with
+  | Some p -> p
+  | None -> invalid_arg "Stage.max_path: not a sink node"
+
+let fanout_groups t =
+  let net = comb t in
+  let acc = ref [] in
+  for u = Netlist.node_count net - 1 downto 0 do
+    match Netlist.kind net u with
+    | Netlist.Output -> ()
+    | Netlist.Input | Netlist.Gate _ | Netlist.Seq _ ->
+      let fo = Netlist.fanouts net u in
+      if Array.length fo > 0 then begin
+        let counts = Hashtbl.create 4 in
+        Array.iter
+          (fun v ->
+            Hashtbl.replace counts v
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+          fo;
+        let groups =
+          Hashtbl.fold (fun v k l -> (v, k) :: l) counts []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        acc := (u, groups) :: !acc
+      end
+  done;
+  Array.of_list !acc
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eps = 1e-9
+
+let compute_regions ~sta_an ~lib ~clocking net =
+  let slave = Liberty.latch lib in
+  let close_limit = Clocking.slave_close clocking -. slave.Liberty.setup in
+  let budget = Clocking.backward_budget clocking in
+  let back_all = Sta.backward_all sta_an in
+  let n = Netlist.node_count net in
+  let regions = Array.make n Rr in
+  let conflict = ref None in
+  for v = 0 to n - 1 do
+    let must_move = back_all.(v) > budget +. eps in
+    let cannot_move =
+      (match Netlist.kind net v with
+      | Netlist.Output -> true
+      | Netlist.Input | Netlist.Gate _ | Netlist.Seq _ -> false)
+      || Sta.df sta_an v > close_limit +. eps
+    in
+    if must_move && cannot_move then
+      conflict := Some (Netlist.node_name net v)
+    else if must_move then regions.(v) <- Rm
+    else if cannot_move then regions.(v) <- Rn
+  done;
+  match !conflict with
+  | Some name ->
+    Error
+      (Printf.sprintf
+         "Stage: node %S violates both Constraint (6) and (7); no legal \
+          slave position"
+         name)
+  | None -> Ok regions
+
+(* Classification of one sink (paper §IV-A). While scanning every
+   latch position in the cone we also record the positions that violate
+   the max-delay bound for this sink (the per-edge form of Constraint
+   7); [illegal] accumulates them across sinks. *)
+let classify_sink ~sta_an ~clocking ~latch ~illegal ~window net s =
+  let period = Clocking.period clocking in
+  let limit = Clocking.max_delay clocking in
+  let db = Sta.backward sta_an ~sink:s in
+  let n = Netlist.node_count net in
+  let in_cone v =
+    db.(v).Liberty.rise > neg_infinity || db.(v).Liberty.fall > neg_infinity
+  in
+  (* Longest pure combinational path into s, polarity-paired. *)
+  let max_path = ref neg_infinity in
+  for v = 0 to n - 1 do
+    if in_cone v then begin
+      let a = Sta.arrival_arc sta_an v in
+      let thru_rise = a.Liberty.rise +. db.(v).Liberty.rise in
+      let thru_fall = a.Liberty.fall +. db.(v).Liberty.fall in
+      if thru_rise > !max_path then max_path := thru_rise;
+      if thru_fall > !max_path then max_path := thru_fall
+    end
+  done;
+  let a_of ~u ~v =
+    Sta.arrival_with_slave_after sta_an ~clocking ~latch ~u ~v ~db
+  in
+  (* A position (u,v) is legal when the slave's own setup against the
+     closing edge holds (Constraint 6 at u) and the capture meets max
+     delay (per-edge Constraint 7); it is *good* when additionally the
+     capture stays out of the resiliency window. *)
+  let close_limit = Clocking.slave_close clocking -. latch.Liberty.setup in
+  let can_launch u = Sta.df sta_an u <= close_limit +. eps in
+  (* One pass over every cone position: record per-edge (7) violations,
+     the window edges, the worst legal A, and the good-edge predicate
+     for the path DP below. *)
+  let a_max_legal = ref neg_infinity in
+  let good = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    if in_cone v then begin
+      match Netlist.kind net v with
+      | Netlist.Input -> ()
+      | Netlist.Gate _ | Netlist.Output ->
+        Array.iter
+          (fun u ->
+            let a = a_of ~u ~v in
+            if a > limit +. eps then Hashtbl.replace illegal (u, v) ()
+            else if a > period +. eps then window := (u, v) :: !window;
+            if can_launch u && a <= limit +. eps then begin
+              if a > !a_max_legal then a_max_legal := a;
+              if a <= period +. eps then Hashtbl.replace good (u, v) ()
+            end)
+          (Netlist.fanins net v)
+      | Netlist.Seq _ -> assert false
+    end
+  done;
+  (* Path DP: [bad v] = some source-to-v path passed no good position.
+     The sink can be made non-error-detecting iff no bad path reaches
+     it. *)
+  let bad = Array.make n false in
+  Array.iter
+    (fun v ->
+      if in_cone v then begin
+        match Netlist.kind net v with
+        | Netlist.Input -> bad.(v) <- true
+        | Netlist.Gate _ | Netlist.Output ->
+          let b = ref false in
+          Array.iter
+            (fun u ->
+              if in_cone u && bad.(u) && not (Hashtbl.mem good (u, v)) then
+                b := true)
+            (Netlist.fanins net v);
+          bad.(v) <- !b
+        | Netlist.Seq _ -> assert false
+      end)
+    (Netlist.topo_comb net);
+  if bad.(s) then (Always_ed, !max_path)
+  else if !a_max_legal <= period +. eps then (Never_ed, !max_path)
+  else begin
+    (* g(t) per Eq. 8-9, over legal positions. Condition (9) for a
+       source uses the host-edge position (its worst fanout edge). *)
+    let cut = ref [] in
+    for v = 0 to n - 1 do
+      if in_cone v then begin
+        let can_hold_latch =
+          match Netlist.kind net v with
+          | Netlist.Input | Netlist.Gate _ -> true
+          | Netlist.Output | Netlist.Seq _ -> false
+        in
+        if can_hold_latch then begin
+          let ok_after = ref false in
+          Array.iter
+            (fun n_ ->
+              if in_cone n_ && Hashtbl.mem good (v, n_) then ok_after := true)
+            (Netlist.fanouts net v);
+          if !ok_after then begin
+            let bad_before = ref false in
+            (match Netlist.kind net v with
+            | Netlist.Input ->
+              Array.iter
+                (fun n_ ->
+                  if in_cone n_ && a_of ~u:v ~v:n_ > period +. eps then
+                    bad_before := true)
+                (Netlist.fanouts net v)
+            | Netlist.Gate _ ->
+              Array.iter
+                (fun k ->
+                  if (not !bad_before) && a_of ~u:k ~v > period +. eps then
+                    bad_before := true)
+                (Netlist.fanins net v)
+            | Netlist.Output | Netlist.Seq _ -> assert false);
+            if !bad_before then cut := v :: !cut
+          end
+        end
+      end
+    done;
+    if !cut = [] then begin
+      Log.warn (fun m ->
+          m "sink %s: retiming-dependent but empty g(t); treating as always \
+             error-detecting"
+            (Netlist.node_name net s));
+      (Always_ed, !max_path)
+    end
+    else (Target { cut = List.rev !cut }, !max_path)
+  end
+
+let make ?(model = Sta.Path_based) ~lib ~clocking cc =
+  let net = cc.Transform.comb in
+  let sta_an = Sta.analyse lib model net in
+  let latch = Liberty.latch lib in
+  match compute_regions ~sta_an ~lib ~clocking net with
+  | Error _ as e -> e
+  | Ok regions ->
+    (* Reject stages whose critical path cannot meet max_delay even
+       before placing any slave. *)
+    let limit = Clocking.max_delay clocking in
+    let too_long =
+      Array.fold_left
+        (fun acc s ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if Sta.arrival_at_sink sta_an s > limit +. eps then Some s
+            else None)
+        None (Netlist.outputs net)
+    in
+    (match too_long with
+    | Some s ->
+      Error
+        (Printf.sprintf "Stage: sink %S cannot meet max delay %.4f"
+           (Netlist.node_name net s) limit)
+    | None ->
+      let max_paths = Hashtbl.create 64 in
+      let illegal_tbl = Hashtbl.create 64 in
+      let window_tbl = Hashtbl.create 64 in
+      let classes =
+        Array.to_list
+          (Array.map
+             (fun s ->
+               let window = ref [] in
+               let cls, mp =
+                 classify_sink ~sta_an ~clocking ~latch ~illegal:illegal_tbl
+                   ~window net s
+               in
+               Hashtbl.replace max_paths s mp;
+               (match cls with
+               | Target _ -> Hashtbl.replace window_tbl s !window
+               | Never_ed | Always_ed -> ());
+               (s, cls))
+             (Netlist.outputs net))
+      in
+      let illegal = Hashtbl.fold (fun e () acc -> e :: acc) illegal_tbl [] in
+      (* A source whose shared initial position covers an illegal edge
+         must clear its host latch: promote to V_m. *)
+      List.iter
+        (fun (u, _) ->
+          if Netlist.kind net u = Netlist.Input && regions.(u) = Rr then
+            regions.(u) <- Rm)
+        illegal;
+      let initial_arr =
+        Sta.forward_with_latches sta_an ~clocking ~latch
+          ~latched:(fun ~v ~pin ->
+            let u = (Netlist.fanins net v).(pin) in
+            Netlist.kind net u = Netlist.Input)
+      in
+      Ok { cc; lib; clocking; sta = sta_an; regions; classes; initial_arr;
+           max_paths; illegal; window = window_tbl })
+
+let pp_summary ppf t =
+  let net = comb t in
+  let count pred = Array.fold_left (fun a v -> if pred v then a + 1 else a) 0 in
+  let n = Netlist.node_count net in
+  let ids = Array.init n (fun i -> i) in
+  let never, always, target =
+    List.fold_left
+      (fun (nv, aw, tg) (_, c) ->
+        match c with
+        | Never_ed -> (nv + 1, aw, tg)
+        | Always_ed -> (nv, aw + 1, tg)
+        | Target _ -> (nv, aw, tg + 1))
+      (0, 0, 0) t.classes
+  in
+  Format.fprintf ppf
+    "stage %s: |Vm|=%d |Vn|=%d |Vr|=%d sinks: %d never-ed, %d always-ed, %d \
+     targets"
+    (Netlist.name net)
+    (count (fun v -> t.regions.(v) = Rm) ids)
+    (count (fun v -> t.regions.(v) = Rn) ids)
+    (count (fun v -> t.regions.(v) = Rr) ids)
+    never always target

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Float Hashtbl List Printf Rar_liberty Rar_netlist Rar_sta Rar_util

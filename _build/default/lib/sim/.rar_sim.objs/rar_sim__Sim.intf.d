@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Rar_liberty Rar_netlist Rar_sta

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char Float Hashtbl Option Printf Rar_netlist Rar_sta Rar_util Sim String

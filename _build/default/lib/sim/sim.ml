@@ -1,0 +1,229 @@
+module Netlist = Rar_netlist.Netlist
+module Cell_kind = Rar_netlist.Cell_kind
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Clocking = Rar_sta.Clocking
+module Heap = Rar_util.Heap
+module Rng = Rar_util.Rng
+
+type design = {
+  staged : Netlist.t;
+  lib : Liberty.t;
+  clocking : Clocking.t;
+  ed_sinks : int list;
+}
+
+let sink_of_comb ~comb ~staged sink =
+  let name = Netlist.node_name comb sink in
+  match Netlist.find staged name with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sim.sink_of_comb: no sink named %S in staged netlist"
+         name)
+
+type cycle_result = {
+  errors : int list;
+  silent : int list;
+  late : int list;
+  late_at_slave : int list;
+  capture_times : (int * float) list;
+}
+
+type event = Value of int * bool | Latch_wake of int
+
+let eval_gate net values v =
+  match Netlist.kind net v with
+  | Netlist.Gate { fn; _ } ->
+    let ins = Array.map (fun u -> values.(u)) (Netlist.fanins net v) in
+    Cell_kind.eval fn ins
+  | Netlist.Input | Netlist.Output | Netlist.Seq _ ->
+    invalid_arg "Sim.eval_gate"
+
+let run_cycle ?(on_event = fun ~time:_ ~node:_ ~value:_ -> ()) design ~prev ~next =
+  let net = design.staged in
+  let lib = design.lib in
+  let n = Netlist.node_count net in
+  let inputs = Netlist.inputs net in
+  if Array.length prev <> Array.length inputs || Array.length next <> Array.length inputs
+  then invalid_arg "Sim.run_cycle: vector length mismatch";
+  let latch = Liberty.latch lib in
+  let open_t = Clocking.slave_open design.clocking in
+  let close_t = Clocking.slave_close design.clocking in
+  let launch = latch.Liberty.ck_to_q in
+  (* Per-gate delays (triggering-pin agnostic: worst pin arc per output
+     transition keeps the simulator simple and slightly conservative,
+     matching the STA's worst-pin view). *)
+  let delay_rise = Array.make n 0. and delay_fall = Array.make n 0. in
+  for v = 0 to n - 1 do
+    match Netlist.kind net v with
+    | Netlist.Gate { fn; drive } ->
+      let cell = Liberty.comb_cell lib fn ~drive in
+      let load = Liberty.gate_load lib net v in
+      let rise = ref 0. and fall = ref 0. in
+      Array.iteri
+        (fun pin _ ->
+          let a = Liberty.pin_arc cell ~pin ~load in
+          if a.Liberty.rise > !rise then rise := a.Liberty.rise;
+          if a.Liberty.fall > !fall then fall := a.Liberty.fall)
+        (Netlist.fanins net v);
+      delay_rise.(v) <- !rise;
+      delay_fall.(v) <- !fall
+    | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()
+  done;
+  (* Settle the previous vector combinationally; latches transparent in
+     the settled state (their last cycle ended with data through).
+     [topo_comb] may order a latch *after* gates reading its output, so
+     iterate the pass to a fixpoint (one extra pass per latch level —
+     retimed stages have exactly one). *)
+  let values = Array.make n false in
+  let input_index = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace input_index v i) inputs;
+  let settle_pass () =
+    let changed = ref false in
+    Array.iter
+      (fun v ->
+        let nv =
+          match Netlist.kind net v with
+          | Netlist.Input -> prev.(Hashtbl.find input_index v)
+          | Netlist.Gate _ -> eval_gate net values v
+          | Netlist.Output | Netlist.Seq _ ->
+            values.((Netlist.fanins net v).(0))
+        in
+        if nv <> values.(v) then begin
+          values.(v) <- nv;
+          changed := true
+        end)
+      (Netlist.topo_comb net);
+    !changed
+  in
+  let rec settle k =
+    if k = 0 then
+      invalid_arg "Sim.run_cycle: settle did not converge (latch loop?)"
+    else if settle_pass () then settle (k - 1)
+  in
+  settle 8;
+  let scheduled = Array.copy values in
+  (* last value scheduled per node *)
+  let capture = Array.make n neg_infinity in
+  let late_slave = ref [] in
+  let q : event Heap.t = Heap.create () in
+  (* Slave latches wake at the opening edge to sample. *)
+  Array.iter
+    (fun v ->
+      match Netlist.kind net v with
+      | Netlist.Seq Netlist.Slave -> Heap.add q open_t (Latch_wake v)
+      | _ -> ())
+    (Netlist.seqs net);
+  (* Launch the next vector. *)
+  Array.iteri
+    (fun i src ->
+      if next.(i) <> values.(src) then begin
+        scheduled.(src) <- next.(i);
+        Heap.add q launch (Value (src, next.(i)))
+      end)
+    inputs;
+  let schedule_gate t v =
+    (* Evaluate against the *current* input values — transport-delay
+       semantics. [scheduled] tracks the logically latest output so a
+       gate is not re-scheduled when its evaluation hasn't changed.
+       (Asymmetric rise/fall delays can reorder a glitch pair; the
+       steady state is still the last evaluation, which is what the
+       capture-time measurement needs.) *)
+    let nv = eval_gate net values v in
+    if nv <> scheduled.(v) then begin
+      scheduled.(v) <- nv;
+      let d = if nv then delay_rise.(v) else delay_fall.(v) in
+      Heap.add q (t +. d) (Value (v, nv))
+    end
+  in
+  let notify t u =
+    Array.iter
+      (fun w ->
+        match Netlist.kind net w with
+        | Netlist.Gate _ -> schedule_gate t w
+        | Netlist.Output ->
+          if values.(w) <> values.(u) then begin
+            values.(w) <- values.(u);
+            scheduled.(w) <- values.(u);
+            capture.(w) <- Float.max capture.(w) t;
+            on_event ~time:t ~node:w ~value:values.(u)
+          end
+        | Netlist.Seq Netlist.Slave ->
+          if t < open_t then () (* sampled at the opening edge *)
+          else if t <= close_t then begin
+            if scheduled.(w) <> values.(u) then begin
+              scheduled.(w) <- values.(u);
+              Heap.add q (t +. latch.Liberty.d_to_q) (Value (w, values.(u)))
+            end
+          end
+          else late_slave := w :: !late_slave
+        | Netlist.Input | Netlist.Seq _ -> ())
+      (Netlist.fanouts net u)
+  in
+  let rec drain () =
+    match Heap.pop_min q with
+    | None -> ()
+    | Some (t, Latch_wake v) ->
+      let u = (Netlist.fanins net v).(0) in
+      (* sample the driver's settled value at opening *)
+      if values.(u) <> values.(v) then begin
+        scheduled.(v) <- values.(u);
+        Heap.add q (t +. latch.Liberty.ck_to_q) (Value (v, values.(u)))
+      end;
+      drain ()
+    | Some (t, Value (v, value)) ->
+      if values.(v) <> value then begin
+        values.(v) <- value;
+        on_event ~time:t ~node:v ~value;
+        notify t v
+      end;
+      drain ()
+  in
+  drain ();
+  let period = Clocking.period design.clocking in
+  let limit = Clocking.max_delay design.clocking in
+  let errors = ref [] and silent = ref [] and late = ref [] in
+  let captures = ref [] in
+  Array.iter
+    (fun s ->
+      let t = capture.(s) in
+      if t > neg_infinity then captures := (s, t) :: !captures;
+      if t > limit +. 1e-9 then late := s :: !late
+      else if t > period +. 1e-9 then
+        if List.mem s design.ed_sinks then errors := s :: !errors
+        else silent := s :: !silent)
+    (Netlist.outputs net);
+  { errors = !errors; silent = !silent; late = !late;
+    late_at_slave = List.sort_uniq compare !late_slave;
+    capture_times = !captures }
+
+type rate = {
+  cycles : int;
+  error_cycles : int;
+  error_events : int;
+  silent_cycles : int;
+  error_rate : float;
+}
+
+let error_rate ?(cycles = 500) ~seed design =
+  let rng = Rng.of_string seed in
+  let n_in = Array.length (Netlist.inputs design.staged) in
+  let vec () = Array.init n_in (fun _ -> Rng.bool rng) in
+  let prev = ref (vec ()) in
+  let error_cycles = ref 0 and error_events = ref 0 and silent_cycles = ref 0 in
+  for _ = 1 to cycles do
+    let next = vec () in
+    let r = run_cycle design ~prev:!prev ~next in
+    if r.errors <> [] then incr error_cycles;
+    error_events := !error_events + List.length r.errors;
+    if r.silent <> [] then incr silent_cycles;
+    prev := next
+  done;
+  {
+    cycles;
+    error_cycles = !error_cycles;
+    error_events = !error_events;
+    silent_cycles = !silent_cycles;
+    error_rate = 100. *. float_of_int !error_cycles /. float_of_int cycles;
+  }

@@ -1,0 +1,66 @@
+(** Event-driven two-vector timing simulation and error-rate
+    measurement (paper Table VIII).
+
+    Simulates one clock cycle of a retimed two-phase stage: the sources
+    (master Q pins) switch from a settled previous vector to the next
+    vector at the master launch edge; transitions propagate through the
+    gates with the library's pin-to-pin delays; slave latches are
+    opaque until [slave_open], transparent until [slave_close];
+    capture points record their last transition time.
+
+    An {e error} is a transition captured inside the resiliency window
+    [(period, period + phi1]] at an error-detecting master. The same
+    event at a non-error-detecting master is a {e silent failure} (the
+    design would corrupt data); a verified retiming must produce none,
+    and the simulator reports them separately as a safety check. *)
+
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Clocking = Rar_sta.Clocking
+
+type design = {
+  staged : Netlist.t;
+    (** combinational stage with physical [Seq Slave] nodes, as built
+        by {!Transform.apply_retiming} *)
+  lib : Liberty.t;
+  clocking : Clocking.t;
+  ed_sinks : int list;
+    (** names are resolved against [staged]'s [Output] nodes via
+        {!sink_of_comb} when coming from a retiming outcome *)
+}
+
+val sink_of_comb : comb:Netlist.t -> staged:Netlist.t -> int -> int
+(** Map a sink node id of the pre-retiming combinational circuit to
+    the corresponding [Output] node of the staged netlist (matched by
+    name). *)
+
+type cycle_result = {
+  errors : int list;          (** ED masters that flagged this cycle *)
+  silent : int list;          (** window hits on non-ED masters *)
+  late : int list;            (** arrivals beyond [max_delay] *)
+  late_at_slave : int list;   (** slaves whose input moved after closing —
+                                  an observed Constraint (6) violation *)
+  capture_times : (int * float) list;  (** latest transition per sink *)
+}
+
+val run_cycle :
+  ?on_event:(time:float -> node:int -> value:bool -> unit) ->
+  design -> prev:bool array -> next:bool array -> cycle_result
+(** Simulate one launch with the given source vectors (indexed in
+    [Netlist.inputs] order). [on_event] observes every applied value
+    change in time order (used by the {!Vcd} writer). *)
+
+type rate = {
+  cycles : int;
+  error_cycles : int;        (** cycles with at least one ED flag *)
+  error_events : int;        (** total (cycle, master) flags *)
+  silent_cycles : int;
+  error_rate : float;        (** [error_cycles / cycles * 100], the
+                                 percentage Table VIII reports *)
+}
+
+val error_rate :
+  ?cycles:int -> seed:string -> design -> rate
+(** Drive [cycles] (default 500) random vector pairs from a named
+    deterministic stream. *)

@@ -1,0 +1,1 @@
+lib/sta/clocking.ml: Bytes Float Format List Printf

@@ -1,0 +1,1 @@
+lib/sta/clocking.mli: Format

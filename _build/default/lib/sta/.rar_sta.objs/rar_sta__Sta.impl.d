@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Buffer Clocking Float List Printf Rar_liberty Rar_netlist

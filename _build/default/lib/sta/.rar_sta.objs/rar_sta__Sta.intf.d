@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Clocking Rar_liberty Rar_netlist

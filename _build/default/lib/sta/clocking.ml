@@ -1,0 +1,53 @@
+type t = { phi1 : float; gamma1 : float; phi2 : float; gamma2 : float }
+
+let v ~phi1 ~gamma1 ~phi2 ~gamma2 =
+  if phi1 <= 0. then invalid_arg "Clocking.v: phi1 must be positive";
+  if gamma1 < 0. || phi2 < 0. || gamma2 < 0. then
+    invalid_arg "Clocking.v: negative phase component";
+  { phi1; gamma1; phi2; gamma2 }
+
+let of_p p =
+  if p <= 0. then invalid_arg "Clocking.of_p: p must be positive";
+  v ~phi1:(0.3 *. p) ~gamma1:0. ~phi2:(0.35 *. p) ~gamma2:(0.05 *. p)
+
+let period t = t.phi1 +. t.gamma1 +. t.phi2 +. t.gamma2
+let max_delay t = period t +. t.phi1
+let resiliency_window t = t.phi1
+let slave_open t = t.phi1 +. t.gamma1
+let slave_close t = t.phi1 +. t.gamma1 +. t.phi2
+let backward_budget t = t.phi2 +. t.gamma2 +. t.phi1
+
+let pp ppf t =
+  Format.fprintf ppf
+    "<phi1=%.3f gamma1=%.3f phi2=%.3f gamma2=%.3f | Pi=%.3f P=%.3f>" t.phi1
+    t.gamma1 t.phi2 t.gamma2 (period t) (max_delay t)
+
+(* A proportional ASCII timing diagram over one period plus the
+   resiliency window (Fig. 1). *)
+let pp_diagram ppf t =
+  let total = max_delay t in
+  let width = 64 in
+  let col x = int_of_float (Float.round (x /. total *. float_of_int width)) in
+  let line segments =
+    (* segments: (start, stop, char) over a base of '_' *)
+    let b = Bytes.make (width + 1) '_' in
+    List.iter
+      (fun (a, z, ch) ->
+        for i = col a to min width (col z - 1) do
+          Bytes.set b i ch
+        done)
+      segments;
+    Bytes.to_string b
+  in
+  let p1a = period t in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "t:      0%*s@ " width
+    (Printf.sprintf "%.2f" total);
+  Format.fprintf ppf "clk1:   %s@ "
+    (line [ (0., t.phi1, '#'); (p1a, p1a +. t.phi1, '#') ]);
+  Format.fprintf ppf "clk2:   %s@ "
+    (line [ (slave_open t, slave_close t, '#') ]);
+  Format.fprintf ppf "window: %s  (resiliency: data arriving here is an error)@ "
+    (line [ (period t, max_delay t, 'R') ]);
+  Format.fprintf ppf "Pi=%.3f  P=Pi+phi1=%.3f  slave transparent [%.3f, %.3f]@]"
+    (period t) (max_delay t) (slave_open t) (slave_close t)

@@ -1,0 +1,53 @@
+(** Two-phase resilient clock model (paper §II-A, Fig. 1).
+
+    [Pi = <phi1, gamma1, phi2, gamma2>]: [phi_i] is the transparent
+    window of phase [i], [gamma_i] the gap from the falling edge of
+    phase [i] to the rising edge of phase [i+1]. Master latches are
+    clocked by phase 1 and may be error-detecting; slave latches are
+    clocked by phase 2 and time-borrow. The resiliency window is
+    [phi1]: data arriving at a master between [period] and
+    [period + phi1] triggers error detection and a one-window stall of
+    downstream clocks. *)
+
+type t = {
+  phi1 : float;   (** transparent window of phase 1 (masters) = resiliency window *)
+  gamma1 : float; (** phase-1 fall to phase-2 rise *)
+  phi2 : float;   (** transparent window of phase 2 (slaves) *)
+  gamma2 : float; (** phase-2 fall to next phase-1 rise *)
+}
+
+val v : phi1:float -> gamma1:float -> phi2:float -> gamma2:float -> t
+(** Validates all components are non-negative and [phi1 > 0]. *)
+
+val of_p : float -> t
+(** The paper's benchmark clocking (§VI-A) for a max stage delay [p]:
+    [phi1 = 0.3p], [gamma1 = 0], [phi2 = 0.35p], [gamma2 = 0.05p],
+    hence [period = 0.7p] and [max_delay = p]. *)
+
+val period : t -> float
+(** [Pi = phi1 + gamma1 + phi2 + gamma2]. *)
+
+val max_delay : t -> float
+(** Longest legal master-to-master path, [Pi + phi1]. *)
+
+val resiliency_window : t -> float
+(** [phi1]. *)
+
+val slave_open : t -> float
+(** Time (from master launch) the slave latch becomes transparent,
+    [phi1 + gamma1]. *)
+
+val slave_close : t -> float
+(** Time the slave latch closes, [phi1 + gamma1 + phi2]: Constraint (6)
+    bound on [D^f]. *)
+
+val backward_budget : t -> float
+(** Time available from slave opening to the terminating master's
+    closing edge, [phi2 + gamma2 + phi1]: Constraint (7) bound on
+    [D^b(v,t)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_diagram : Format.formatter -> t -> unit
+(** ASCII rendering of Fig. 1: the two clock phases, the resiliency
+    window and the derived deadlines. *)

@@ -1,0 +1,382 @@
+module Netlist = Rar_netlist.Netlist
+module Liberty = Rar_liberty.Liberty
+module Cell_kind = Rar_netlist.Cell_kind
+module Transform = Rar_netlist.Transform
+
+type model = Gate_based | Path_based
+
+let model_name = function
+  | Gate_based -> "gate-based"
+  | Path_based -> "path-based"
+
+type t = {
+  net : Netlist.t;
+  lib : Liberty.t;
+  mdl : model;
+  launch_time : float;
+  pin_arcs : Liberty.arc array array; (* per node, per pin: pin-to-pin arc *)
+  delay_max : float array;            (* gate-based d(v); 0 for ports *)
+  arr : Liberty.arc array;            (* arrival at node output *)
+  mutable back_all_cache : float array option;
+}
+
+let neg_inf_arc = Liberty.{ rise = neg_infinity; fall = neg_infinity }
+let zero_arc = Liberty.{ rise = 0.; fall = 0. }
+
+let arc_max2 (a : Liberty.arc) (b : Liberty.arc) =
+  Liberty.{ rise = Float.max a.rise b.rise; fall = Float.max a.fall b.fall }
+
+let netlist t = t.net
+let library t = t.lib
+let model t = t.mdl
+let launch t = t.launch_time
+
+(* Propagate an input arc through one pin of a gate. [pa] is the pin's
+   pin-to-pin arc (output-transition indexed), [un] the pin's
+   unateness. Under the gate-based model the caller passes the scalar
+   worst delay via [pa] with rise = fall = d and [un = Non_unate],
+   which collapses to "max input + d". *)
+let through_pin mdl un (pa : Liberty.arc) (input : Liberty.arc) : Liberty.arc =
+  match mdl with
+  | Gate_based ->
+    let d = Liberty.arc_max pa in
+    let worst = Float.max input.Liberty.rise input.Liberty.fall in
+    { rise = worst +. d; fall = worst +. d }
+  | Path_based -> (
+    match un with
+    | Cell_kind.Positive ->
+      { rise = input.rise +. pa.Liberty.rise; fall = input.fall +. pa.fall }
+    | Cell_kind.Negative ->
+      { rise = input.fall +. pa.Liberty.rise; fall = input.rise +. pa.fall }
+    | Cell_kind.Non_unate ->
+      let worst = Float.max input.Liberty.rise input.Liberty.fall in
+      { rise = worst +. pa.Liberty.rise; fall = worst +. pa.fall })
+
+(* Backward counterpart: given the worst remaining delay [db] indexed by
+   the transition at the gate's *output*, the worst remaining delay
+   indexed by the transition at the given input pin. *)
+let back_pin mdl un (pa : Liberty.arc) (db : Liberty.arc) : Liberty.arc =
+  match mdl with
+  | Gate_based ->
+    let d = Liberty.arc_max pa in
+    let worst = Float.max db.Liberty.rise db.Liberty.fall in
+    { rise = d +. worst; fall = d +. worst }
+  | Path_based -> (
+    match un with
+    | Cell_kind.Positive ->
+      { rise = pa.Liberty.rise +. db.Liberty.rise; fall = pa.fall +. db.fall }
+    | Cell_kind.Negative ->
+      (* input rise -> output fall *)
+      { rise = pa.Liberty.fall +. db.Liberty.fall; fall = pa.rise +. db.rise }
+    | Cell_kind.Non_unate ->
+      let via_rise = pa.Liberty.rise +. db.Liberty.rise in
+      let via_fall = pa.Liberty.fall +. db.Liberty.fall in
+      let worst = Float.max via_rise via_fall in
+      { rise = worst; fall = worst })
+
+let analyse ?launch lib mdl net =
+  Array.iter
+    (fun v ->
+      if Netlist.is_seq net v then
+        invalid_arg "Sta.analyse: netlist contains sequential nodes")
+    (Netlist.seqs net);
+  let launch_time =
+    match launch with Some l -> l | None -> (Liberty.latch lib).Liberty.ck_to_q
+  in
+  let n = Netlist.node_count net in
+  let pin_arcs = Array.make n [||] in
+  let delay_max = Array.make n 0. in
+  for v = 0 to n - 1 do
+    match Netlist.kind net v with
+    | Netlist.Gate { fn; drive } ->
+      let cell = Liberty.comb_cell lib fn ~drive in
+      let load = Liberty.gate_load lib net v in
+      let n_pins = Array.length (Netlist.fanins net v) in
+      pin_arcs.(v) <-
+        Array.init n_pins (fun pin -> Liberty.pin_arc cell ~pin ~load);
+      delay_max.(v) <- Liberty.cell_delay_max cell ~n_pins ~load
+    | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()
+  done;
+  let arr = Array.make n neg_inf_arc in
+  Array.iter
+    (fun v ->
+      match Netlist.kind net v with
+      | Netlist.Input ->
+        arr.(v) <- { rise = launch_time; fall = launch_time }
+      | Netlist.Output -> arr.(v) <- arr.((Netlist.fanins net v).(0))
+      | Netlist.Gate { fn; _ } ->
+        let best = ref neg_inf_arc in
+        Array.iteri
+          (fun pin u ->
+            let out =
+              through_pin mdl (Cell_kind.unateness fn pin) pin_arcs.(v).(pin)
+                arr.(u)
+            in
+            best := arc_max2 !best out)
+          (Netlist.fanins net v);
+        arr.(v) <- !best
+      | Netlist.Seq _ -> assert false)
+    (Netlist.topo_comb net);
+  { net; lib; mdl; launch_time; pin_arcs; delay_max; arr; back_all_cache = None }
+
+let arrival_arc t v = t.arr.(v)
+let df t v = Liberty.arc_max t.arr.(v)
+let arrival_at_sink t v = df t v
+
+(* Shared backward DP: [init] marks the starting arcs per node. *)
+let backward_from t init =
+  let n = Netlist.node_count t.net in
+  let db = Array.make n neg_inf_arc in
+  Array.iteri (fun v a -> db.(v) <- a) init;
+  let topo = Netlist.topo_comb t.net in
+  for i = n - 1 downto 0 do
+    let w = topo.(i) in
+    if db.(w).Liberty.rise > neg_infinity || db.(w).Liberty.fall > neg_infinity
+    then begin
+      match Netlist.kind t.net w with
+      | Netlist.Input -> ()
+      | Netlist.Output ->
+        let u = (Netlist.fanins t.net w).(0) in
+        db.(u) <- arc_max2 db.(u) db.(w)
+      | Netlist.Gate { fn; _ } ->
+        Array.iteri
+          (fun pin u ->
+            let contrib =
+              back_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(w).(pin)
+                db.(w)
+            in
+            db.(u) <- arc_max2 db.(u) contrib)
+          (Netlist.fanins t.net w)
+      | Netlist.Seq _ -> assert false
+    end
+  done;
+  db
+
+let backward t ~sink =
+  (match Netlist.kind t.net sink with
+  | Netlist.Output -> ()
+  | _ -> invalid_arg "Sta.backward: sink must be an Output node");
+  let init = Array.make (Netlist.node_count t.net) neg_inf_arc in
+  init.(sink) <- zero_arc;
+  backward_from t init
+
+let backward_scalar t ~sink =
+  Array.map Liberty.arc_max (backward t ~sink)
+
+let backward_all t =
+  match t.back_all_cache with
+  | Some r -> r
+  | None ->
+    let init = Array.make (Netlist.node_count t.net) neg_inf_arc in
+    Array.iter (fun s -> init.(s) <- zero_arc) (Netlist.outputs t.net);
+    let r = Array.map Liberty.arc_max (backward_from t init) in
+    t.back_all_cache <- Some r;
+    r
+
+let through t ~driver ~via arc =
+  match Netlist.kind t.net via with
+  | Netlist.Output ->
+    if (Netlist.fanins t.net via).(0) <> driver then
+      invalid_arg "Sta.through: driver does not feed via";
+    arc
+  | Netlist.Gate { fn; _ } ->
+    let best = ref neg_inf_arc in
+    Array.iteri
+      (fun pin u ->
+        if u = driver then
+          best :=
+            arc_max2 !best
+              (through_pin t.mdl (Cell_kind.unateness fn pin)
+                 t.pin_arcs.(via).(pin) arc))
+      (Netlist.fanins t.net via);
+    if !best.Liberty.rise = neg_infinity && !best.Liberty.fall = neg_infinity
+    then invalid_arg "Sta.through: driver does not feed via";
+    !best
+  | Netlist.Input | Netlist.Seq _ ->
+    invalid_arg "Sta.through: via must be a gate or sink"
+
+let latch_out t ~clocking ~latch u =
+  let open_t = Clocking.slave_open clocking +. latch.Liberty.ck_to_q in
+  let d_to_q = latch.Liberty.d_to_q in
+  let a = t.arr.(u) in
+  {
+    Liberty.rise = Float.max open_t (a.Liberty.rise +. d_to_q);
+    fall = Float.max open_t (a.Liberty.fall +. d_to_q);
+  }
+
+let arrival_with_slave_after t ~clocking ~latch ~u ~v ~db =
+  let lo = latch_out t ~clocking ~latch u in
+  let out = through t ~driver:u ~via:v lo in
+  Float.max
+    (out.Liberty.rise +. db.(v).Liberty.rise)
+    (out.Liberty.fall +. db.(v).Liberty.fall)
+
+let forward_with_latches t ~clocking ~latch ~latched =
+  let open_t = Clocking.slave_open clocking +. latch.Liberty.ck_to_q in
+  let d_to_q = latch.Liberty.d_to_q in
+  let through_latch (a : Liberty.arc) =
+    {
+      Liberty.rise = Float.max open_t (a.Liberty.rise +. d_to_q);
+      fall = Float.max open_t (a.Liberty.fall +. d_to_q);
+    }
+  in
+  let n = Netlist.node_count t.net in
+  let arr = Array.make n neg_inf_arc in
+  Array.iter
+    (fun v ->
+      match Netlist.kind t.net v with
+      | Netlist.Input ->
+        arr.(v) <- { rise = t.launch_time; fall = t.launch_time }
+      | Netlist.Output ->
+        let u = (Netlist.fanins t.net v).(0) in
+        let a = if latched ~v ~pin:0 then through_latch arr.(u) else arr.(u) in
+        arr.(v) <- a
+      | Netlist.Gate { fn; _ } ->
+        let best = ref neg_inf_arc in
+        Array.iteri
+          (fun pin u ->
+            let input =
+              if latched ~v ~pin then through_latch arr.(u) else arr.(u)
+            in
+            let out =
+              through_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(v).(pin)
+                input
+            in
+            best := arc_max2 !best out)
+          (Netlist.fanins t.net v);
+        arr.(v) <- !best
+      | Netlist.Seq _ -> assert false)
+    (Netlist.topo_comb t.net);
+  arr
+
+let sink_summary t ~clocking =
+  ignore clocking;
+  Array.map (fun s -> (s, arrival_at_sink t s)) (Netlist.outputs t.net)
+
+let near_critical t ~clocking =
+  let period = Clocking.period clocking in
+  Array.fold_right
+    (fun s acc -> if arrival_at_sink t s > period then s :: acc else acc)
+    (Netlist.outputs t.net) []
+
+let violations t ~clocking =
+  let limit = Clocking.max_delay clocking in
+  Array.fold_right
+    (fun s acc ->
+      if arrival_at_sink t s > limit +. 1e-9 then s :: acc else acc)
+    (Netlist.outputs t.net) []
+
+let wns t ~clocking =
+  let limit = Clocking.max_delay clocking in
+  Array.fold_left
+    (fun acc s -> Float.min acc (limit -. arrival_at_sink t s))
+    infinity (Netlist.outputs t.net)
+
+(* ------------------------------------------------------------------ *)
+(* Path reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type path_step = {
+  node : int;
+  incr : float;
+  arrival : float;
+  edge : [ `Rise | `Fall ];
+}
+
+let worst_edge (a : Liberty.arc) =
+  if a.Liberty.rise >= a.Liberty.fall then (`Rise, a.Liberty.rise)
+  else (`Fall, a.Liberty.fall)
+
+let critical_path t ~sink =
+  (match Netlist.kind t.net sink with
+  | Netlist.Output -> ()
+  | _ -> invalid_arg "Sta.critical_path: sink must be an Output node");
+  (* Walk back greedily: at each node pick the fanin/pin/edge pairing
+     that explains the node's worst arrival. *)
+  let rec walk v edge acc =
+    let arrival =
+      match edge with
+      | `Rise -> t.arr.(v).Liberty.rise
+      | `Fall -> t.arr.(v).Liberty.fall
+    in
+    match Netlist.kind t.net v with
+    | Netlist.Input -> { node = v; incr = 0.; arrival; edge } :: acc
+    | Netlist.Output ->
+      let u = (Netlist.fanins t.net v).(0) in
+      walk u edge ({ node = v; incr = 0.; arrival; edge } :: acc)
+    | Netlist.Gate { fn; _ } ->
+      (* find the (pin, input edge) whose propagation equals arrival *)
+      let best = ref None in
+      Array.iteri
+        (fun pin u ->
+          let out =
+            through_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(v).(pin)
+              t.arr.(u)
+          in
+          let v_arr = match edge with
+            | `Rise -> out.Liberty.rise
+            | `Fall -> out.Liberty.fall
+          in
+          if Float.abs (v_arr -. arrival) < 1e-9 && !best = None then begin
+            (* reconstruct which input edge produced it *)
+            let in_edge =
+              match (t.mdl, Cell_kind.unateness fn pin, edge) with
+              | Gate_based, _, _ | _, Cell_kind.Non_unate, _ ->
+                let a = t.arr.(u) in
+                if a.Liberty.rise >= a.Liberty.fall then `Rise else `Fall
+              | _, Cell_kind.Positive, e -> e
+              | _, Cell_kind.Negative, `Rise -> `Fall
+              | _, Cell_kind.Negative, `Fall -> `Rise
+            in
+            best := Some (u, in_edge)
+          end)
+        (Netlist.fanins t.net v);
+      (match !best with
+      | Some (u, in_edge) ->
+        let in_arr =
+          match in_edge with
+          | `Rise -> t.arr.(u).Liberty.rise
+          | `Fall -> t.arr.(u).Liberty.fall
+        in
+        walk u in_edge
+          ({ node = v; incr = arrival -. in_arr; arrival; edge } :: acc)
+      | None ->
+        (* numeric slack; stop the trace here *)
+        { node = v; incr = 0.; arrival; edge } :: acc)
+    | Netlist.Seq _ -> assert false
+  in
+  let e, _ = worst_edge t.arr.(sink) in
+  walk sink e []
+
+let report_path t ~clocking ~sink =
+  let steps = critical_path t ~sink in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "Startpoint: %s\nEndpoint:   %s (%s)\n"
+       (match steps with
+       | s :: _ -> Netlist.node_name t.net s.node
+       | [] -> "?")
+       (Netlist.node_name t.net sink)
+       (model_name t.mdl));
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %6s %9s %9s\n" "point" "edge" "incr" "arrival");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %6s %9.4f %9.4f\n"
+           (Netlist.node_name t.net s.node)
+           (match s.edge with `Rise -> "r" | `Fall -> "f")
+           s.incr s.arrival))
+    steps;
+  let arrival = arrival_at_sink t sink in
+  let period = Clocking.period clocking in
+  let limit = Clocking.max_delay clocking in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%-24s %6s %9s %9.4f\n%-24s %6s %9s %9.4f\nendpoint arrival %.4f: %s\n"
+       "period Pi" "" "" period "max delay P" "" "" limit arrival
+       (if arrival > limit +. 1e-9 then "VIOLATED"
+        else if arrival > period +. 1e-9 then
+          "inside resiliency window (needs error detection)"
+        else "met before the window"));
+  Buffer.contents buf

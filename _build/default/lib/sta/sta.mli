@@ -1,0 +1,139 @@
+(** Static timing analysis over a combinational circuit.
+
+    Operates on the [comb] netlist of a {!Rar_netlist.Transform.comb_circuit}:
+    [Input] nodes are master launch points (time = [launch], normally the
+    master clock-to-Q), [Output] nodes are capture points. Two delay
+    models (paper §VI-B):
+
+    - {b gate-based} — each gate contributes its single worst pin/worst
+      transition delay; the model of the original DAC'17 paper [16];
+    - {b path-based} — rise/fall arrivals paired through each cell's
+      pin-to-pin arcs and unateness, i.e. only "valid combinations of
+      rise and fall delays" propagate, mirroring the commercial engine
+      used in the journal version.
+
+    Both are expressed over {!Liberty.arc} pairs; the gate-based model
+    simply collapses each arc to its max, so downstream code is
+    model-agnostic. *)
+
+module Netlist = Rar_netlist.Netlist
+module Liberty = Rar_liberty.Liberty
+module Transform = Rar_netlist.Transform
+
+type model = Gate_based | Path_based
+
+val model_name : model -> string
+
+type t
+
+val analyse : ?launch:float -> Liberty.t -> model -> Netlist.t -> t
+(** Forward-propagate arrivals. [launch] (default: the library latch's
+    clock-to-Q) is the arrival time at every [Input] node. Loads are
+    computed from the netlist's current fanouts and drives. Raises
+    [Invalid_argument] if the netlist contains sequential nodes. *)
+
+val netlist : t -> Netlist.t
+val library : t -> Liberty.t
+val model : t -> model
+val launch : t -> float
+
+(** {1 Forward times} *)
+
+val arrival_arc : t -> int -> Liberty.arc
+(** Arrival at node output: [rise] = latest output-rising transition. *)
+
+val df : t -> int -> float
+(** [D^f(v)]: scalar worst arrival at the output of [v] (Eq. 5's
+    forward term). For [Output] sink nodes this is the capture-point
+    arrival. *)
+
+val arrival_at_sink : t -> int -> float
+(** Arrival at an [Output] node's input; equals [df] of the sink (sinks
+    are zero-delay). *)
+
+(** {1 Backward delays} *)
+
+val backward : t -> sink:int -> Liberty.arc array
+(** [D^b(v, t)] for every node [v]: worst delay from a transition at
+    the {e output} of [v] to the sink [t], excluding [v]'s own delay;
+    indexed by the transition polarity at [v]. Nodes outside the fan-in
+    cone of [t] hold [neg_infinity] arcs. [backward t ~sink] of the
+    sink itself is the zero arc. *)
+
+val backward_scalar : t -> sink:int -> float array
+(** Max of the {!backward} arcs. *)
+
+val backward_all : t -> float array
+(** Per node, [max] over every sink of [D^b(v,t)] — one multi-sink
+    pass; used for the [V_m] region test (Constraint 7). *)
+
+(** {1 Edge propagation} *)
+
+val through : t -> driver:int -> via:int -> Liberty.arc -> Liberty.arc
+(** [through t ~driver ~via arc]: arc at the output of gate [via] when
+    its pin(s) driven by [driver] switch at [arc]. Worst pin when
+    [driver] feeds several pins. [via] may be a sink ([Output]) node,
+    in which case the arc passes through unchanged. *)
+
+val latch_out :
+  t -> clocking:Clocking.t -> latch:Liberty.seq_cell -> int -> Liberty.arc
+(** Output timing of a slave latch placed just after node [u]
+    (the inner [max] of Eq. 5): per polarity,
+    [max (slave_open + ck_to_q) (arrival_u + d_to_q)]. *)
+
+val arrival_with_slave_after :
+  t -> clocking:Clocking.t -> latch:Liberty.seq_cell -> u:int -> v:int ->
+  db:Liberty.arc array -> float
+(** [A(u,v,t)] of Eq. 5: worst arrival at the sink whose {!backward}
+    arcs are [db], through a slave latch on edge [(u,v)]. *)
+
+val forward_with_latches :
+  t ->
+  clocking:Clocking.t ->
+  latch:Liberty.seq_cell ->
+  latched:(v:int -> pin:int -> bool) ->
+  Liberty.arc array
+(** Arrival at every node when selected input pins are fed through a
+    slave latch: a latched pin sees
+    [max (slave_open + ck_to_q) (arrival + d_to_q)] per polarity before
+    the cell arc. This is the verification pass run after retiming: it
+    yields the true capture arrivals for any slave placement (and the
+    arrival of the un-retimed design when all source-driven pins are
+    latched). *)
+
+(** {1 Endpoint reports} *)
+
+val sink_summary : t -> clocking:Clocking.t -> (int * float) array
+(** [(sink node, arrival)] for every [Output] node. *)
+
+val near_critical : t -> clocking:Clocking.t -> int list
+(** Sinks whose arrival falls inside the resiliency window
+    [(period, period + phi1]] — the NCE count of Table I. *)
+
+val violations : t -> clocking:Clocking.t -> int list
+(** Sinks whose arrival exceeds [max_delay] — illegal even with error
+    detection. *)
+
+val wns : t -> clocking:Clocking.t -> float
+(** Worst negative slack against [max_delay] (positive = met). *)
+
+(** {1 Path reports} *)
+
+type path_step = {
+  node : int;
+  incr : float;       (** delay added by this node's stage *)
+  arrival : float;    (** cumulative arrival at the node's output *)
+  edge : [ `Rise | `Fall ];
+}
+
+val critical_path : t -> sink:int -> path_step list
+(** Trace the worst path into [sink] back to its launching source, in
+    source-to-sink order — the information a commercial
+    [report_timing] prints. The first step is the source (arrival =
+    launch), the last the sink. *)
+
+val report_path :
+  t -> clocking:Clocking.t -> sink:int -> string
+(** Render {!critical_path} as a classic timing report with per-stage
+    increments, the period/max-delay lines and the resiliency-window
+    verdict for the endpoint. *)

@@ -1,0 +1,49 @@
+type 'a t = (float * 'a) Vec.t
+
+let create () = Vec.create ()
+let length = Vec.length
+let is_empty t = Vec.is_empty t
+let clear = Vec.clear
+
+let swap t i j =
+  let x = Vec.get t i in
+  Vec.set t i (Vec.get t j);
+  Vec.set t j x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst (Vec.get t i) < fst (Vec.get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && fst (Vec.get t l) < fst (Vec.get t !smallest) then smallest := l;
+  if r < n && fst (Vec.get t r) < fst (Vec.get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t p x =
+  Vec.add_last t (p, x);
+  sift_up t (Vec.length t - 1)
+
+let peek_min t = if Vec.is_empty t then None else Some (Vec.get t 0)
+
+let pop_min t =
+  if Vec.is_empty t then None
+  else begin
+    let top = Vec.get t 0 in
+    let last = Vec.pop_last t in
+    if not (Vec.is_empty t) then begin
+      Vec.set t 0 last;
+      sift_down t 0
+    end;
+    Some top
+  end

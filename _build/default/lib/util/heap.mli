@@ -1,0 +1,13 @@
+(** Binary min-heap keyed by floats, used by Dijkstra-style searches and
+    the event-driven simulator. Entries are (priority, payload) pairs;
+    duplicates are allowed (lazy-deletion style usage). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> float -> 'a -> unit
+val pop_min : 'a t -> (float * 'a) option
+val peek_min : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

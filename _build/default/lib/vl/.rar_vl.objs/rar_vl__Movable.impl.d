@@ -1,0 +1,1 @@
+lib/vl/movable.ml: Array List Rar_liberty Rar_netlist Rar_retime Rar_sta Sys Vl

@@ -1,0 +1,1 @@
+lib/vl/movable.mli: Rar_liberty Rar_netlist Rar_sta Vl

@@ -1,0 +1,1 @@
+lib/vl/vl.ml: Array List Logs Printf Rar_flow Rar_liberty Rar_netlist Rar_retime Rar_sta Sys

@@ -1,0 +1,1 @@
+lib/vl/vl.mli: Rar_flow Rar_liberty Rar_netlist Rar_retime Rar_sta

@@ -1,0 +1,132 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Clocking = Rar_sta.Clocking
+module Outcome = Rar_retime.Outcome
+module B = Netlist.Builder
+
+type t = {
+  fixed : Vl.t;
+  movable : Vl.t;
+  moves_tried : int;
+  moves_kept : int;
+  runtime_s : float;
+}
+
+(* The slave fed by a master (its only sequential fanout). *)
+let slave_of net m =
+  Array.fold_left
+    (fun acc v ->
+      match Netlist.kind net v with
+      | Netlist.Seq Netlist.Slave when acc = None -> Some v
+      | _ -> acc)
+    None (Netlist.fanouts net m)
+
+(* A master can retime backward across its driver [g] when [g] is a
+   single-input gate whose only fanout is the master: the move is then
+   one-for-one (no register duplication). *)
+let backward_candidate net m =
+  match Netlist.kind net m with
+  | Netlist.Seq Netlist.Master -> (
+    let g = (Netlist.fanins net m).(0) in
+    match Netlist.kind net g with
+    | Netlist.Gate _
+      when Array.length (Netlist.fanins net g) = 1
+           && Netlist.fanouts net g = [| m |] -> (
+      match slave_of net m with Some s -> Some (g, s) | None -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Rebuild the netlist with the master/slave pair moved backward across
+   [g]: x -> m -> s -> g -> (old fanouts of s). *)
+let apply_backward net m g s =
+  let x = (Netlist.fanins net g).(0) in
+  let n = Netlist.node_count net in
+  let b = B.create ~name:(Netlist.name net) () in
+  let fresh = Array.make n (-1) in
+  let deferred = ref [] in
+  for v = 0 to n - 1 do
+    let name = Netlist.node_name net v in
+    match Netlist.kind net v with
+    | Netlist.Input -> fresh.(v) <- B.add_input b name
+    | Netlist.Output ->
+      let id = B.add_output_deferred b name in
+      deferred := (id, v) :: !deferred
+    | Netlist.Gate { fn; drive } ->
+      let id = B.add_gate_deferred b name ~fn ~drive () in
+      fresh.(v) <- id;
+      deferred := (id, v) :: !deferred
+    | Netlist.Seq role ->
+      let id = B.add_seq_deferred b name ~role in
+      fresh.(v) <- id;
+      deferred := (id, v) :: !deferred
+  done;
+  List.iter
+    (fun (id, v) ->
+      let fanins =
+        if v = m then [ fresh.(x) ]
+        else if v = g then [ fresh.(s) ]
+        else
+          Array.to_list
+            (Array.map
+               (fun u -> if u = s && v <> g then fresh.(g) else fresh.(u))
+               (Netlist.fanins net v))
+      in
+      B.connect b id ~fanins)
+    !deferred;
+  B.freeze b
+
+let total_area (r : Vl.t) = r.Vl.outcome.Outcome.total_area
+
+let run ?(max_moves = 6) ~lib ~clocking ~c two_phase =
+  let t0 = Sys.time () in
+  let run_vl net =
+    Vl.run ~lib ~clocking ~c Vl.Rvl (Transform.extract_comb net)
+  in
+  match run_vl two_phase with
+  | Error e -> Error ("Movable: " ^ e)
+  | Ok fixed ->
+    (* Candidate masters: the error-detecting ones (a backward move
+       shortens their capture path), identified by name so ids survive
+       the rebuilds. *)
+    let cc = Rar_retime.Stage.cc fixed.Vl.stage in
+    let comb = cc.Transform.comb in
+    let master_names =
+      List.filter_map
+        (fun sink ->
+          let orig =
+            Array.fold_left
+              (fun acc (cs, ov) -> if cs = sink then Some ov else acc)
+              None cc.Transform.sink_of
+          in
+          match orig with
+          | Some ov
+            when Netlist.kind two_phase ov = Netlist.Seq Netlist.Master ->
+            Some (Netlist.node_name two_phase ov)
+          | _ -> None)
+        fixed.Vl.outcome.Outcome.ed_sinks
+    in
+    ignore comb;
+    let rec search net best tried kept = function
+      | [] -> (net, best, tried, kept)
+      | _ when tried >= max_moves -> (net, best, tried, kept)
+      | name :: rest -> (
+        match Netlist.find net name with
+        | None -> search net best tried kept rest
+        | Some m -> (
+          match backward_candidate net m with
+          | None -> search net best tried kept rest
+          | Some (g, s) -> (
+            let net' = apply_backward net m g s in
+            match run_vl net' with
+            | Error _ -> search net best (tried + 1) kept rest
+            | Ok r ->
+              if total_area r < total_area best -. 1e-9 then
+                search net' r (tried + 1) (kept + 1) rest
+              else search net best (tried + 1) kept rest)))
+    in
+    let _net, movable, moves_tried, moves_kept =
+      search two_phase fixed 0 0 master_names
+    in
+    Ok { fixed; movable; moves_tried; moves_kept;
+         runtime_s = Sys.time () -. t0 }

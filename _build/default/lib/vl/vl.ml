@@ -1,0 +1,163 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+module Stage = Rar_retime.Stage
+module Rgraph = Rar_retime.Rgraph
+module Outcome = Rar_retime.Outcome
+module Sizing = Rar_retime.Sizing
+
+let src = Logs.Src.create "rar.vl" ~doc:"Virtual-library retiming"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type variant = Nvl | Evl | Rvl
+
+let variant_name = function Nvl -> "NVL" | Evl -> "EVL" | Rvl -> "RVL"
+let all_variants = [ Nvl; Evl; Rvl ]
+
+type t = {
+  outcome : Outcome.t;
+  stage : Stage.t;
+  initial_ed : int list;
+  forced_to_ed : int list;
+  swapped_to_non_ed : int list;
+  retype_rounds : int;
+  runtime_s : float;
+}
+
+let eps = 1e-9
+
+(* Setup constraints a non-ED master imposes on the retimer: no slave
+   latch on any cone edge whose A exceeds the period, and no source may
+   keep its shared initial latch if that would cover such an edge. *)
+let forbidden_for stage sink =
+  let net = Stage.comb stage in
+  let edges = Stage.window_edges stage sink in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun (u, v) ->
+         if Netlist.kind net u = Netlist.Input then [ (u, v); (u, u) ]
+         else [ (u, v) ])
+       edges)
+
+let seed_types stage variant =
+  let sinks = Array.to_list (Stage.sinks stage) in
+  match variant with
+  | Evl -> sinks
+  | Nvl -> []
+  | Rvl -> Stage.near_critical_initial stage
+
+let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
+  let t0 = Sys.time () in
+  let sinks = Array.to_list (Stage.sinks stage) in
+  let initial_ed = seed_types stage variant in
+  let period = Clocking.period (Stage.clocking stage) in
+  let limit = Clocking.max_delay (Stage.clocking stage) in
+  (* Masters that can never avoid the window cannot honour a non-ED
+     seed; flip them before retiming, as the tool's timing engine
+     would. *)
+  let hopeless s =
+    match Stage.classify stage s with
+    | Stage.Always_ed -> true
+    | Stage.Never_ed | Stage.Target _ -> false
+  in
+  let rec attempt ed_set rounds =
+    if rounds > List.length sinks + 1 then
+      Error "Vl: retyping failed to converge"
+    else begin
+      let non_ed = List.filter (fun s -> not (List.mem s ed_set)) sinks in
+      let forbidden = List.concat_map (forbidden_for stage) non_ed in
+      let g = Rgraph.build ~forbidden_edges:forbidden ~bias_early:true stage in
+      match Rgraph.solve ?engine g with
+      | Ok r -> Ok (ed_set, rounds, g, r)
+      | Error _ ->
+        (* The typed constraints are collectively unsatisfiable: flip
+           the non-ED master with the longest path, like a designer
+           chasing the worst violator. *)
+        let worst =
+          List.fold_left
+            (fun acc s ->
+              match acc with
+              | None -> Some s
+              | Some b ->
+                if Stage.max_path stage s > Stage.max_path stage b then Some s
+                else acc)
+            None non_ed
+        in
+        (match worst with
+        | None -> Error "Vl: infeasible even with every master error-detecting"
+        | Some s ->
+          Log.debug (fun m ->
+              m "retype %s to error-detecting"
+                (Netlist.node_name (Stage.comb stage) s));
+          attempt (s :: ed_set) (rounds + 1))
+    end
+  in
+  let seed = List.sort_uniq compare (initial_ed @ List.filter hopeless sinks) in
+  match attempt seed 0 with
+  | Error e -> Error ("Vl: " ^ e)
+  | Ok (typed_ed, rounds, g, r) -> (
+    let placements = Rgraph.placements_of g r in
+    match Rgraph.check_legal g placements with
+    | Error e -> Error ("Vl: " ^ e)
+    | Ok () -> (
+      (* Size-only incremental compile against the typed deadlines. *)
+      let deadline s = if List.mem s typed_ed then limit else period in
+      match Sizing.fix ~deadlines:deadline stage placements with
+      | Error e -> Error ("Vl: " ^ e)
+      | Ok stage' ->
+        (* Mandatory fixes: non-ED masters still inside the window
+           become error-detecting. *)
+        let tmp = Outcome.assemble ~ed:typed_ed ~c stage' placements in
+        let arrival s =
+          match
+            Array.find_opt (fun (s', _) -> s' = s) tmp.Outcome.arrivals
+          with
+          | Some (_, a) -> a
+          | None -> 0.
+        in
+        let forced_to_ed =
+          List.filter
+            (fun s -> (not (List.mem s typed_ed)) && arrival s > period +. eps)
+            sinks
+        in
+        let ed_fixed = List.sort_uniq compare (typed_ed @ forced_to_ed) in
+        (* Optional saving swap: EDL masters that meet the non-ED setup
+           go back to normal latches. *)
+        let swapped_to_non_ed =
+          if post_swap then
+            List.filter (fun s -> arrival s <= period +. eps) ed_fixed
+          else []
+        in
+        let ed_final =
+          List.filter (fun s -> not (List.mem s swapped_to_non_ed)) ed_fixed
+        in
+        let outcome = Outcome.assemble ~ed:ed_final ~c stage' placements in
+        if outcome.Outcome.violations <> [] then
+          Error
+            (Printf.sprintf "Vl: %d sinks violate max delay after sizing"
+               (List.length outcome.Outcome.violations))
+        else
+          Ok
+            {
+              outcome;
+              stage = stage';
+              initial_ed;
+              forced_to_ed;
+              swapped_to_non_ed;
+              retype_rounds = rounds;
+              runtime_s = Sys.time () -. t0;
+            }))
+
+let run ?engine ?(model = Sta.Path_based) ?post_swap ~lib ~clocking ~c variant
+    cc =
+  let t0 = Sys.time () in
+  match Stage.make ~model ~lib ~clocking cc with
+  | Error e -> Error ("Vl: " ^ e)
+  | Ok stage -> (
+    match run_on_stage ?engine ?post_swap ~c variant stage with
+    | Error _ as e -> e
+    | Ok r -> Ok { r with runtime_s = Sys.time () -. t0 })

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_circuits Test_classic Test_extensions Test_fig4 Test_flow Test_liberty Test_netlist Test_report Test_resynth Test_retime Test_sim Test_sta Test_util Test_vl

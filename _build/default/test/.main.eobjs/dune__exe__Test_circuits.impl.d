@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Rar_circuits Rar_netlist Rar_retime Rar_sta

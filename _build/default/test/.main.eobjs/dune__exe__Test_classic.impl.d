@@ -1,0 +1,1 @@
+test/test_classic.ml: Alcotest Option Printf Rar_circuits Rar_flow Rar_liberty Rar_netlist Rar_retime

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array QCheck QCheck_alcotest Rar_circuits Rar_flow Rar_liberty Rar_netlist Rar_retime Rar_sim Rar_util Result String

@@ -1,0 +1,1 @@
+test/test_fig4.ml: Alcotest List Rar_circuits Rar_flow Rar_netlist Rar_retime Rar_sta

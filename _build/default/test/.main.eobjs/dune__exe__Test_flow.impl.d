@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rar_flow Rar_util String

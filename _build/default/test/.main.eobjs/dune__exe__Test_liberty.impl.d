@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest List Printf Rar_circuits Rar_liberty Rar_netlist

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Gen List Option Printf QCheck QCheck_alcotest Rar_circuits Rar_netlist String

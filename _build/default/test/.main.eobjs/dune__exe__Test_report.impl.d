@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Lazy List Option Printf Rar_report Rar_retime String

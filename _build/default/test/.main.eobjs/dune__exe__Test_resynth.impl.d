@@ -1,0 +1,1 @@
+test/test_resynth.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest Rar_circuits Rar_liberty Rar_netlist Rar_retime Rar_util

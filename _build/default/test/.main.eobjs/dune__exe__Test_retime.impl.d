@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Array Float Hashtbl List Printf QCheck QCheck_alcotest Rar_circuits Rar_flow Rar_liberty Rar_netlist Rar_retime Rar_sta

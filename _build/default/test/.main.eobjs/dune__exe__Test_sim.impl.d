@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Lazy List Rar_circuits Rar_netlist Rar_retime Rar_sim

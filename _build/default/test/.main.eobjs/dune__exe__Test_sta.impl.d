@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float Hashtbl List Option Printf QCheck QCheck_alcotest Rar_circuits Rar_liberty Rar_netlist Rar_sta Rar_util String

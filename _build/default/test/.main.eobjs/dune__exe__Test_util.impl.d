@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List QCheck QCheck_alcotest Rar_util

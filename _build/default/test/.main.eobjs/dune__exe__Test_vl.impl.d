@@ -1,0 +1,1 @@
+test/test_vl.ml: Alcotest Array Lazy List Option Rar_circuits Rar_liberty Rar_netlist Rar_retime Rar_sta Rar_vl

@@ -1,0 +1,74 @@
+(* Manual smoke driver: prepare benchmarks and run every engine once. *)
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Vl = Rar_vl.Vl
+module Stats = Rar_netlist.Stats
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ -> [ "s1196"; "s1423"; "s5378" ]
+  in
+  List.iter
+    (fun name ->
+      let t0 = Sys.time () in
+      match Suite.load name with
+      | Error e -> Printf.printf "%s: LOAD FAIL %s\n%!" name e
+      | Ok p ->
+        let st = Stats.compute p.Suite.flop_netlist in
+        Printf.printf
+          "%s: gates=%d flops=%d pi=%d po=%d depth=%d P=%.3f nce=%d area=%.1f \
+           (prep %.2fs)\n%!"
+          name st.Stats.n_gates st.Stats.n_flops st.Stats.n_inputs
+          st.Stats.n_outputs st.Stats.depth p.Suite.p p.Suite.nce
+          p.Suite.flop_area (Sys.time () -. t0);
+        (match
+           Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
+         with
+        | Error e -> Printf.printf "  stage FAIL: %s\n%!" e
+        | Ok stage ->
+          Format.printf "  %a@." Stage.pp_summary stage;
+          List.iter
+            (fun c ->
+              (match Grar.run_on_stage ~c stage with
+              | Error e -> Printf.printf "  grar c=%.1f FAIL: %s\n%!" c e
+              | Ok r ->
+                Printf.printf
+                  "  grar c=%.1f: slaves=%d edl=%d seq=%.1f total=%.1f \
+                   (%.2fs)\n%!"
+                  c r.Grar.outcome.Outcome.n_slaves
+                  (Outcome.ed_count r.Grar.outcome)
+                  r.Grar.outcome.Outcome.seq_area
+                  r.Grar.outcome.Outcome.total_area r.Grar.runtime_s);
+              (match Base.run_on_stage ~c stage with
+              | Error e -> Printf.printf "  base c=%.1f FAIL: %s\n%!" c e
+              | Ok r ->
+                Printf.printf
+                  "  base c=%.1f: slaves=%d edl=%d seq=%.1f total=%.1f \
+                   (%.2fs)\n%!"
+                  c r.Base.outcome.Outcome.n_slaves
+                  (Outcome.ed_count r.Base.outcome)
+                  r.Base.outcome.Outcome.seq_area
+                  r.Base.outcome.Outcome.total_area r.Base.runtime_s);
+              List.iter
+                (fun variant ->
+                  match Vl.run_on_stage ~c variant stage with
+                  | Error e ->
+                    Printf.printf "  %s c=%.1f FAIL: %s\n%!"
+                      (Vl.variant_name variant) c e
+                  | Ok r ->
+                    Printf.printf
+                      "  %s c=%.1f: slaves=%d edl=%d seq=%.1f total=%.1f \
+                       (%.2fs)\n%!"
+                      (Vl.variant_name variant) c
+                      r.Vl.outcome.Outcome.n_slaves
+                      (Outcome.ed_count r.Vl.outcome)
+                      r.Vl.outcome.Outcome.seq_area
+                      r.Vl.outcome.Outcome.total_area r.Vl.runtime_s)
+                Vl.all_variants)
+            [ 0.5; 2.0 ]))
+    names

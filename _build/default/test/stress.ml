@@ -1,0 +1,59 @@
+(* One-off stress: all property invariants over many generated circuits
+   and every engine; run manually (not part of dune runtest). *)
+module Spec = Rar_circuits.Spec
+module Generator = Rar_circuits.Generator
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Rgraph = Rar_retime.Rgraph
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Vl = Rar_vl.Vl
+module Outcome = Rar_retime.Outcome
+module Difflp = Rar_flow.Difflp
+
+let () =
+  let fails = ref 0 in
+  for seed = 0 to 60 do
+    let spec =
+      { Spec.name = "stress"; n_flops = 10 + (seed mod 25);
+        n_pi = 3 + (seed mod 7); n_po = 2 + (seed mod 5);
+        n_gates = 150 + (11 * (seed mod 31)); depth = 6 + (seed mod 9);
+        nce_target = 2 + (seed mod 8); seed = Printf.sprintf "stress%d" seed }
+    in
+    let p = Suite.prepare (Generator.generate spec) in
+    match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
+    | Error e -> incr fails; Printf.printf "seed %d stage: %s\n" seed e
+    | Ok st ->
+      List.iter
+        (fun c ->
+          let check tag = function
+            | Error e -> incr fails; Printf.printf "seed %d %s c=%g: %s\n" seed tag c e
+            | Ok (o : Outcome.t) ->
+              if o.Outcome.violations <> [] then begin
+                incr fails;
+                Printf.printf "seed %d %s c=%g: violations\n" seed tag c
+              end
+          in
+          (* engine agreement on grar objective *)
+          let g = Rgraph.build ~edl_overhead:c st in
+          let objs =
+            List.filter_map
+              (fun e ->
+                match Rgraph.solve ~engine:e g with
+                | Ok r -> Some (Difflp.objective_value (Rgraph.lp g) r)
+                | Error _ -> None)
+              Difflp.all_engines
+          in
+          (match objs with
+          | x :: rest when List.for_all (fun y -> Float.abs (x -. y) < 1e-6) rest -> ()
+          | _ -> incr fails; Printf.printf "seed %d c=%g: engines disagree\n" seed c);
+          check "grar" (Result.map (fun (r : Grar.t) -> r.Grar.outcome) (Grar.run_on_stage ~c st));
+          check "base" (Result.map (fun (r : Base.t) -> r.Base.outcome) (Base.run_on_stage ~c st));
+          List.iter
+            (fun v ->
+              check (Vl.variant_name v)
+                (Result.map (fun (r : Vl.t) -> r.Vl.outcome) (Vl.run_on_stage ~c v st)))
+            Vl.all_variants)
+        [ 0.5; 1.0; 2.0 ]
+  done;
+  Printf.printf "stress failures: %d\n" !fails

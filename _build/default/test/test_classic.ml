@@ -1,0 +1,136 @@
+(* Classic Leiserson–Saxe retiming, validated on the canonical
+   correlator example (original period 24, minimum period 13). *)
+
+module Netlist = Rar_netlist.Netlist
+module Cell_kind = Rar_netlist.Cell_kind
+module Liberty = Rar_liberty.Liberty
+module Classic = Rar_retime.Classic
+module Difflp = Rar_flow.Difflp
+module Spec = Rar_circuits.Spec
+module Generator = Rar_circuits.Generator
+module B = Netlist.Builder
+
+(* delta cells (buf) have delay 3, adders (and) delay 7, as in the
+   paper's Figure 1 correlator *)
+let lib =
+  let latch =
+    { Liberty.seq_area = 1.; d_to_q = 0.; ck_to_q = 0.; setup = 0.;
+      seq_input_cap = 0. }
+  in
+  Liberty.synthetic ~name:"correlator" ~latch ~flop:latch
+    ~cells:[ ((Cell_kind.Buf, 1), 1., 3.0); ((Cell_kind.And, 1), 1., 7.0) ]
+
+let correlator () =
+  let b = B.create ~name:"correlator" () in
+  let pi = B.add_input b "x" in
+  let f0 = B.add_seq b "f0" ~role:Netlist.Flop ~fanin:pi in
+  let d1 = B.add_gate b "d1" ~fn:Cell_kind.Buf ~fanins:[ f0 ] () in
+  let f1 = B.add_seq b "f1" ~role:Netlist.Flop ~fanin:d1 in
+  let d2 = B.add_gate b "d2" ~fn:Cell_kind.Buf ~fanins:[ f1 ] () in
+  let f2 = B.add_seq b "f2" ~role:Netlist.Flop ~fanin:d2 in
+  let d3 = B.add_gate b "d3" ~fn:Cell_kind.Buf ~fanins:[ f2 ] () in
+  let a3 = B.add_gate b "a3" ~fn:Cell_kind.And ~fanins:[ d3; d3 ] () in
+  let a2 = B.add_gate b "a2" ~fn:Cell_kind.And ~fanins:[ d2; a3 ] () in
+  let a1 = B.add_gate b "a1" ~fn:Cell_kind.And ~fanins:[ d1; a2 ] () in
+  let _ = B.add_output b "y" ~fanin:a1 in
+  B.freeze b
+
+let graph () = Classic.of_netlist ~lib (correlator ())
+
+let test_period_of () =
+  Alcotest.(check (float 1e-9)) "original period 24" 24. (Classic.period_of (graph ()))
+
+let test_min_period () =
+  Alcotest.(check (float 1e-9)) "min period 13" 13. (Classic.min_period (graph ()))
+
+let test_feasibility_boundaries () =
+  let g = graph () in
+  Alcotest.(check bool) "13 feasible" true (Classic.feasible g ~period:13.);
+  Alcotest.(check bool) "12.9 infeasible" false (Classic.feasible g ~period:12.9);
+  Alcotest.(check bool) "24 feasible" true (Classic.feasible g ~period:24.)
+
+let test_retime_to_min () =
+  let g = graph () in
+  match Classic.retime g ~period:13. with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "achieves 13" true
+      (o.Classic.achieved_period <= 13. +. 1e-9);
+    Alcotest.(check int) "original registers" 3 o.Classic.registers_before;
+    Alcotest.(check bool) "netlist valid" true
+      (Netlist.validate o.Classic.retimed = Ok ());
+    (* the retimed netlist re-derives to a graph meeting the period *)
+    let g' = Classic.of_netlist ~lib o.Classic.retimed in
+    Alcotest.(check bool) "rederived period" true
+      (Classic.period_of g' <= 13. +. 1e-9)
+
+let test_engines_agree () =
+  let g = graph () in
+  match
+    (Classic.retime ~engine:Difflp.Network_simplex g ~period:13.,
+     Classic.retime ~engine:Difflp.Ssp g ~period:13.)
+  with
+  | Ok a, Ok b ->
+    Alcotest.(check int) "same register count" a.Classic.registers_after
+      b.Classic.registers_after
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_zero_cycle_rejected () =
+  (* a purely combinational PI -> PO path must be rejected without
+     environment registers *)
+  let b = B.create ~name:"comb" () in
+  let pi = B.add_input b "a" in
+  let g = B.add_gate b "g" ~fn:Cell_kind.Buf ~fanins:[ pi ] () in
+  let _ = B.add_output b "y" ~fanin:g in
+  let net = B.freeze b in
+  (match Classic.of_netlist ~lib net with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected zero-weight cycle rejection");
+  (* with one environment register it is accepted *)
+  ignore (Classic.of_netlist ~host_registers:1 ~lib net)
+
+let test_closure_rejected () =
+  match Classic.retime ~engine:Difflp.Closure (graph ()) ~period:13. with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "closure engine must be rejected"
+
+let test_generated_circuit () =
+  (* min-period retiming on a generated benchmark: the retimed period
+     can only improve, and register counts stay positive/finite *)
+  let spec =
+    { (Option.get (Spec.find "s1196")) with Spec.n_gates = 150; depth = 8 }
+  in
+  let net = Generator.generate spec in
+  let lib = Liberty.default () in
+  let g = Classic.of_netlist ~host_registers:1 ~lib net in
+  let p0 = Classic.period_of g in
+  let pmin = Classic.min_period g in
+  Alcotest.(check bool) "min <= original" true (pmin <= p0 +. 1e-9);
+  match Classic.retime g ~period:pmin with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (* moving registers changes fanout loads, so the re-measured period
+       may drift slightly above the load-frozen optimum — the same
+       effect the paper's size-only incremental compile cleans up *)
+    Alcotest.(check bool)
+      (Printf.sprintf "achieved %.3f vs predicted %.3f"
+         o.Classic.achieved_period pmin)
+      true
+      (o.Classic.achieved_period <= (pmin *. 1.15) +. 1e-6);
+    Alcotest.(check bool) "valid" true
+      (Netlist.validate o.Classic.retimed = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "correlator original period" `Quick test_period_of;
+    Alcotest.test_case "correlator min period = 13" `Quick test_min_period;
+    Alcotest.test_case "feasibility boundaries" `Quick
+      test_feasibility_boundaries;
+    Alcotest.test_case "retime to min period" `Quick test_retime_to_min;
+    Alcotest.test_case "simplex and ssp agree" `Quick test_engines_agree;
+    Alcotest.test_case "closure rejected" `Quick test_closure_rejected;
+    Alcotest.test_case "zero-weight cycle rejected" `Quick
+      test_zero_cycle_rejected;
+    Alcotest.test_case "generated circuit min-period" `Quick
+      test_generated_circuit;
+  ]

@@ -1,0 +1,354 @@
+(* Tests for the min-cost-flow / difference-LP engines. The central
+   property: network simplex, SSP and the closure reduction must agree
+   with brute-force enumeration on every feasible instance whose
+   solutions live in the {-1, 0} window (the shape of all retiming
+   LPs). *)
+
+module Difflp = Rar_flow.Difflp
+module Problem = Rar_flow.Problem
+module Ssp = Rar_flow.Ssp
+module Netsimplex = Rar_flow.Netsimplex
+module Closure = Rar_flow.Closure
+module Spfa = Rar_flow.Spfa
+module Maxflow = Rar_flow.Maxflow
+module Rng = Rar_util.Rng
+
+let feq = Alcotest.(check (float 1e-6))
+
+(* --- direct flow-problem tests ----------------------------------- *)
+
+(* A 4-node chain: supply 2 at node 0, demand 2 at node 3; two routes
+   with different costs. *)
+let mk_chain () =
+  let p = Problem.create ~n:4 in
+  ignore (Problem.add_arc p ~src:0 ~dst:1 ~cost:1);
+  ignore (Problem.add_arc p ~src:1 ~dst:3 ~cost:1);
+  ignore (Problem.add_arc p ~src:0 ~dst:2 ~cost:2);
+  ignore (Problem.add_arc p ~src:2 ~dst:3 ~cost:3);
+  Problem.add_demand p 0 (-2.);
+  Problem.add_demand p 3 2.;
+  p
+
+let test_ssp_chain () =
+  match Ssp.solve (mk_chain ()) with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    feq "cheap route" 4. s.Ssp.objective;
+    feq "flow arc0" 2. s.Ssp.flow.(0);
+    feq "flow arc2" 0. s.Ssp.flow.(2)
+
+let test_simplex_chain () =
+  match Netsimplex.solve (mk_chain ()) with
+  | Error e -> Alcotest.fail e
+  | Ok s -> feq "cheap route" 4. s.Netsimplex.objective
+
+let test_flow_infeasible () =
+  let p = Problem.create ~n:3 in
+  ignore (Problem.add_arc p ~src:0 ~dst:1 ~cost:0);
+  (* node 2 is isolated but demands flow *)
+  Problem.add_demand p 0 (-1.);
+  Problem.add_demand p 2 1.;
+  (match Ssp.solve p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ssp should detect infeasibility");
+  match Netsimplex.solve p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "simplex should detect infeasibility"
+
+let test_unbalanced_demand () =
+  let p = Problem.create ~n:2 in
+  ignore (Problem.add_arc p ~src:0 ~dst:1 ~cost:0);
+  Problem.add_demand p 1 1.;
+  (match Ssp.solve p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ssp should reject unbalanced demands");
+  match Netsimplex.solve p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "simplex should reject unbalanced demands"
+
+let test_negative_cycle_detected () =
+  let arcs = [| (0, 1, -1); (1, 2, 0); (2, 0, 0) |] in
+  match Spfa.from_virtual_root ~n:3 ~arcs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "spfa should detect the negative cycle"
+
+(* --- maxflow ------------------------------------------------------ *)
+
+let test_maxflow_classic () =
+  (* Classic 6-node example with max flow 19. *)
+  let mf = Maxflow.create ~n:6 in
+  let e s d c = Maxflow.add_edge mf ~src:s ~dst:d ~cap:c in
+  e 0 1 10.; e 0 2 10.; e 1 2 2.; e 1 3 4.; e 1 4 8.; e 2 4 9.;
+  e 4 3 6.; e 3 5 10.; e 4 5 10.;
+  feq "max flow" 19. (Maxflow.run mf ~source:0 ~sink:5)
+
+let test_mincut_side () =
+  let mf = Maxflow.create ~n:3 in
+  Maxflow.add_edge mf ~src:0 ~dst:1 ~cap:1.;
+  Maxflow.add_edge mf ~src:1 ~dst:2 ~cap:5.;
+  ignore (Maxflow.run mf ~source:0 ~sink:2);
+  let side = Maxflow.min_cut_source_side mf ~source:0 in
+  Alcotest.(check (list bool)) "cut after saturated edge" [ true; false; false ]
+    (Array.to_list side)
+
+(* --- closure ------------------------------------------------------ *)
+
+let test_closure_simple () =
+  (* Selecting 0 (profit 3) requires 1 (profit -1): net +2, do it.
+     Node 2 (profit -5) alone: don't. *)
+  let inst =
+    {
+      Closure.n = 3;
+      profit = [| 3.; -1.; -5. |];
+      implications = [ (0, 1) ];
+      must_select = [];
+      must_reject = [];
+    }
+  in
+  match Closure.solve inst with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    feq "profit" 2. o.Closure.best_profit;
+    Alcotest.(check (list bool)) "selection" [ true; true; false ]
+      (Array.to_list o.Closure.selected)
+
+let test_closure_contradiction () =
+  let inst =
+    {
+      Closure.n = 2;
+      profit = [| 0.; 0. |];
+      implications = [ (0, 1) ];
+      must_select = [ 0 ];
+      must_reject = [ 1 ];
+    }
+  in
+  match Closure.solve inst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected contradiction"
+
+(* --- difference LP: known instances ------------------------------- *)
+
+(* min r1 - r2 (coeffs +1, -1) with r free in {-1,0} relative to r0=0:
+   best is r1 = -1, r2 = 0, objective -1. *)
+let binary_window lp reference vars =
+  List.iter
+    (fun v ->
+      Difflp.add_constraint lp ~u:v ~v:reference ~bound:0;
+      Difflp.add_constraint lp ~u:reference ~v ~bound:1)
+    vars
+
+let test_difflp_known () =
+  List.iter
+    (fun engine ->
+      let lp = Difflp.create ~n:3 in
+      binary_window lp 0 [ 1; 2 ];
+      Difflp.add_objective lp 1 1.;
+      Difflp.add_objective lp 2 (-1.);
+      match Difflp.solve ~engine lp ~reference:0 with
+      | Error e -> Alcotest.fail (Difflp.engine_name engine ^ ": " ^ e)
+      | Ok r ->
+        feq
+          (Difflp.engine_name engine ^ " objective")
+          (-1.)
+          (Difflp.objective_value lp r);
+        Alcotest.(check int) "r0 pinned" 0 r.(0))
+    Difflp.all_engines
+
+let test_difflp_forced () =
+  (* r1 <= -1 (forced) and implication chain r2 <= r1. *)
+  List.iter
+    (fun engine ->
+      let lp = Difflp.create ~n:3 in
+      binary_window lp 0 [ 1; 2 ];
+      Difflp.add_constraint lp ~u:1 ~v:0 ~bound:(-1);
+      Difflp.add_constraint lp ~u:2 ~v:1 ~bound:0;
+      (* zero-sum objective pulling r2 up *)
+      Difflp.add_objective lp 2 (-1.);
+      Difflp.add_objective lp 1 1.;
+      match Difflp.solve ~engine lp ~reference:0 with
+      | Error e -> Alcotest.fail (Difflp.engine_name engine ^ ": " ^ e)
+      | Ok r ->
+        Alcotest.(check int) (Difflp.engine_name engine ^ " r1") (-1) r.(1);
+        (* objective -r2 + r1 is minimised at r2 = 0? No: r2 <= r1 = -1,
+           so r2 = -1; objective = 1 - 1 + ... = -1 + 1 * (-1)?  Work it
+           out: obj = 1*r1 + (-1)*r2 = -1 - r2, r2 in {-1}, so 0. *)
+        Alcotest.(check int) (Difflp.engine_name engine ^ " r2") (-1) r.(2))
+    Difflp.all_engines
+
+let test_difflp_infeasible () =
+  List.iter
+    (fun engine ->
+      let lp = Difflp.create ~n:2 in
+      binary_window lp 0 [ 1 ];
+      Difflp.add_constraint lp ~u:1 ~v:0 ~bound:(-1);
+      Difflp.add_constraint lp ~u:0 ~v:1 ~bound:0;
+      (* r1 <= -1 and r1 >= 0: infeasible *)
+      match Difflp.solve ~engine lp ~reference:0 with
+      | Error _ -> ()
+      | Ok _ ->
+        Alcotest.fail (Difflp.engine_name engine ^ ": expected infeasible"))
+    Difflp.all_engines
+
+let test_simplex_pivot_cap_fallback () =
+  (* With an absurd pivot cap the simplex must fail cleanly... *)
+  let p = mk_chain () in
+  (match Netsimplex.solve ~max_pivots:0 p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected pivot-cap error");
+  (* ...and Difflp's default engine must fall back to SSP on such
+     failures (exercised indirectly: the public API never exposes the
+     cap, so solve a normal instance and cross-check the engines). *)
+  match (Netsimplex.solve p, Ssp.solve p) with
+  | Ok a, Ok b ->
+    feq "fallback-equivalent objectives" a.Netsimplex.objective b.Ssp.objective
+  | _ -> Alcotest.fail "solvers failed"
+
+let test_zero_demand_instance () =
+  (* all-zero demands: the empty flow is optimal, potentials still give
+     a feasible r *)
+  let p = Problem.create ~n:3 in
+  ignore (Problem.add_arc p ~src:0 ~dst:1 ~cost:1);
+  ignore (Problem.add_arc p ~src:1 ~dst:2 ~cost:1);
+  (match Ssp.solve p with
+  | Ok s -> feq "zero objective" 0. s.Ssp.objective
+  | Error e -> Alcotest.fail e);
+  match Netsimplex.solve p with
+  | Ok s -> feq "zero objective" 0. s.Netsimplex.objective
+  | Error e -> Alcotest.fail e
+
+let test_fractional_demands () =
+  (* fanout-sharing breadths: 1/3 units routed exactly *)
+  let p = Problem.create ~n:2 in
+  ignore (Problem.add_arc p ~src:0 ~dst:1 ~cost:2);
+  Problem.add_demand p 0 (-.(1. /. 3.));
+  Problem.add_demand p 1 (1. /. 3.);
+  match (Ssp.solve p, Netsimplex.solve p) with
+  | Ok a, Ok b ->
+    feq "ssp fractional" (2. /. 3.) a.Ssp.objective;
+    feq "simplex fractional" (2. /. 3.) b.Netsimplex.objective
+  | _ -> Alcotest.fail "solver failed"
+
+let test_lp_format () =
+  let lp = Difflp.create ~n:3 in
+  binary_window lp 0 [ 1; 2 ];
+  Difflp.add_objective lp 1 1.;
+  Difflp.add_objective lp 2 (-0.5);
+  let text = Difflp.to_lp_format lp ~name:(Printf.sprintf "r%d") in
+  List.iter
+    (fun needle ->
+      let rec find i =
+        i + String.length needle <= String.length text
+        && (String.sub text i (String.length needle) = needle || find (i + 1))
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true (find 0))
+    [ "Minimize"; "Subject To"; "r1 - r0 <= 0"; "r0 - r1 <= 1"; "Bounds";
+      "End" ]
+
+(* --- property: engines vs brute force ----------------------------- *)
+
+let random_instance rng =
+  let n = 2 + Rng.int rng 5 in
+  let lp = Difflp.create ~n in
+  let reference = 0 in
+  binary_window lp reference (List.init (n - 1) (fun i -> i + 1));
+  (* random extra difference constraints *)
+  let extra = Rng.int rng (2 * n) in
+  for _ = 1 to extra do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then
+      Difflp.add_constraint lp ~u ~v ~bound:(Rng.range rng (-1) 1)
+  done;
+  (* zero-sum objective built from transfer pairs *)
+  let pairs = 1 + Rng.int rng (2 * n) in
+  for _ = 1 to pairs do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let a = [| 0.25; 0.5; 1.0; 2.0 |].(Rng.int rng 4) in
+    Difflp.add_objective lp u a;
+    Difflp.add_objective lp v (-.a)
+  done;
+  (lp, reference)
+
+let prop_engines_match_brute =
+  QCheck.Test.make ~name:"all engines match brute force" ~count:300
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.make (seed * 2654435761) in
+      let lp, reference = random_instance rng in
+      let brute = Difflp.solve_brute lp ~lo:(-1) ~hi:0 ~reference in
+      List.for_all
+        (fun engine ->
+          match (Difflp.solve ~engine lp ~reference, brute) with
+          | Ok r, Some (_, best) ->
+            Float.abs (Difflp.objective_value lp r -. best) < 1e-6
+          | Error _, None -> true
+          | Ok _, None -> false (* engine "solved" an infeasible instance *)
+          | Error _, Some _ -> false (* engine failed a feasible instance *))
+        Difflp.all_engines)
+
+let prop_solutions_feasible =
+  QCheck.Test.make ~name:"engine solutions satisfy all constraints" ~count:300
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.make ((seed + 7919) * 1597334677) in
+      let lp, reference = random_instance rng in
+      List.for_all
+        (fun engine ->
+          match Difflp.solve ~engine lp ~reference with
+          | Error _ -> true
+          | Ok r -> Difflp.check lp r = Ok () && r.(reference) = 0)
+        Difflp.all_engines)
+
+let test_engines_agree_medium_scale () =
+  (* one medium-size instance (hundreds of variables), beyond what the
+     qcheck shrinker explores *)
+  let rng = Rng.make 20260706 in
+  let n = 400 in
+  let lp = Difflp.create ~n in
+  binary_window lp 0 (List.init (n - 1) (fun i -> i + 1));
+  for _ = 1 to 1600 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then Difflp.add_constraint lp ~u ~v ~bound:(Rng.range rng 0 1)
+  done;
+  for _ = 1 to 800 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let a = [| 0.25; 0.5; 1.0; 2.0 |].(Rng.int rng 4) in
+    Difflp.add_objective lp u a;
+    Difflp.add_objective lp v (-.a)
+  done;
+  let objs =
+    List.map
+      (fun engine ->
+        match Difflp.solve ~engine lp ~reference:0 with
+        | Ok r -> Difflp.objective_value lp r
+        | Error e -> Alcotest.fail (Difflp.engine_name engine ^ ": " ^ e))
+      Difflp.all_engines
+  in
+  match objs with
+  | x :: rest ->
+    List.iter (fun y -> feq "engines agree at scale" x y) rest
+  | [] -> Alcotest.fail "no engines"
+
+let suite =
+  [
+    Alcotest.test_case "ssp on a chain" `Quick test_ssp_chain;
+    Alcotest.test_case "simplex on a chain" `Quick test_simplex_chain;
+    Alcotest.test_case "infeasible flow detected" `Quick test_flow_infeasible;
+    Alcotest.test_case "unbalanced demand rejected" `Quick test_unbalanced_demand;
+    Alcotest.test_case "negative cycle detected" `Quick test_negative_cycle_detected;
+    Alcotest.test_case "maxflow classic" `Quick test_maxflow_classic;
+    Alcotest.test_case "mincut side" `Quick test_mincut_side;
+    Alcotest.test_case "closure simple" `Quick test_closure_simple;
+    Alcotest.test_case "closure contradiction" `Quick test_closure_contradiction;
+    Alcotest.test_case "difflp known optimum" `Quick test_difflp_known;
+    Alcotest.test_case "difflp forced values" `Quick test_difflp_forced;
+    Alcotest.test_case "difflp infeasible" `Quick test_difflp_infeasible;
+    Alcotest.test_case "simplex pivot cap" `Quick
+      test_simplex_pivot_cap_fallback;
+    Alcotest.test_case "zero demands" `Quick test_zero_demand_instance;
+    Alcotest.test_case "fractional demands" `Quick test_fractional_demands;
+    Alcotest.test_case "lp format export" `Quick test_lp_format;
+    Alcotest.test_case "engines agree at medium scale" `Quick
+      test_engines_agree_medium_scale;
+    QCheck_alcotest.to_alcotest prop_engines_match_brute;
+    QCheck_alcotest.to_alcotest prop_solutions_feasible;
+  ]

@@ -1,0 +1,81 @@
+(* Report-layer tests: table rendering and the cached experiment
+   context, on a single small benchmark to keep the suite fast. *)
+
+module Report = Rar_report.Report
+module T = Rar_report.Text_table
+module Outcome = Rar_retime.Outcome
+module Grar = Rar_retime.Grar
+
+let test_text_table () =
+  let t = T.create ~headers:[ ("name", T.L); ("x", T.R) ] in
+  T.add_row t [ "a"; "1.00" ];
+  T.add_rule t;
+  T.add_row t [ "total"; "12.50" ];
+  let s = T.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0
+    && Option.is_some (String.index_opt s '|'));
+  (* all lines equal length *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let w = String.length (List.hd lines) in
+  List.iter
+    (fun l -> Alcotest.(check int) "aligned" w (String.length l))
+    lines
+
+let test_text_table_mismatch () =
+  let t = T.create ~headers:[ ("a", T.L) ] in
+  match T.add_row t [ "x"; "y" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected column mismatch rejection"
+
+let ctx = lazy (Report.create ~names:[ "s1196" ] ~sim_cycles:20 ())
+
+let test_cache_hits () =
+  let t = Lazy.force ctx in
+  let a = Report.grar t "s1196" ~c:1.0 in
+  let b = Report.grar t "s1196" ~c:1.0 in
+  Alcotest.(check bool) "same cached object" true (a == b)
+
+let test_tables_render () =
+  let t = Lazy.force ctx in
+  (* Tables I and V exercise prepare + all three engines. *)
+  List.iter
+    (fun n ->
+      match Report.table t n with
+      | Ok s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "table %d mentions s1196" n)
+          true
+          (String.length s > 50
+          &&
+          let re = "s1196" in
+          let rec find i =
+            if i + String.length re > String.length s then false
+            else if String.sub s i (String.length re) = re then true
+            else find (i + 1)
+          in
+          find 0)
+      | Error e -> Alcotest.fail e)
+    [ 1; 5 ];
+  match Report.table t 12 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for table 12"
+
+let test_grar_beats_base_on_suite_circuit () =
+  (* The headline comparison on a real benchmark at high overhead. *)
+  let t = Lazy.force ctx in
+  let g = (Report.grar t "s1196" ~c:2.0).Grar.outcome in
+  let b = (Report.base t "s1196" ~c:2.0).Rar_retime.Base_retiming.outcome in
+  Alcotest.(check bool) "total area improves" true
+    (g.Outcome.total_area <= b.Outcome.total_area +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "text table renders aligned" `Quick test_text_table;
+    Alcotest.test_case "text table rejects mismatch" `Quick
+      test_text_table_mismatch;
+    Alcotest.test_case "context caches results" `Quick test_cache_hits;
+    Alcotest.test_case "tables render" `Quick test_tables_render;
+    Alcotest.test_case "G-RAR beats base on s1196" `Quick
+      test_grar_beats_base_on_suite_circuit;
+  ]

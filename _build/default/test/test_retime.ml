@@ -1,0 +1,210 @@
+(* Retiming-engine properties on generated benchmark circuits: every
+   result must be a legal single-latch-per-path placement with no
+   max-delay violations; the three LP engines must agree; G-RAR must
+   never lose to base retiming on its own objective. *)
+
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Spec = Rar_circuits.Spec
+module Generator = Rar_circuits.Generator
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Rgraph = Rar_retime.Rgraph
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Difflp = Rar_flow.Difflp
+
+let small_spec seed =
+  {
+    Spec.name = "prop";
+    n_flops = 12 + (seed mod 17);
+    n_pi = 4 + (seed mod 5);
+    n_po = 3 + (seed mod 4);
+    n_gates = 120 + (7 * (seed mod 23));
+    depth = 7 + (seed mod 6);
+    nce_target = 3 + (seed mod 6);
+    seed = Printf.sprintf "prop%d" seed;
+  }
+
+let stage_of_spec spec =
+  let p = Suite.prepare (Generator.generate spec) in
+  match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
+  | Ok st -> st
+  | Error e -> failwith e
+
+let cached_stage =
+  let tbl = Hashtbl.create 8 in
+  fun seed ->
+    match Hashtbl.find_opt tbl seed with
+    | Some st -> st
+    | None ->
+      let st = stage_of_spec (small_spec seed) in
+      Hashtbl.replace tbl seed st;
+      st
+
+let prop_results_legal =
+  QCheck.Test.make ~name:"engine placements legal and timing-clean" ~count:12
+    QCheck.(int_bound 40)
+    (fun seed ->
+      let st = cached_stage seed in
+      let check_result (o : Outcome.t) =
+        o.Outcome.violations = []
+        && o.Outcome.n_slaves = List.length o.Outcome.placements
+      in
+      let g =
+        match Grar.run_on_stage ~c:1.0 st with
+        | Ok r -> check_result r.Grar.outcome
+        | Error _ -> false
+      in
+      let b =
+        match Base.run_on_stage ~c:1.0 st with
+        | Ok r -> check_result r.Base.outcome
+        | Error _ -> false
+      in
+      g && b)
+
+let prop_engines_agree_on_objective =
+  QCheck.Test.make ~name:"LP engines agree on the G-RAR objective" ~count:8
+    QCheck.(int_bound 40)
+    (fun seed ->
+      let st = cached_stage seed in
+      let g = Rgraph.build ~edl_overhead:1.0 st in
+      let objectives =
+        List.filter_map
+          (fun engine ->
+            match Rgraph.solve ~engine g with
+            | Ok r -> Some (Difflp.objective_value (Rgraph.lp g) r)
+            | Error _ -> None)
+          Difflp.all_engines
+      in
+      match objectives with
+      | x :: rest -> List.for_all (fun y -> Float.abs (x -. y) < 1e-6) rest
+      | [] -> false)
+
+let prop_grar_beats_base_model =
+  (* Base retiming's placement is a feasible point of the G-RAR LP, so
+     the G-RAR optimum can only be at least as good on the combined
+     count + c * EDL measure (evaluated on verified outcomes, with the
+     fractional-sharing count replaced by the physical count). *)
+  QCheck.Test.make ~name:"G-RAR no worse than base on its objective" ~count:8
+    QCheck.(int_bound 40)
+    (fun seed ->
+      let st = cached_stage seed in
+      let c = 1.0 in
+      match (Grar.run_on_stage ~c st, Base.run_on_stage ~c st) with
+      | Ok g, Ok b ->
+        let cost (o : Outcome.t) =
+          float_of_int o.Outcome.n_slaves
+          +. (c *. float_of_int (Outcome.ed_count o))
+        in
+        cost g.Grar.outcome <= cost b.Base.outcome +. 1e-6
+      | _ -> false)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"retiming is deterministic" ~count:4
+    QCheck.(int_bound 40)
+    (fun seed ->
+      let st = cached_stage seed in
+      match (Grar.run_on_stage ~c:2.0 st, Grar.run_on_stage ~c:2.0 st) with
+      | Ok a, Ok b ->
+        a.Grar.outcome.Outcome.n_slaves = b.Grar.outcome.Outcome.n_slaves
+        && Outcome.ed_count a.Grar.outcome = Outcome.ed_count b.Grar.outcome
+        && a.Grar.outcome.Outcome.seq_area = b.Grar.outcome.Outcome.seq_area
+      | _ -> false)
+
+let prop_ed_iff_window =
+  (* Verified assembly: a master is error-detecting exactly when its
+     verified arrival is in the resiliency window. *)
+  QCheck.Test.make ~name:"EDL assignment matches verified arrivals" ~count:8
+    QCheck.(int_bound 40)
+    (fun seed ->
+      let st = cached_stage seed in
+      match Grar.run_on_stage ~c:1.0 st with
+      | Error _ -> false
+      | Ok r ->
+        let o = r.Grar.outcome in
+        let period = Clocking.period (Stage.clocking r.Grar.stage) in
+        Array.for_all
+          (fun (s, a) ->
+            let ed = List.mem s o.Outcome.ed_sinks in
+            if a > period +. 1e-9 then ed else not ed)
+          o.Outcome.arrivals)
+
+(* Deterministic unit checks on one known circuit. *)
+
+let test_regions_exclusive () =
+  let st = cached_stage 3 in
+  let net = Stage.comb st in
+  (* every sink in Rn, no source in Rn *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "sink in Rn" true (Stage.region st s = Stage.Rn))
+    (Stage.sinks st);
+  Array.iter
+    (fun src ->
+      Alcotest.(check bool) "source not Rn" true
+        (Stage.region st src <> Stage.Rn))
+    (Netlist.inputs net)
+
+let test_grar_converts_targets () =
+  let st = cached_stage 3 in
+  match Grar.run_on_stage ~c:2.0 st with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* at c = 2 every modelled conversion must be verified non-ED *)
+    List.iter
+      (fun s ->
+        Alcotest.(check bool) "converted master is non-ED" true
+          (not (List.mem s r.Grar.outcome.Outcome.ed_sinks)))
+      r.Grar.modelled_non_ed
+
+let test_outcome_area_formula () =
+  let st = cached_stage 5 in
+  match Base.run_on_stage ~c:1.5 st with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let o = r.Base.outcome in
+    let latch = (Liberty.latch (Stage.lib st)).Liberty.seq_area in
+    let expect =
+      (float_of_int (o.Outcome.n_slaves + o.Outcome.n_masters) *. latch)
+      +. (1.5 *. float_of_int (Outcome.ed_count o) *. latch)
+    in
+    Alcotest.(check (float 1e-6)) "seq area formula" expect o.Outcome.seq_area;
+    Alcotest.(check (float 1e-6)) "total = seq + comb"
+      (o.Outcome.seq_area +. o.Outcome.comb_area)
+      o.Outcome.total_area
+
+let test_sizing_noop_when_clean () =
+  let st = cached_stage 7 in
+  match Base.run_on_stage ~c:1.0 st with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* A second sizing pass over a clean result changes nothing. *)
+    let limit = Clocking.max_delay (Stage.clocking st) in
+    let placements = r.Base.outcome.Outcome.placements in
+    (match
+       Rar_retime.Sizing.fix ~deadlines:(fun _ -> limit) r.Base.stage
+         placements
+     with
+    | Ok st' ->
+      Alcotest.(check bool) "same netlist object" true (st' == r.Base.stage)
+    | Error e -> Alcotest.fail e)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_results_legal;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_objective;
+    QCheck_alcotest.to_alcotest prop_grar_beats_base_model;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    QCheck_alcotest.to_alcotest prop_ed_iff_window;
+    Alcotest.test_case "regions exclusive" `Quick test_regions_exclusive;
+    Alcotest.test_case "grar conversions verified" `Quick
+      test_grar_converts_targets;
+    Alcotest.test_case "outcome area formula" `Quick test_outcome_area_formula;
+    Alcotest.test_case "sizing no-op when clean" `Quick
+      test_sizing_noop_when_clean;
+  ]

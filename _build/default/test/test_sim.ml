@@ -1,0 +1,126 @@
+(* Timing-simulation tests, anchored on the Fig. 4 circuit whose
+   arrival times are known exactly. *)
+
+module Fig4 = Rar_circuits.Fig4
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Stage = Rar_retime.Stage
+module Grar = Rar_retime.Grar
+module Base = Rar_retime.Base_retiming
+module Outcome = Rar_retime.Outcome
+module Sim = Rar_sim.Sim
+
+let stage =
+  lazy
+    (match
+       Stage.make ~lib:(Fig4.library ()) ~clocking:Fig4.clocking
+         (Fig4.circuit ())
+     with
+    | Ok s -> s
+    | Error e -> failwith e)
+
+let design_of (st : Stage.t) (o : Outcome.t) =
+  let cc = Stage.cc st in
+  let staged = Transform.apply_retiming cc o.Outcome.placements in
+  {
+    Sim.staged;
+    lib = Fig4.library ();
+    clocking = Fig4.clocking;
+    ed_sinks =
+      List.map
+        (fun s -> Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
+        o.Outcome.ed_sinks;
+  }
+
+let grar_design =
+  lazy
+    (match Grar.run_on_stage ~c:2.0 (Lazy.force stage) with
+    | Ok r -> (r, design_of r.Grar.stage r.Grar.outcome)
+    | Error e -> failwith e)
+
+let base_design =
+  lazy
+    (match Base.run_on_stage ~c:2.0 (Lazy.force stage) with
+    | Ok r -> (r, design_of r.Base.stage r.Base.outcome)
+    | Error e -> failwith e)
+
+let all_bits v n = Array.make n v
+
+let test_grar_no_errors_ever () =
+  (* G-RAR at c = 2 places O9's arrival at 9 < period 10: no vector can
+     produce an error or a silent failure. *)
+  let _, d = Lazy.force grar_design in
+  let n = Array.length (Netlist.inputs d.Sim.staged) in
+  let r =
+    Sim.run_cycle d ~prev:(all_bits false n) ~next:(all_bits true n)
+  in
+  Alcotest.(check (list int)) "no errors" [] r.Sim.errors;
+  Alcotest.(check (list int)) "no silent" [] r.Sim.silent;
+  Alcotest.(check (list int)) "no late" [] r.Sim.late;
+  let rate = Sim.error_rate ~cycles:200 ~seed:"t" d in
+  Alcotest.(check int) "zero error cycles" 0 rate.Sim.error_cycles;
+  Alcotest.(check int) "zero silent" 0 rate.Sim.silent_cycles
+
+let test_base_flags_critical_toggle () =
+  (* Base retiming leaves O9 error-detecting at arrival 12 > 10: a
+     full-toggle vector pair exercises the long path and must flag. *)
+  let _, d = Lazy.force base_design in
+  let n = Array.length (Netlist.inputs d.Sim.staged) in
+  let r = Sim.run_cycle d ~prev:(all_bits false n) ~next:(all_bits true n) in
+  Alcotest.(check bool) "error flagged" true (r.Sim.errors <> []);
+  Alcotest.(check (list int)) "no silent failures" [] r.Sim.silent;
+  Alcotest.(check (list int)) "no late captures" [] r.Sim.late
+
+let test_quiet_vectors_no_errors () =
+  let _, d = Lazy.force base_design in
+  let n = Array.length (Netlist.inputs d.Sim.staged) in
+  let v = all_bits false n in
+  let r = Sim.run_cycle d ~prev:v ~next:v in
+  Alcotest.(check (list int)) "no transition, no error" [] r.Sim.errors;
+  Alcotest.(check int) "nothing captured" 0 (List.length r.Sim.capture_times)
+
+let test_capture_time_matches_sta () =
+  (* The event simulation's worst observed capture time can never
+     exceed the STA bound, and the toggle vector should get close on
+     this tiny circuit. *)
+  let rb, d = Lazy.force base_design in
+  let n = Array.length (Netlist.inputs d.Sim.staged) in
+  let r = Sim.run_cycle d ~prev:(all_bits false n) ~next:(all_bits true n) in
+  let sta_bound =
+    Array.fold_left
+      (fun acc (_, a) -> Float.max acc a)
+      0. rb.Base.outcome.Outcome.arrivals
+  in
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool) "sim <= sta" true (t <= sta_bound +. 1e-9))
+    r.Sim.capture_times
+
+let test_rate_deterministic () =
+  let _, d = Lazy.force base_design in
+  let a = Sim.error_rate ~cycles:100 ~seed:"x" d in
+  let b = Sim.error_rate ~cycles:100 ~seed:"x" d in
+  Alcotest.(check int) "same stream, same count" a.Sim.error_cycles
+    b.Sim.error_cycles
+
+let test_rate_rates () =
+  let _, d = Lazy.force base_design in
+  let r = Sim.error_rate ~cycles:50 ~seed:"y" d in
+  Alcotest.(check bool) "rate in [0,100]" true
+    (r.Sim.error_rate >= 0. && r.Sim.error_rate <= 100.);
+  Alcotest.(check int) "cycles recorded" 50 r.Sim.cycles
+
+let suite =
+  [
+    Alcotest.test_case "G-RAR design never errors" `Quick
+      test_grar_no_errors_ever;
+    Alcotest.test_case "base design flags critical toggle" `Quick
+      test_base_flags_critical_toggle;
+    Alcotest.test_case "quiet vectors cause nothing" `Quick
+      test_quiet_vectors_no_errors;
+    Alcotest.test_case "sim capture below STA bound" `Quick
+      test_capture_time_matches_sta;
+    Alcotest.test_case "error rate deterministic" `Quick
+      test_rate_deterministic;
+    Alcotest.test_case "error rate sane" `Quick test_rate_rates;
+  ]

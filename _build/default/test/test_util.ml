@@ -1,0 +1,107 @@
+(* Unit and property tests for the Rar_util substrate. *)
+
+module Vec = Rar_util.Vec
+module Heap = Rar_util.Heap
+module Rng = Rar_util.Rng
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.add_last v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop_last v);
+  Alcotest.(check int) "len after pop" 99 (Vec.length v);
+  Alcotest.(check (list int)) "to_list tail" [ 0; 1; 2 ]
+    (List.filteri (fun i _ -> i < 3) (Vec.to_list v))
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index 3 out of bounds (len 3)")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_heap_sorts () =
+  let h = Heap.create () in
+  let input = [ 5.; 1.; 4.; 1.5; 9.; 0.; 2. ] in
+  List.iter (fun p -> Heap.add h p (int_of_float (p *. 10.))) input;
+  let rec drain acc =
+    match Heap.pop_min h with
+    | None -> List.rev acc
+    | Some (p, _) -> drain (p :: acc)
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "ascending" (List.sort compare input) (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "pop empty" true (Heap.pop_min h = None);
+  Alcotest.(check bool) "peek empty" true (Heap.peek_min h = None)
+
+let test_rng_deterministic () =
+  let a = Rng.make 7 and b = Rng.make 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_of_string_stable () =
+  let a = Rng.of_string "s1196" and b = Rng.of_string "s1196" in
+  Alcotest.(check int) "named stream" (Rng.int a 1000000) (Rng.int b 1000000);
+  let c = Rng.of_string "s1238" in
+  (* Different names should (overwhelmingly) diverge quickly. *)
+  let diverged = ref false in
+  let a = Rng.of_string "s1196" in
+  for _ = 1 to 10 do
+    if Rng.int a 1000000 <> Rng.int c 1000000 then diverged := true
+  done;
+  Alcotest.(check bool) "streams diverge" true !diverged
+
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun input ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.add h p ()) input;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare input)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Rng.make seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let x = Rng.int rng bound in
+        if x < 0 || x >= bound then ok := false
+      done;
+      !ok)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.make seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let suite =
+  [
+    Alcotest.test_case "vec basic ops" `Quick test_vec_basic;
+    Alcotest.test_case "vec bounds check" `Quick test_vec_bounds;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng named streams" `Quick test_rng_of_string_stable;
+    QCheck_alcotest.to_alcotest prop_heap_matches_sort;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+  ]

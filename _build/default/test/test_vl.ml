@@ -1,0 +1,137 @@
+(* Virtual-library engine tests: seeding, typed-constraint honouring,
+   the mandatory fix and the optional post-retiming swap. *)
+
+module Netlist = Rar_netlist.Netlist
+module Liberty = Rar_liberty.Liberty
+module Clocking = Rar_sta.Clocking
+module Spec = Rar_circuits.Spec
+module Generator = Rar_circuits.Generator
+module Suite = Rar_circuits.Suite
+module Stage = Rar_retime.Stage
+module Outcome = Rar_retime.Outcome
+module Base = Rar_retime.Base_retiming
+module Vl = Rar_vl.Vl
+module Movable = Rar_vl.Movable
+
+let prepared =
+  lazy
+    (let spec =
+       { (Option.get (Spec.find "s1423")) with Spec.n_gates = 400; depth = 12 }
+     in
+     Suite.prepare (Generator.generate spec))
+
+let stage =
+  lazy
+    (let p = Lazy.force prepared in
+     match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
+     | Ok st -> st
+     | Error e -> failwith e)
+
+let run ?post_swap variant c =
+  match Vl.run_on_stage ?post_swap ~c variant (Lazy.force stage) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_all_variants_clean () =
+  List.iter
+    (fun variant ->
+      let r = run variant 1.0 in
+      Alcotest.(check bool)
+        (Vl.variant_name variant ^ " no violations")
+        true
+        (r.Vl.outcome.Outcome.violations = []))
+    Vl.all_variants
+
+let test_rvl_seed_is_nce () =
+  let r = run Vl.Rvl 1.0 in
+  let nce = Stage.near_critical_initial (Lazy.force stage) in
+  Alcotest.(check (list int)) "seed = NCE set" (List.sort compare nce)
+    (List.sort compare r.Vl.initial_ed)
+
+let test_evl_seeds_everything () =
+  let r = run Vl.Evl 1.0 in
+  Alcotest.(check int) "all masters seeded"
+    (Array.length (Stage.sinks (Lazy.force stage)))
+    (List.length r.Vl.initial_ed)
+
+let test_nvl_honours_types () =
+  (* NVL: every master the retimer could satisfy must be verified
+     non-ED; leftovers are exactly the forced fixes. *)
+  let r = run Vl.Nvl 1.0 in
+  let o = r.Vl.outcome in
+  List.iter
+    (fun s ->
+      let hopeless =
+        match Stage.classify (Lazy.force stage) s with
+        | Stage.Always_ed -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "ED master is hopeless or forced" true
+        (hopeless || List.mem s r.Vl.forced_to_ed))
+    o.Outcome.ed_sinks
+
+let test_post_swap_only_shrinks () =
+  List.iter
+    (fun variant ->
+      let with_swap = run ~post_swap:true variant 2.0 in
+      let without = run ~post_swap:false variant 2.0 in
+      Alcotest.(check bool)
+        (Vl.variant_name variant ^ " swap shrinks EDL set")
+        true
+        (Outcome.ed_count with_swap.Vl.outcome
+        <= Outcome.ed_count without.Vl.outcome);
+      Alcotest.(check bool)
+        (Vl.variant_name variant ^ " swap shrinks area")
+        true
+        (with_swap.Vl.outcome.Outcome.seq_area
+        <= without.Vl.outcome.Outcome.seq_area +. 1e-9))
+    Vl.all_variants
+
+let test_evl_without_swap_pays_everywhere () =
+  (* Without the swap, EVL's area charges c for every master. *)
+  let r = run ~post_swap:false Vl.Evl 2.0 in
+  let o = r.Vl.outcome in
+  Alcotest.(check int) "all masters error-detecting" o.Outcome.n_masters
+    (Outcome.ed_count o)
+
+let test_nvl_constrained_vs_base () =
+  (* NVL's typed setups can only demand more (or equally many) slaves
+     than unconstrained base retiming under the same movement-minimal
+     objective. *)
+  let nvl = run Vl.Nvl 1.0 in
+  match Base.run_on_stage ~c:1.0 (Lazy.force stage) with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+    Alcotest.(check bool) "nvl slaves >= base slaves" true
+      (nvl.Vl.outcome.Outcome.n_slaves >= b.Base.outcome.Outcome.n_slaves)
+
+let test_movable_never_worse () =
+  let p = Lazy.force prepared in
+  match
+    Movable.run ~max_moves:3 ~lib:p.Suite.lib ~clocking:p.Suite.clocking
+      ~c:1.0 p.Suite.two_phase
+  with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    Alcotest.(check bool) "movable <= fixed" true
+      (m.Movable.movable.Vl.outcome.Outcome.total_area
+      <= m.Movable.fixed.Vl.outcome.Outcome.total_area +. 1e-9);
+    Alcotest.(check bool) "tried bounded" true (m.Movable.moves_tried <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "all variants timing-clean" `Quick
+      test_all_variants_clean;
+    Alcotest.test_case "RVL seeds the NCE set" `Quick test_rvl_seed_is_nce;
+    Alcotest.test_case "EVL seeds everything" `Quick test_evl_seeds_everything;
+    Alcotest.test_case "NVL honours non-ED types" `Quick
+      test_nvl_honours_types;
+    Alcotest.test_case "post-swap only shrinks" `Quick
+      test_post_swap_only_shrinks;
+    Alcotest.test_case "EVL without swap pays everywhere" `Quick
+      test_evl_without_swap_pays_everywhere;
+    Alcotest.test_case "NVL at least as many slaves as base" `Quick
+      test_nvl_constrained_vs_base;
+    Alcotest.test_case "movable masters never worse" `Quick
+      test_movable_never_worse;
+  ]
