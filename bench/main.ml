@@ -1,8 +1,10 @@
 (* Benchmark harness: one Bechamel measurement group per paper table,
-   timing the computational kernel that regenerates it, followed by the
-   printed rows of each table on a representative subset of the suite
-   (set RAR_BENCH_FULL=1 for all twelve circuits; EXPERIMENTS.md records
-   a full run).
+   timing the computational kernel that regenerates it, followed by a
+   sequential-vs-parallel wall-clock comparison (written to
+   BENCH_eval.json so the perf trajectory is tracked across PRs; see
+   EXPERIMENTS.md for the schema) and the printed rows of each table
+   on a representative subset of the suite (set RAR_BENCH_FULL=1 for
+   all twelve circuits; EXPERIMENTS.md records a full run).
 
    Groups:
      table_i    benchmark preparation (generate + derive clock + STA)
@@ -138,6 +140,7 @@ let run_benchmarks () =
   in
   Printf.printf "== Bechamel kernels (circuit %s, monotonic clock) ==\n%!"
     circuit;
+  let kernels = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
@@ -151,10 +154,130 @@ let run_benchmarks () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
+            kernels := (name, est) :: !kernels;
             Printf.printf "  %-28s %12.0f ns/run\n%!" name est
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
         ols)
-    tests
+    tests;
+  List.rev !kernels
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_eval.json: machine-readable perf trajectory                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential-vs-parallel wall clock of the two pool-parallel paths:
+   Stage.make (per-sink classification fan-out) and Report.all_tables
+   (whole-grid precompute). Schema documented in EXPERIMENTS.md. *)
+
+let time_wall f =
+  let t0 = Rar_util.Clock.now_s () in
+  let r = f () in
+  (r, Rar_util.Clock.now_s () -. t0)
+
+let wall_stage_make ~jobs ~names =
+  Rar_util.Pool.set_jobs jobs;
+  let total = ref 0. in
+  List.iter
+    (fun name ->
+      let p = Report.prepared ctx name in
+      let _, dt =
+        time_wall (fun () ->
+            ok
+              (Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking
+                 p.Suite.cc))
+      in
+      total := !total +. dt)
+    names;
+  !total
+
+let wall_all_tables ~jobs ~names ~sim_cycles =
+  Rar_util.Pool.set_jobs jobs;
+  let t = Report.create ~names ~sim_cycles () in
+  let _, dt = time_wall (fun () -> Report.all_tables t) in
+  dt
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
+    ~stage_seq ~stage_par ~tables_seq ~tables_par =
+  let path = "BENCH_eval.json" in
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  let str_list names =
+    String.concat ", "
+      (List.map (fun n -> Printf.sprintf "\"%s\"" (json_escape n)) names)
+  in
+  pr "{\n";
+  pr "  \"schema\": \"rar-bench-eval/1\",\n";
+  pr "  \"host\": { \"cores\": %d, \"rar_jobs_env\": %s },\n"
+    (Domain.recommended_domain_count ())
+    (match Sys.getenv_opt "RAR_JOBS" with
+    | Some v -> Printf.sprintf "\"%s\"" (json_escape v)
+    | None -> "null");
+  pr "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      pr "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+        (json_escape name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  pr "  ],\n";
+  pr "  \"wallclock\": {\n";
+  pr
+    "    \"stage_make\": { \"circuits\": [%s], \"seq_s\": %.4f, \"par_s\": \
+     %.4f, \"jobs\": %d, \"speedup\": %.2f },\n"
+    (str_list stage_names) stage_seq stage_par par_jobs
+    (stage_seq /. Float.max 1e-9 stage_par);
+  pr
+    "    \"all_tables\": { \"circuits\": [%s], \"sim_cycles\": %d, \"seq_s\": \
+     %.4f, \"par_s\": %.4f, \"jobs\": %d, \"speedup\": %.2f }\n"
+    (str_list table_names) sim_cycles tables_seq tables_par par_jobs
+    (tables_seq /. Float.max 1e-9 tables_par);
+  pr "  }\n";
+  pr "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+let run_eval_json kernels =
+  let par_jobs =
+    match Sys.getenv_opt "RAR_BENCH_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 4)
+    | None -> 4
+  in
+  let stage_names = [ "s1423"; "s5378" ] in
+  let table_names = [ "s1196"; "s1238"; "s1423" ] in
+  let sim_cycles = 50 in
+  Printf.printf
+    "\n== Wall clock: sequential vs %d-domain pool ==\n%!" par_jobs;
+  let stage_seq = wall_stage_make ~jobs:1 ~names:stage_names in
+  let stage_par = wall_stage_make ~jobs:par_jobs ~names:stage_names in
+  Printf.printf "  Stage.make   %s: %.3fs seq, %.3fs par (%.2fx)\n%!"
+    (String.concat "+" stage_names) stage_seq stage_par
+    (stage_seq /. Float.max 1e-9 stage_par);
+  let tables_seq = wall_all_tables ~jobs:1 ~names:table_names ~sim_cycles in
+  let tables_par =
+    wall_all_tables ~jobs:par_jobs ~names:table_names ~sim_cycles
+  in
+  Printf.printf "  all_tables   %s: %.3fs seq, %.3fs par (%.2fx)\n%!"
+    (String.concat "+" table_names) tables_seq tables_par
+    (tables_seq /. Float.max 1e-9 tables_par);
+  Rar_util.Pool.set_jobs 1;
+  write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
+    ~stage_seq ~stage_par ~tables_seq ~tables_par
 
 let run_tables () =
   let names =
@@ -222,7 +345,8 @@ let run_resynth_ablation () =
   show "resynthesised" net'
 
 let () =
-  run_benchmarks ();
+  let kernels = run_benchmarks () in
+  run_eval_json kernels;
   run_cluster_ablation ();
   run_resynth_ablation ();
   run_tables ()

@@ -32,6 +32,21 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel evaluation (default: $(b,RAR_JOBS) \
+           or the machine's core count minus one; 1 = fully sequential).")
+
+(* Shared [--verbose]/[--jobs] preamble: every evaluation-heavy
+   command starts with [const setup $ verbose_arg $ jobs_arg]. *)
+let setup verbose jobs =
+  setup_logs verbose;
+  Option.iter Rar_util.Pool.set_jobs jobs
+
 let circuits_arg =
   Arg.(
     value
@@ -58,8 +73,8 @@ let table_cmd =
       & pos 0 (some int) None
       & info [] ~docv:"N" ~doc:"Table number (1-9), as in the paper's §VI.")
   in
-  let run verbose names sim_cycles n =
-    setup_logs verbose;
+  let run verbose jobs names sim_cycles n =
+    setup verbose jobs;
     let t = ctx names sim_cycles in
     match Report.table t n with
     | Ok s ->
@@ -72,7 +87,9 @@ let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables.")
     Term.(
-      ret (const run $ verbose_arg $ circuits_arg $ sim_cycles_arg $ number))
+      ret
+        (const run $ verbose_arg $ jobs_arg $ circuits_arg $ sim_cycles_arg
+        $ number))
 
 (* --- rar all ------------------------------------------------------- *)
 
@@ -82,8 +99,8 @@ let all_cmd =
       value & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
   in
-  let run verbose names sim_cycles out =
-    setup_logs verbose;
+  let run verbose jobs names sim_cycles out =
+    setup verbose jobs;
     let t = ctx names sim_cycles in
     let buf = Buffer.create 4096 in
     List.iter
@@ -104,7 +121,10 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table.")
-    Term.(ret (const run $ verbose_arg $ circuits_arg $ sim_cycles_arg $ out))
+    Term.(
+      ret
+        (const run $ verbose_arg $ jobs_arg $ circuits_arg $ sim_cycles_arg
+        $ out))
 
 (* --- rar info ------------------------------------------------------ *)
 
@@ -114,8 +134,8 @@ let info_cmd =
       value & pos 0 (some string) None
       & info [] ~docv:"CIRCUIT" ~doc:"Benchmark to describe in detail.")
   in
-  let run verbose name =
-    setup_logs verbose;
+  let run verbose jobs name =
+    setup verbose jobs;
     match name with
     | None ->
       Printf.printf "Benchmarks: %s\n" (String.concat ", " Spec.names);
@@ -138,7 +158,7 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Describe a benchmark (or list them all).")
-    Term.(ret (const run $ verbose_arg $ name_arg))
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg))
 
 (* --- rar run ------------------------------------------------------- *)
 
@@ -174,8 +194,8 @@ let run_cmd =
       value & opt float 1.0
       & info [ "c" ] ~docv:"C" ~doc:"EDL area overhead factor (0.5 .. 2).")
   in
-  let run verbose name approach c =
-    setup_logs verbose;
+  let run verbose jobs name approach c =
+    setup verbose jobs;
     let t = Report.create ~names:[ name ] () in
     (try
        (match approach with
@@ -200,7 +220,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one retiming engine on one benchmark.")
-    Term.(ret (const run $ verbose_arg $ name_arg $ approach $ c_arg))
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg $ approach $ c_arg))
 
 (* --- rar bench ----------------------------------------------------- *)
 
@@ -219,8 +239,8 @@ let bench_cmd =
       & info [ "lib" ] ~docv:"LIBFILE"
           ~doc:"Liberty (.lib) cell library to use instead of the built-in.")
   in
-  let run verbose file c libfile =
-    setup_logs verbose;
+  let run verbose jobs file c libfile =
+    setup verbose jobs;
     let lib =
       match libfile with
       | None -> Ok None
@@ -253,7 +273,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run base retiming and G-RAR on a '.bench' netlist file.")
-    Term.(ret (const run $ verbose_arg $ file $ c_arg $ lib_arg))
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ file $ c_arg $ lib_arg))
 
 (* --- rar dot ------------------------------------------------------- *)
 
@@ -289,8 +309,8 @@ let period_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
   in
-  let run verbose name =
-    setup_logs verbose;
+  let run verbose jobs name =
+    setup verbose jobs;
     match Suite.load name with
     | Error e -> `Error (false, e)
     | Ok p -> (
@@ -326,7 +346,7 @@ let period_cmd =
          "Binary-search the minimum feasible and minimum detection-free \
           stage delays (min-period retiming, the paper's other classic \
           objective).")
-    Term.(ret (const run $ verbose_arg $ name_arg))
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg))
 
 (* --- rar trace ------------------------------------------------------ *)
 
@@ -346,8 +366,8 @@ let trace_cmd =
       value & opt int 4
       & info [ "cycles" ] ~docv:"N" ~doc:"Random cycles to record.")
   in
-  let run verbose name out cycles =
-    setup_logs verbose;
+  let run verbose jobs name out cycles =
+    setup verbose jobs;
     let t = Report.create ~names:[ name ] () in
     try
       let r = Report.grar t name ~c:1.0 in
@@ -389,7 +409,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Simulate the G-RAR-retimed benchmark and dump a VCD waveform.")
-    Term.(ret (const run $ verbose_arg $ name_arg $ out $ cycles))
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg $ out $ cycles))
 
 (* --- rar classic ----------------------------------------------------- *)
 
@@ -520,8 +540,8 @@ let sweep_cmd =
       value & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write CSV to FILE.")
   in
-  let run verbose name out =
-    setup_logs verbose;
+  let run verbose jobs name out =
+    setup verbose jobs;
     let t = Report.create ~names:[ name ] () in
     try
       let tab =
@@ -568,7 +588,7 @@ let sweep_cmd =
        ~doc:
          "Sweep the EDL overhead factor c and emit the G-RAR vs base \
           trade-off as a table or CSV series.")
-    Term.(ret (const run $ verbose_arg $ name_arg $ out))
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg $ out))
 
 let main =
   Cmd.group

@@ -35,7 +35,7 @@ let derive_clocking lib cc =
   (Clocking.of_p p, p)
 
 let prepare ?lib net =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   let lib = match lib with Some l -> l | None -> Liberty.default () in
   let two_phase = Transform.to_two_phase net in
   let cc = Transform.extract_comb two_phase in
@@ -85,7 +85,7 @@ let prepare ?lib net =
     n_flops;
     nce;
     flop_area;
-    runtime_s = Sys.time () -. t0;
+    runtime_s = Rar_util.Clock.now_s () -. t0;
   }
 
 let load ?lib name =

@@ -17,6 +17,7 @@ type t = {
   names_ : string list;
   sim_cycles : int;
   movable_moves : int;
+  lock : Mutex.t; (* guards every memo table below *)
   prepared_ : (string, Suite.prepared) Hashtbl.t;
   stages : (string, Stage.t) Hashtbl.t;
   grars : (string, Grar.t) Hashtbl.t;
@@ -31,6 +32,7 @@ let create ?(names = Spec.names) ?(sim_cycles = 300) ?(movable_moves = 4) () =
     names_ = names;
     sim_cycles;
     movable_moves;
+    lock = Mutex.create ();
     prepared_ = Hashtbl.create 16;
     stages = Hashtbl.create 32;
     grars = Hashtbl.create 64;
@@ -42,25 +44,36 @@ let create ?(names = Spec.names) ?(sim_cycles = 300) ?(movable_moves = 4) () =
 
 let names t = t.names_
 
-let memo tbl key f =
-  match Hashtbl.find_opt tbl key with
+(* Double-checked memoisation: the lock is held only around table
+   access, never while [f] runs, so memoised engines can recursively
+   memoise their inputs and independent cells can compute in parallel
+   on the pool. Two domains racing on the same key both compute; the
+   first store wins (engines are deterministic, so both values are
+   equal — the winner just keeps object identity stable). *)
+let memo t tbl key f =
+  let find () = Mutex.protect t.lock (fun () -> Hashtbl.find_opt tbl key) in
+  match find () with
   | Some v -> v
   | None ->
     let v = f () in
-    Hashtbl.replace tbl key v;
-    v
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt tbl key with
+        | Some winner -> winner
+        | None ->
+          Hashtbl.replace tbl key v;
+          v)
 
 let ok_or_fail what = function
   | Ok v -> v
   | Error e -> failwith (Printf.sprintf "Report: %s failed: %s" what e)
 
 let prepared t name =
-  memo t.prepared_ name (fun () -> ok_or_fail name (Suite.load name))
+  memo t t.prepared_ name (fun () -> ok_or_fail name (Suite.load name))
 
 let model_tag = function Sta.Gate_based -> "gate" | Sta.Path_based -> "path"
 
 let stage t ?(model = Sta.Path_based) name =
-  memo t.stages
+  memo t t.stages
     (Printf.sprintf "%s/%s" name (model_tag model))
     (fun () ->
       let p = prepared t name in
@@ -69,25 +82,25 @@ let stage t ?(model = Sta.Path_based) name =
            p.Suite.cc))
 
 let grar t ?(model = Sta.Path_based) name ~c =
-  memo t.grars
+  memo t t.grars
     (Printf.sprintf "%s/%s/%g" name (model_tag model) c)
     (fun () ->
       ok_or_fail (name ^ " grar") (Grar.run_on_stage ~c (stage t ~model name)))
 
 let base t name ~c =
-  memo t.bases
+  memo t t.bases
     (Printf.sprintf "%s/%g" name c)
     (fun () -> ok_or_fail (name ^ " base") (Base.run_on_stage ~c (stage t name)))
 
 let vl t ?(post_swap = true) name ~variant ~c =
-  memo t.vls
+  memo t t.vls
     (Printf.sprintf "%s/%s/%g/%b" name (Vl.variant_name variant) c post_swap)
     (fun () ->
       ok_or_fail (name ^ " vl")
         (Vl.run_on_stage ~post_swap ~c variant (stage t name)))
 
 let movable t name ~c =
-  memo t.movables
+  memo t t.movables
     (Printf.sprintf "%s/%g" name c)
     (fun () ->
       let p = prepared t name in
@@ -115,7 +128,7 @@ let error_rate t name ~approach ~c =
   let tag =
     match approach with `Base -> "base" | `Rvl -> "rvl" | `Grar -> "grar"
   in
-  memo t.rates
+  memo t t.rates
     (Printf.sprintf "%s/%s/%g" name tag c)
     (fun () ->
       let st, outcome =
@@ -132,6 +145,56 @@ let error_rate t name ~approach ~c =
       in
       Sim.error_rate ~cycles:t.sim_cycles ~seed:(name ^ "/" ^ tag)
         (sim_design t name st outcome))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel precompute                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Populate the memo tables for the whole (circuit x overhead x
+   approach) result grid through the domain pool, phase by phase so
+   each phase's cells find their inputs already memoised instead of
+   racing to recompute them. Failures are swallowed here: a cell that
+   cannot be computed fails again — deterministically and with its
+   real error — when the table that needs it renders. *)
+let precompute t =
+  let phase thunks =
+    ignore
+      (Rar_util.Pool.run
+         (List.map (fun f () -> try f () with _ -> ()) thunks)
+        : unit list)
+  in
+  let names = t.names_ in
+  phase (List.map (fun name () -> ignore (prepared t name)) names);
+  phase
+    (List.concat_map
+       (fun name ->
+         [ (fun () -> ignore (stage t name));
+           (fun () -> ignore (stage t ~model:Sta.Gate_based name)) ])
+       names);
+  phase
+    (List.concat_map
+       (fun name ->
+         List.concat_map
+           (fun (_, c) ->
+             [ (fun () -> ignore (grar t name ~c));
+               (fun () -> ignore (grar t ~model:Sta.Gate_based name ~c));
+               (fun () -> ignore (base t name ~c));
+               (fun () -> ignore (vl t name ~variant:Vl.Nvl ~c));
+               (fun () -> ignore (vl t name ~variant:Vl.Evl ~c));
+               (fun () -> ignore (vl t name ~variant:Vl.Rvl ~c));
+               (fun () -> ignore (movable t name ~c)) ])
+           overheads)
+       names);
+  phase
+    (List.concat_map
+       (fun name ->
+         List.concat_map
+           (fun (_, c) ->
+             List.map
+               (fun approach () -> ignore (error_rate t name ~approach ~c))
+               [ `Base; `Rvl; `Grar ])
+           overheads)
+       names)
 
 (* ------------------------------------------------------------------ *)
 (* Table helpers                                                       *)
@@ -463,6 +526,7 @@ let table t = function
   | n -> Error (Printf.sprintf "no table %d (valid: 1-9)" n)
 
 let all_tables t =
+  precompute t;
   List.map
     (fun n ->
       match table t n with

@@ -42,6 +42,15 @@ val movable : t -> string -> c:float -> Movable.t
 val error_rate :
   t -> string -> approach:[ `Base | `Rvl | `Grar ] -> c:float -> Rar_sim.Sim.rate
 
+val precompute : t -> unit
+(** Evaluate the whole (circuit x overhead x approach) result grid into
+    the context's memo tables through the {!Rar_util.Pool} — phase by
+    phase (prepare, stage, engines, error rates) so cells never race to
+    recompute a shared input. {!all_tables} calls this before
+    rendering; results are identical for every pool size, the grid just
+    fills in parallel. Cells that fail are skipped here and re-raise
+    when (and if) a table actually needs them. *)
+
 (** {1 Tables} *)
 
 val table_i : t -> string
@@ -58,6 +67,8 @@ val table : t -> int -> (string, string) result
 (** Table by number, 1-9. *)
 
 val all_tables : t -> (int * string * string) list
-(** [(number, title, rendered)] for every table. *)
+(** [(number, title, rendered)] for every table. Runs {!precompute}
+    first, so the whole grid evaluates on the domain pool before any
+    table renders. *)
 
 val title : int -> string

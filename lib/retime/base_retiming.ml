@@ -13,7 +13,7 @@ type t = {
 }
 
 let run_on_stage ?engine ~c stage =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   let g = Rgraph.build ~bias_early:true stage in
   match Rgraph.solve ?engine g with
   | Error e -> Error ("Base_retiming: " ^ e)
@@ -36,13 +36,13 @@ let run_on_stage ?engine ~c stage =
         else
           Ok
             { outcome; stage = stage'; r; lp_latches;
-              runtime_s = Sys.time () -. t0 }))
+              runtime_s = Rar_util.Clock.now_s () -. t0 }))
 
 let run ?engine ?(model = Sta.Path_based) ~lib ~clocking ~c cc =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
   | Error e -> Error ("Base_retiming: " ^ e)
   | Ok stage -> (
     match run_on_stage ?engine ~c stage with
     | Error _ as e -> e
-    | Ok r -> Ok { r with runtime_s = Sys.time () -. t0 })
+    | Ok r -> Ok { r with runtime_s = Rar_util.Clock.now_s () -. t0 })

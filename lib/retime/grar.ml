@@ -15,7 +15,7 @@ type t = {
 }
 
 let run_on_stage ?engine ~c stage =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   let g = Rgraph.build ~edl_overhead:c stage in
   match Rgraph.solve ?engine g with
   | Error e -> Error ("Grar: " ^ e)
@@ -53,14 +53,14 @@ let run_on_stage ?engine ~c stage =
               r;
               modelled_non_ed;
               lp_latches;
-              runtime_s = Sys.time () -. t0;
+              runtime_s = Rar_util.Clock.now_s () -. t0;
             }))
 
 let run ?engine ?(model = Sta.Path_based) ~lib ~clocking ~c cc =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
   | Error e -> Error ("Grar: " ^ e)
   | Ok stage -> (
     match run_on_stage ?engine ~c stage with
     | Error _ as e -> e
-    | Ok r -> Ok { r with runtime_s = Sys.time () -. t0 })
+    | Ok r -> Ok { r with runtime_s = Rar_util.Clock.now_s () -. t0 })

@@ -144,29 +144,45 @@ let compute_regions ~sta_an ~lib ~clocking net =
          name)
   | None -> Ok regions
 
+(* Result of classifying one sink. The per-sink edge lists are
+   returned (not pushed into shared tables) so classification can run
+   on the domain pool; {!make} merges them sequentially after the
+   join. *)
+type classified = {
+  cls : sink_class;
+  mp : float;                  (* longest pure combinational path *)
+  ill : (int * int) list;      (* per-edge Constraint (7) violations *)
+  win : (int * int) list;      (* window edges (Target sinks only) *)
+  empty_cut : bool;            (* Always_ed via an empty g(t): warn *)
+}
+
 (* Classification of one sink (paper §IV-A). While scanning every
    latch position in the cone we also record the positions that violate
    the max-delay bound for this sink (the per-edge form of Constraint
-   7); [illegal] accumulates them across sinks. *)
-let classify_sink ~sta_an ~clocking ~latch ~illegal ~window net s =
+   7). Pure: reads only the shared read-only [sta_an] (whose
+   [backward_all] cache {!make} forces before fan-out), so sinks
+   classify in parallel. All loops walk the sink's fan-in cone, not
+   the whole netlist: [cone_asc] replicates the previous ascending
+   [for v = 0 to n-1 ... if in_cone v] iteration exactly. *)
+let classify_sink ~sta_an ~clocking ~latch net s =
   let period = Clocking.period clocking in
   let limit = Clocking.max_delay clocking in
-  let db = Sta.backward sta_an ~sink:s in
-  let n = Netlist.node_count net in
+  let cone, db = Sta.backward_cone sta_an ~sink:s in
   let in_cone v =
     db.(v).Liberty.rise > neg_infinity || db.(v).Liberty.fall > neg_infinity
   in
+  let cone_asc = Array.copy cone in
+  Array.sort compare cone_asc;
   (* Longest pure combinational path into s, polarity-paired. *)
   let max_path = ref neg_infinity in
-  for v = 0 to n - 1 do
-    if in_cone v then begin
+  Array.iter
+    (fun v ->
       let a = Sta.arrival_arc sta_an v in
       let thru_rise = a.Liberty.rise +. db.(v).Liberty.rise in
       let thru_fall = a.Liberty.fall +. db.(v).Liberty.fall in
       if thru_rise > !max_path then max_path := thru_rise;
-      if thru_fall > !max_path then max_path := thru_fall
-    end
-  done;
+      if thru_fall > !max_path then max_path := thru_fall)
+    cone_asc;
   let a_of ~u ~v =
     Sta.arrival_with_slave_after sta_an ~clocking ~latch ~u ~v ~db
   in
@@ -181,52 +197,54 @@ let classify_sink ~sta_an ~clocking ~latch ~illegal ~window net s =
      for the path DP below. *)
   let a_max_legal = ref neg_infinity in
   let good = Hashtbl.create 64 in
-  for v = 0 to n - 1 do
-    if in_cone v then begin
+  let illegal = ref [] in
+  let window = ref [] in
+  Array.iter
+    (fun v ->
       match Netlist.kind net v with
       | Netlist.Input -> ()
       | Netlist.Gate _ | Netlist.Output ->
         Array.iter
           (fun u ->
             let a = a_of ~u ~v in
-            if a > limit +. eps then Hashtbl.replace illegal (u, v) ()
+            if a > limit +. eps then illegal := (u, v) :: !illegal
             else if a > period +. eps then window := (u, v) :: !window;
             if can_launch u && a <= limit +. eps then begin
               if a > !a_max_legal then a_max_legal := a;
               if a <= period +. eps then Hashtbl.replace good (u, v) ()
             end)
           (Netlist.fanins net v)
-      | Netlist.Seq _ -> assert false
-    end
-  done;
+      | Netlist.Seq _ -> assert false)
+    cone_asc;
+  let ill = List.rev !illegal in
   (* Path DP: [bad v] = some source-to-v path passed no good position.
      The sink can be made non-error-detecting iff no bad path reaches
-     it. *)
-  let bad = Array.make n false in
-  Array.iter
-    (fun v ->
-      if in_cone v then begin
-        match Netlist.kind net v with
-        | Netlist.Input -> bad.(v) <- true
-        | Netlist.Gate _ | Netlist.Output ->
-          let b = ref false in
-          Array.iter
-            (fun u ->
-              if in_cone u && bad.(u) && not (Hashtbl.mem good (u, v)) then
-                b := true)
-            (Netlist.fanins net v);
-          bad.(v) <- !b
-        | Netlist.Seq _ -> assert false
-      end)
-    (Netlist.topo_comb net);
-  if bad.(s) then (Always_ed, !max_path)
-  else if !a_max_legal <= period +. eps then (Never_ed, !max_path)
+     it. [cone] reversed is a forward topological order of the cone. *)
+  let bad = Hashtbl.create 64 in
+  for i = Array.length cone - 1 downto 0 do
+    let v = cone.(i) in
+    match Netlist.kind net v with
+    | Netlist.Input -> Hashtbl.replace bad v ()
+    | Netlist.Gate _ | Netlist.Output ->
+      let b = ref false in
+      Array.iter
+        (fun u ->
+          if in_cone u && Hashtbl.mem bad u && not (Hashtbl.mem good (u, v))
+          then b := true)
+        (Netlist.fanins net v);
+      if !b then Hashtbl.replace bad v ()
+    | Netlist.Seq _ -> assert false
+  done;
+  if Hashtbl.mem bad s then
+    { cls = Always_ed; mp = !max_path; ill; win = []; empty_cut = false }
+  else if !a_max_legal <= period +. eps then
+    { cls = Never_ed; mp = !max_path; ill; win = []; empty_cut = false }
   else begin
     (* g(t) per Eq. 8-9, over legal positions. Condition (9) for a
        source uses the host-edge position (its worst fanout edge). *)
     let cut = ref [] in
-    for v = 0 to n - 1 do
-      if in_cone v then begin
+    Array.iter
+      (fun v ->
         let can_hold_latch =
           match Netlist.kind net v with
           | Netlist.Input | Netlist.Gate _ -> true
@@ -256,17 +274,13 @@ let classify_sink ~sta_an ~clocking ~latch ~illegal ~window net s =
             | Netlist.Output | Netlist.Seq _ -> assert false);
             if !bad_before then cut := v :: !cut
           end
-        end
-      end
-    done;
-    if !cut = [] then begin
-      Log.warn (fun m ->
-          m "sink %s: retiming-dependent but empty g(t); treating as always \
-             error-detecting"
-            (Netlist.node_name net s));
-      (Always_ed, !max_path)
-    end
-    else (Target { cut = List.rev !cut }, !max_path)
+        end)
+      cone_asc;
+    if !cut = [] then
+      { cls = Always_ed; mp = !max_path; ill; win = !window; empty_cut = true }
+    else
+      { cls = Target { cut = List.rev !cut }; mp = !max_path; ill;
+        win = !window; empty_cut = false }
   end
 
 let make ?(model = Sta.Path_based) ~lib ~clocking cc =
@@ -298,21 +312,34 @@ let make ?(model = Sta.Path_based) ~lib ~clocking cc =
       let max_paths = Hashtbl.create 64 in
       let illegal_tbl = Hashtbl.create 64 in
       let window_tbl = Hashtbl.create 64 in
+      (* Per-sink classification is independent (each sink scans its
+         own fan-in cone against the shared read-only STA), so it fans
+         out across the domain pool. [backward_all]'s memo is already
+         forced by [compute_regions] above; force it regardless so the
+         shared [Sta.t] stays read-only inside the workers. *)
+      ignore (Sta.backward_all sta_an : float array);
+      let classified =
+        Rar_util.Pool.map (Netlist.outputs net) (fun s ->
+            (s, classify_sink ~sta_an ~clocking ~latch net s))
+      in
+      (* Sequential merge, in sink order, so the resulting tables and
+         lists are identical for every pool size. *)
       let classes =
         Array.to_list
           (Array.map
-             (fun s ->
-               let window = ref [] in
-               let cls, mp =
-                 classify_sink ~sta_an ~clocking ~latch ~illegal:illegal_tbl
-                   ~window net s
-               in
-               Hashtbl.replace max_paths s mp;
-               (match cls with
-               | Target _ -> Hashtbl.replace window_tbl s !window
+             (fun (s, r) ->
+               Hashtbl.replace max_paths s r.mp;
+               List.iter (fun e -> Hashtbl.replace illegal_tbl e ()) r.ill;
+               (match r.cls with
+               | Target _ -> Hashtbl.replace window_tbl s r.win
                | Never_ed | Always_ed -> ());
-               (s, cls))
-             (Netlist.outputs net))
+               if r.empty_cut then
+                 Log.warn (fun m ->
+                     m "sink %s: retiming-dependent but empty g(t); treating \
+                        as always error-detecting"
+                       (Netlist.node_name net s));
+               (s, r.cls))
+             classified)
       in
       let illegal = Hashtbl.fold (fun e () acc -> e :: acc) illegal_tbl [] in
       (* A source whose shared initial position covers an illegal edge

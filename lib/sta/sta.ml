@@ -123,6 +123,25 @@ let arrival_arc t v = t.arr.(v)
 let df t v = Liberty.arc_max t.arr.(v)
 let arrival_at_sink t v = df t v
 
+(* Relax one node of the backward DP: push [db.(w)] into the backward
+   arcs of w's fanins. *)
+let relax_back t db w =
+  match Netlist.kind t.net w with
+  | Netlist.Input -> ()
+  | Netlist.Output ->
+    let u = (Netlist.fanins t.net w).(0) in
+    db.(u) <- arc_max2 db.(u) db.(w)
+  | Netlist.Gate { fn; _ } ->
+    Array.iteri
+      (fun pin u ->
+        let contrib =
+          back_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(w).(pin)
+            db.(w)
+        in
+        db.(u) <- arc_max2 db.(u) contrib)
+      (Netlist.fanins t.net w)
+  | Netlist.Seq _ -> assert false
+
 (* Shared backward DP: [init] marks the starting arcs per node. *)
 let backward_from t init =
   let n = Netlist.node_count t.net in
@@ -132,23 +151,7 @@ let backward_from t init =
   for i = n - 1 downto 0 do
     let w = topo.(i) in
     if db.(w).Liberty.rise > neg_infinity || db.(w).Liberty.fall > neg_infinity
-    then begin
-      match Netlist.kind t.net w with
-      | Netlist.Input -> ()
-      | Netlist.Output ->
-        let u = (Netlist.fanins t.net w).(0) in
-        db.(u) <- arc_max2 db.(u) db.(w)
-      | Netlist.Gate { fn; _ } ->
-        Array.iteri
-          (fun pin u ->
-            let contrib =
-              back_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(w).(pin)
-                db.(w)
-            in
-            db.(u) <- arc_max2 db.(u) contrib)
-          (Netlist.fanins t.net w)
-      | Netlist.Seq _ -> assert false
-    end
+    then relax_back t db w
   done;
   db
 
@@ -159,6 +162,47 @@ let backward t ~sink =
   let init = Array.make (Netlist.node_count t.net) neg_inf_arc in
   init.(sink) <- zero_arc;
   backward_from t init
+
+let backward_cone t ~sink =
+  (match Netlist.kind t.net sink with
+  | Netlist.Output -> ()
+  | _ -> invalid_arg "Sta.backward_cone: sink must be an Output node");
+  let n = Netlist.node_count t.net in
+  (* Iterative DFS from the sink along fanin edges; the reverse
+     postorder puts every cone node before its fanins (sink first),
+     exactly the processing order the backward DP needs, so the DP
+     touches only the |cone| nodes instead of scanning all n. *)
+  let seen = Array.make n false in
+  seen.(sink) <- true;
+  let post = ref [] in
+  let n_cone = ref 0 in
+  let stack = ref [ (sink, ref 0) ] in
+  (let continue_ = ref true in
+   while !continue_ do
+     match !stack with
+     | [] -> continue_ := false
+     | (v, next_pin) :: rest ->
+       let fi = Netlist.fanins t.net v in
+       if !next_pin < Array.length fi then begin
+         let u = fi.(!next_pin) in
+         incr next_pin;
+         if not seen.(u) then begin
+           seen.(u) <- true;
+           stack := (u, ref 0) :: !stack
+         end
+       end
+       else begin
+         post := v :: !post;
+         incr n_cone;
+         stack := rest
+       end
+   done);
+  let cone = Array.make !n_cone sink in
+  List.iteri (fun i v -> cone.(i) <- v) !post;
+  let db = Array.make n neg_inf_arc in
+  db.(sink) <- zero_arc;
+  Array.iter (fun w -> relax_back t db w) cone;
+  (cone, db)
 
 let backward_scalar t ~sink =
   Array.map Liberty.arc_max (backward t ~sink)
@@ -249,14 +293,14 @@ let forward_with_latches t ~clocking ~latch ~latched =
     (Netlist.topo_comb t.net);
   arr
 
-let sink_summary t ~clocking =
-  ignore clocking;
+let sink_summary t =
   Array.map (fun s -> (s, arrival_at_sink t s)) (Netlist.outputs t.net)
 
 let near_critical t ~clocking =
   let period = Clocking.period clocking in
   Array.fold_right
-    (fun s acc -> if arrival_at_sink t s > period then s :: acc else acc)
+    (fun s acc ->
+      if arrival_at_sink t s > period +. 1e-9 then s :: acc else acc)
     (Netlist.outputs t.net) []
 
 let violations t ~clocking =

@@ -60,12 +60,23 @@ val backward : t -> sink:int -> Liberty.arc array
     cone of [t] hold [neg_infinity] arcs. [backward t ~sink] of the
     sink itself is the zero arc. *)
 
+val backward_cone : t -> sink:int -> int array * Liberty.arc array
+(** Sparse {!backward}: [(cone, db)] where [cone] lists exactly the
+    nodes in the fan-in cone of [sink], ordered so every node precedes
+    its fanins (the sink first), and [db] equals [backward t ~sink].
+    The DP walks only the cone instead of scanning all [n] nodes, so
+    the cost is O(|cone|) edge relaxations — the per-sink kernel of
+    {!Rar_retime.Stage} classification. *)
+
 val backward_scalar : t -> sink:int -> float array
 (** Max of the {!backward} arcs. *)
 
 val backward_all : t -> float array
 (** Per node, [max] over every sink of [D^b(v,t)] — one multi-sink
-    pass; used for the [V_m] region test (Constraint 7). *)
+    pass; used for the [V_m] region test (Constraint 7). The result is
+    memoised in [t]; call it once from a single domain before sharing
+    [t] read-only across {!Rar_util.Pool} workers (every other
+    accessor of [t] is pure). *)
 
 (** {1 Edge propagation} *)
 
@@ -103,12 +114,13 @@ val forward_with_latches :
 
 (** {1 Endpoint reports} *)
 
-val sink_summary : t -> clocking:Clocking.t -> (int * float) array
+val sink_summary : t -> (int * float) array
 (** [(sink node, arrival)] for every [Output] node. *)
 
 val near_critical : t -> clocking:Clocking.t -> int list
 (** Sinks whose arrival falls inside the resiliency window
-    [(period, period + phi1]] — the NCE count of Table I. *)
+    [(period, period + phi1]] — the NCE count of Table I. Uses the
+    same [1e-9] tolerance as {!violations} and the path report. *)
 
 val violations : t -> clocking:Clocking.t -> int list
 (** Sinks whose arrival exceeds [max_delay] — illegal even with error

@@ -1,0 +1,1 @@
+let now_s = Unix.gettimeofday

@@ -1,0 +1,11 @@
+(** Wall-clock time for runtime bookkeeping.
+
+    [Sys.time] reports {e process CPU} time, which sums across domains
+    and becomes meaningless once evaluation runs on the {!Pool}; every
+    [runtime_s] field in the engines uses this module instead so
+    Table VII keeps its "elapsed seconds" semantics under any job
+    count. *)
+
+val now_s : unit -> float
+(** Seconds since the epoch ([Unix.gettimeofday]); subtract two
+    readings for an elapsed-time measurement. *)

@@ -1,0 +1,127 @@
+(* Fixed-size domain pool: worker domains block on a Condition until
+   tasks arrive; each batch joins on its own counter so concurrent
+   submitters (there are none today, but the design allows them from
+   the main domain) do not steal each other's completions. *)
+
+type pool = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Workers flag themselves so nested [map]/[run] calls fall back to
+   sequential evaluation instead of deadlocking the fixed pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () =
+  match Sys.getenv_opt "RAR_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> 1)
+  | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+
+let override : int option ref = ref None
+let jobs () = match !override with Some j -> j | None -> default_jobs ()
+
+let worker p () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock p.lock;
+    while Queue.is_empty p.queue && not p.stop do
+      Condition.wait p.nonempty p.lock
+    done;
+    if Queue.is_empty p.queue then Mutex.unlock p.lock (* stop *)
+    else begin
+      let task = Queue.pop p.queue in
+      Mutex.unlock p.lock;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let current : pool option ref = ref None
+
+let shutdown () =
+  match !current with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.lock;
+    p.stop <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    List.iter Domain.join p.domains;
+    current := None
+
+let () = at_exit shutdown
+
+let get_pool size =
+  (match !current with
+  | Some p when p.size <> size -> shutdown ()
+  | Some _ | None -> ());
+  match !current with
+  | Some p -> p
+  | None ->
+    let p =
+      { size; queue = Queue.create (); lock = Mutex.create ();
+        nonempty = Condition.create (); stop = false; domains = [] }
+    in
+    p.domains <- List.init size (fun _ -> Domain.spawn (worker p));
+    current := Some p;
+    p
+
+let set_jobs j =
+  let j = Int.max 1 j in
+  override := Some j;
+  match !current with
+  | Some p when p.size <> j -> shutdown ()
+  | Some _ | None -> ()
+
+let map (xs : 'a array) (f : 'a -> 'b) : 'b array =
+  let n = Array.length xs in
+  let size = jobs () in
+  if size <= 1 || n <= 1 || Domain.DLS.get in_worker then Array.map f xs
+  else begin
+    let p = get_pool size in
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let pending = ref n in
+    let join_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    Mutex.lock p.lock;
+    for i = 0 to n - 1 do
+      Queue.add
+        (fun () ->
+          let r =
+            try Ok (f xs.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          Mutex.lock join_lock;
+          decr pending;
+          if !pending = 0 then Condition.signal all_done;
+          Mutex.unlock join_lock)
+        p.queue
+    done;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    Mutex.lock join_lock;
+    while !pending > 0 do
+      Condition.wait all_done join_lock
+    done;
+    Mutex.unlock join_lock;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let run (thunks : (unit -> 'a) list) : 'a list =
+  Array.to_list (map (Array.of_list thunks) (fun f -> f ()))

@@ -1,0 +1,38 @@
+(** Fixed-size domain pool for data-parallel evaluation.
+
+    A lazily-created set of worker domains pulls tasks from a shared
+    work queue ([Mutex] + [Condition], no dependencies beyond the
+    stdlib). The pool size comes from, in priority order:
+
+    + {!set_jobs} (the CLI's [--jobs] flag);
+    + the [RAR_JOBS] environment variable;
+    + [Domain.recommended_domain_count () - 1], but at least 1.
+
+    With a pool size of 1 every call degrades to plain sequential
+    evaluation in the calling domain — no domains are spawned, so the
+    single-job path is byte-for-byte the old sequential behaviour.
+    Calls made {e from inside} a worker task also run sequentially
+    (nested parallelism would deadlock a fixed pool), which makes
+    [Pool.map] safe to use at every layer of the evaluation stack.
+
+    Exceptions raised by tasks are captured per task and re-raised at
+    the join, lowest task index first, with their original backtrace,
+    so [Error]/[Failure] plumbing behaves as in sequential code. *)
+
+val jobs : unit -> int
+(** Effective pool size (≥ 1). *)
+
+val set_jobs : int -> unit
+(** Override the pool size (values < 1 are clamped to 1). If a pool of
+    a different size is already running it is drained, joined and
+    re-spawned lazily at the next parallel call. *)
+
+val map : 'a array -> ('a -> 'b) -> 'b array
+(** [map xs f] applies [f] to every element, in parallel across the
+    pool, preserving order. Equivalent to [Array.map f xs] (including
+    exception behaviour, up to which of several raising tasks wins:
+    the lowest-index exception is re-raised). *)
+
+val run : (unit -> 'a) list -> 'a list
+(** [run thunks] evaluates the thunks in parallel, returning results
+    in the original order. *)

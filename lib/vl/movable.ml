@@ -79,7 +79,7 @@ let apply_backward net m g s =
 let total_area (r : Vl.t) = r.Vl.outcome.Outcome.total_area
 
 let run ?(max_moves = 6) ~lib ~clocking ~c two_phase =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   let run_vl net =
     Vl.run ~lib ~clocking ~c Vl.Rvl (Transform.extract_comb net)
   in
@@ -129,4 +129,4 @@ let run ?(max_moves = 6) ~lib ~clocking ~c two_phase =
       search two_phase fixed 0 0 master_names
     in
     Ok { fixed; movable; moves_tried; moves_kept;
-         runtime_s = Sys.time () -. t0 }
+         runtime_s = Rar_util.Clock.now_s () -. t0 }

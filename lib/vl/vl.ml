@@ -51,7 +51,7 @@ let seed_types stage variant =
   | Rvl -> Stage.near_critical_initial stage
 
 let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   let sinks = Array.to_list (Stage.sinks stage) in
   let initial_ed = seed_types stage variant in
   let period = Clocking.period (Stage.clocking stage) in
@@ -149,15 +149,15 @@ let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
               forced_to_ed;
               swapped_to_non_ed;
               retype_rounds = rounds;
-              runtime_s = Sys.time () -. t0;
+              runtime_s = Rar_util.Clock.now_s () -. t0;
             }))
 
 let run ?engine ?(model = Sta.Path_based) ?post_swap ~lib ~clocking ~c variant
     cc =
-  let t0 = Sys.time () in
+  let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
   | Error e -> Error ("Vl: " ^ e)
   | Ok stage -> (
     match run_on_stage ?engine ?post_swap ~c variant stage with
     | Error _ as e -> e
-    | Ok r -> Ok { r with runtime_s = Sys.time () -. t0 })
+    | Ok r -> Ok { r with runtime_s = Rar_util.Clock.now_s () -. t0 })

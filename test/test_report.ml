@@ -69,6 +69,67 @@ let test_grar_beats_base_on_suite_circuit () =
   Alcotest.(check bool) "total area improves" true
     (g.Outcome.total_area <= b.Outcome.total_area +. 1e-9)
 
+(* Determinism across pool sizes. Wall-clock cells (Table I "Prep (s)",
+   every data column of the Table VII runtime comparison) can never be
+   byte-identical between two runs, so those columns are masked before
+   comparing; everything else must match exactly. Cells are re-joined
+   trimmed, so the comparison is also immune to column-width jitter
+   caused by masked cells. *)
+let normalize_table n s =
+  let lines = String.split_on_char '\n' s in
+  let cells l = List.map String.trim (String.split_on_char '|' l) in
+  let contains_seconds c =
+    let re = "(s)" in
+    let rec find j =
+      j + String.length re <= String.length c
+      && (String.sub c j (String.length re) = re || find (j + 1))
+    in
+    find 0
+  in
+  let runtime_cols =
+    match List.find_opt (fun l -> String.contains l '|') lines with
+    | None -> []
+    | Some header ->
+      (* Leading '|' makes index 1 the first real column. *)
+      List.concat
+        (List.mapi
+           (fun i c ->
+             if c <> "" && (contains_seconds c || (n = 7 && i > 1)) then [ i ]
+             else [])
+           (cells header))
+  in
+  let mask l =
+    if not (String.contains l '|') then l
+    else
+      String.concat "|"
+        (List.mapi
+           (fun i c -> if List.mem i runtime_cols then "<t>" else c)
+           (cells l))
+  in
+  String.concat "\n" (List.map mask lines)
+
+let render_all ~jobs =
+  Rar_util.Pool.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Rar_util.Pool.set_jobs 1)
+    (fun () ->
+      let t = Report.create ~names:[ "s1196"; "s1423" ] ~sim_cycles:20 () in
+      List.map
+        (fun (n, title, s) -> (n, title, normalize_table n s))
+        (Report.all_tables t))
+
+let test_jobs_determinism () =
+  let seq = render_all ~jobs:1 and par = render_all ~jobs:4 in
+  Alcotest.(check int) "same table count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (n, ts, s) (n', tp, p) ->
+      Alcotest.(check int) "same table number" n n';
+      Alcotest.(check string) "same title" ts tp;
+      Alcotest.(check string)
+        (Printf.sprintf "table %d byte-identical across pool sizes" n)
+        s p)
+    seq par
+
 let suite =
   [
     Alcotest.test_case "text table renders aligned" `Quick test_text_table;
@@ -78,4 +139,6 @@ let suite =
     Alcotest.test_case "tables render" `Quick test_tables_render;
     Alcotest.test_case "G-RAR beats base on s1196" `Quick
       test_grar_beats_base_on_suite_circuit;
+    Alcotest.test_case "tables identical across pool sizes" `Slow
+      test_jobs_determinism;
   ]

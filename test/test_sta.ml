@@ -157,6 +157,63 @@ let test_through_matches_arrival () =
       | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ())
     (Netlist.gates comb)
 
+let prop_backward_cone_matches_backward =
+  QCheck.Test.make ~name:"backward_cone = backward on every node" ~count:10
+    QCheck.(int_bound 20)
+    (fun seed ->
+      let lib = Liberty.default () in
+      let spec =
+        { (Option.get (Spec.find "s1238")) with
+          Spec.n_gates = 200; depth = 8;
+          seed = Printf.sprintf "cone%d" seed }
+      in
+      let net = Generator.generate spec in
+      let comb =
+        (Transform.extract_comb (Transform.to_two_phase net)).Transform.comb
+      in
+      let sta = Sta.analyse lib Sta.Path_based comb in
+      let n = Netlist.node_count comb in
+      let arc_eq a b =
+        let c x y =
+          (x = neg_infinity && y = neg_infinity) || Float.abs (x -. y) < 1e-9
+        in
+        c a.Liberty.rise b.Liberty.rise && c a.Liberty.fall b.Liberty.fall
+      in
+      Array.for_all
+        (fun s ->
+          let dense = Sta.backward sta ~sink:s in
+          let cone, sparse = Sta.backward_cone sta ~sink:s in
+          (* Same values everywhere: inside the cone they agree, and
+             outside it both sides hold neg_infinity arcs. *)
+          let values_match =
+            Array.for_all Fun.id
+              (Array.init n (fun v -> arc_eq dense.(v) sparse.(v)))
+          in
+          (* The cone is exactly the reachable set, sink first, with
+             every node listed before its fanins. *)
+          let in_cone = Array.make n false in
+          Array.iter (fun v -> in_cone.(v) <- true) cone
+          ;
+          let cone_is_support =
+            Array.for_all Fun.id
+              (Array.init n (fun v ->
+                   in_cone.(v) = (dense.(v).Liberty.rise > neg_infinity
+                                  || dense.(v).Liberty.fall > neg_infinity)))
+          in
+          let pos = Array.make n (-1) in
+          Array.iteri (fun i v -> pos.(v) <- i) cone;
+          let topo_ok =
+            (Array.length cone > 0 && cone.(0) = s)
+            && Array.for_all
+                 (fun v ->
+                   Array.for_all
+                     (fun u -> pos.(u) < 0 || pos.(u) > pos.(v))
+                     (Netlist.fanins comb v))
+                 cone
+          in
+          values_match && cone_is_support && topo_ok)
+        (Netlist.outputs comb))
+
 let prop_latches_only_delay =
   QCheck.Test.make ~name:"inserting slaves never speeds a path up" ~count:10
     QCheck.(int_bound 20)
@@ -265,6 +322,7 @@ let suite =
       test_through_matches_arrival;
     Alcotest.test_case "rejects sequential netlists" `Quick
       test_rejects_sequential;
+    QCheck_alcotest.to_alcotest prop_backward_cone_matches_backward;
     QCheck_alcotest.to_alcotest prop_latches_only_delay;
     Alcotest.test_case "critical path report" `Quick test_critical_path_report;
     Alcotest.test_case "critical path on generated" `Quick

@@ -3,6 +3,7 @@
 module Vec = Rar_util.Vec
 module Heap = Rar_util.Heap
 module Rng = Rar_util.Rng
+module Pool = Rar_util.Pool
 
 let test_vec_basic () =
   let v = Vec.create () in
@@ -59,6 +60,69 @@ let test_rng_of_string_stable () =
   done;
   Alcotest.(check bool) "streams diverge" true !diverged
 
+(* Pool: run each scenario at both pool sizes so the sequential
+   fallback (size 1) and the true parallel path (size 4) are covered
+   by the same assertions. [set_jobs] is restored to 1 afterwards so
+   later suites see the default sequential behaviour. *)
+let with_jobs j f =
+  Pool.set_jobs j;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+let test_pool_map_ordering () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          Alcotest.(check int) "jobs" j (Pool.jobs ());
+          let xs = Array.init 100 Fun.id in
+          let expect = Array.map (fun x -> (3 * x) + 1) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map order (jobs=%d)" j)
+            expect
+            (Pool.map xs (fun x -> (3 * x) + 1));
+          Alcotest.(check (list string))
+            (Printf.sprintf "run order (jobs=%d)" j)
+            [ "a"; "b"; "c" ]
+            (Pool.run [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ])))
+    [ 1; 4 ]
+
+exception Boom of int
+
+let test_pool_exception_propagation () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          let xs = Array.init 64 Fun.id in
+          match Pool.map xs (fun x -> if x >= 20 then raise (Boom x) else x) with
+          | _ -> Alcotest.fail "expected exception from pool task"
+          | exception Boom i ->
+            (* Lowest-index raiser wins, as in sequential Array.map. *)
+            Alcotest.(check int)
+              (Printf.sprintf "lowest index re-raised (jobs=%d)" j)
+              20 i))
+    [ 1; 4 ]
+
+let test_pool_size_clamp () =
+  Pool.set_jobs (-3);
+  Alcotest.(check int) "clamped to 1" 1 (Pool.jobs ());
+  (* Size-1 pool spawns no domains: map must run in the calling domain. *)
+  let here = Domain.self () in
+  let doms = Pool.map [| 0; 1; 2 |] (fun _ -> Domain.self ()) in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "ran in caller" true (d = here))
+    doms
+
+let test_pool_nested_map () =
+  (* Nested Pool.map from inside a worker task must not deadlock the
+     fixed pool: inner calls degrade to sequential evaluation. *)
+  with_jobs 2 (fun () ->
+      let got =
+        Pool.map (Array.init 8 Fun.id) (fun x ->
+            Array.fold_left ( + ) 0
+              (Pool.map (Array.init 5 Fun.id) (fun y -> (x * 10) + y)))
+      in
+      let expect = Array.init 8 (fun x -> (50 * x) + 10) in
+      Alcotest.(check (array int)) "nested map" expect got)
+
 let prop_heap_matches_sort =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list (float_bound_exclusive 1000.))
@@ -101,6 +165,11 @@ let suite =
     Alcotest.test_case "heap empty" `Quick test_heap_empty;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng named streams" `Quick test_rng_of_string_stable;
+    Alcotest.test_case "pool preserves order" `Quick test_pool_map_ordering;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      test_pool_exception_propagation;
+    Alcotest.test_case "pool size-1 fallback" `Quick test_pool_size_clamp;
+    Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
     QCheck_alcotest.to_alcotest prop_heap_matches_sort;
     QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
