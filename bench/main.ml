@@ -36,8 +36,11 @@ module Sta = Rar_sta.Sta
 module Difflp = Rar_flow.Difflp
 module Transform = Rar_netlist.Transform
 module Clocking = Rar_sta.Clocking
+module Engine = Rar_engine
 
-let ok = function Ok v -> v | Error e -> failwith e
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Rar_retime.Error.to_string e)
 
 (* Representative circuit for the timed kernels: s1423 is the smallest
    benchmark on which every engine behaves non-trivially. *)
@@ -48,14 +51,16 @@ let prepared = lazy (Report.prepared ctx circuit)
 let stage_path = lazy (Report.stage ctx circuit)
 let stage_gate = lazy (Report.stage ctx ~model:Sta.Gate_based circuit)
 
-let grar_result = lazy (Report.grar ctx circuit ~c:1.0)
+let grar_result = lazy (Report.run ctx circuit ~spec:Engine.Grar ~c:1.0)
 
 let sim_design =
   lazy
     (let r = Lazy.force grar_result in
-     let st = r.Grar.stage in
+     let st = r.Engine.stage in
      let cc = Stage.cc st in
-     let staged = Transform.apply_retiming cc r.Grar.outcome.Outcome.placements in
+     let staged =
+       Transform.apply_retiming cc r.Engine.outcome.Outcome.placements
+     in
      let p = Lazy.force prepared in
      {
        Sim.staged;
@@ -64,7 +69,7 @@ let sim_design =
        ed_sinks =
          List.map
            (fun s -> Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
-           r.Grar.outcome.Outcome.ed_sinks;
+           r.Engine.outcome.Outcome.ed_sinks;
      })
 
 let tests =
@@ -110,7 +115,7 @@ let tests =
         let r = Lazy.force grar_result in
         ignore
           (Rar_retime.Edl_cluster.annotate
-             ~lib:(Lazy.force prepared).Suite.lib r.Grar.outcome)));
+             ~lib:(Lazy.force prepared).Suite.lib r.Engine.outcome)));
     Test.make ~name:"ablation/period_search" (Staged.stage (fun () ->
         ignore
           (Rar_retime.Period_search.min_feasible ~lib:(Fig4.library ())
@@ -308,7 +313,7 @@ let run_cluster_ablation () =
   show "base" (ok (Base.run_on_stage ~c:1.0 (Lazy.force stage_path))).Base.outcome;
   show "rvl"
     (ok (Vl.run_on_stage ~c:1.0 Vl.Rvl (Lazy.force stage_path))).Vl.outcome;
-  show "grar" (Lazy.force grar_result).Grar.outcome
+  show "grar" (Lazy.force grar_result).Engine.outcome
 
 (* Ablation: resynthesis (buffer cleanup + timing-driven decomposition
    of wide gates) before retiming — the paper's related-work lever. *)
@@ -329,10 +334,11 @@ let run_resynth_ablation () =
     match
       Stage.make ~lib ~clocking:p.Suite.clocking p.Suite.cc
     with
-    | Error e -> Printf.printf "  %s: %s\n" tag e
+    | Error e -> Printf.printf "  %s: %s\n" tag (Rar_retime.Error.to_string e)
     | Ok st -> (
       match Grar.run_on_stage ~c:1.0 st with
-      | Error e -> Printf.printf "  %s: %s\n" tag e
+      | Error e ->
+        Printf.printf "  %s: %s\n" tag (Rar_retime.Error.to_string e)
       | Ok r ->
         Printf.printf
           "  %-12s P=%.3f slaves=%d edl=%d seq=%.2f comb=%.2f total=%.2f\n"

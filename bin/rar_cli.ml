@@ -11,19 +11,22 @@
 open Cmdliner
 
 module Report = Rar_report.Report
+module Row = Rar_report.Row
+module T = Rar_report.Text_table
+module Engine = Rar_engine
 module Suite = Rar_circuits.Suite
 module Spec = Rar_circuits.Spec
 module Stage = Rar_retime.Stage
-module Grar = Rar_retime.Grar
-module Base = Rar_retime.Base_retiming
+module Error = Rar_retime.Error
 module Outcome = Rar_retime.Outcome
-module Vl = Rar_vl.Vl
 module Clocking = Rar_sta.Clocking
+module Sta = Rar_sta.Sta
 module Netlist = Rar_netlist.Netlist
 module Bench_io = Rar_netlist.Bench_io
 module Stats = Rar_netlist.Stats
 module Dot = Rar_netlist.Dot
 module Transform = Rar_netlist.Transform
+module Json = Rar_util.Json
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -62,6 +65,44 @@ let sim_cycles_arg =
     & info [ "sim-cycles" ] ~docv:"N"
         ~doc:"Random vector pairs per error-rate measurement (Table VIII).")
 
+(* Shared engine options, built from the registry so a new engine is
+   immediately reachable from every subcommand. *)
+let approach_conv =
+  Arg.enum (List.map (fun s -> (Engine.name s, s)) Engine.all)
+
+let approach_arg =
+  Arg.(
+    value & opt approach_conv Engine.Grar
+    & info [ "approach"; "a" ] ~docv:"APPROACH"
+        ~doc:
+          (Printf.sprintf "One of %s."
+             (String.concat ", "
+                (List.map (fun s -> "$(b," ^ Engine.name s ^ ")") Engine.all))))
+
+let model_conv =
+  Arg.enum [ ("path", Sta.Path_based); ("gate", Sta.Gate_based) ]
+
+let model_arg =
+  Arg.(
+    value & opt model_conv Sta.Path_based
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"STA delay model: $(b,path) (default) or $(b,gate).")
+
+let format_conv =
+  Arg.enum
+    [ ("text", Report.Text); ("csv", Report.Csv); ("json", Report.Json) ]
+
+let format_arg =
+  Arg.(
+    value & opt format_conv Report.Text
+    & info [ "format"; "f" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (default), $(b,csv) or $(b,json).")
+
+let c_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "c" ] ~docv:"C" ~doc:"EDL area overhead factor (0.5 .. 2).")
+
 let ctx names sim_cycles = Report.create ?names ~sim_cycles ()
 
 (* --- rar table ----------------------------------------------------- *)
@@ -73,13 +114,15 @@ let table_cmd =
       & pos 0 (some int) None
       & info [] ~docv:"N" ~doc:"Table number (1-9), as in the paper's §VI.")
   in
-  let run verbose jobs names sim_cycles n =
+  let run verbose jobs names sim_cycles format n =
     setup verbose jobs;
     let t = ctx names sim_cycles in
-    match Report.table t n with
+    match Report.table t ~format n with
     | Ok s ->
-      print_endline (Report.title n);
-      print_newline ();
+      if format = Report.Text then begin
+        print_endline (Report.title n);
+        print_newline ()
+      end;
       print_string s;
       `Ok ()
     | Error e -> `Error (false, e)
@@ -89,7 +132,7 @@ let table_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ jobs_arg $ circuits_arg $ sim_cycles_arg
-        $ number))
+        $ format_arg $ number))
 
 (* --- rar all ------------------------------------------------------- *)
 
@@ -99,22 +142,27 @@ let all_cmd =
       value & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Also write the report to FILE.")
   in
-  let run verbose jobs names sim_cycles out =
+  let run verbose jobs names sim_cycles format out =
     setup verbose jobs;
     let t = ctx names sim_cycles in
-    let buf = Buffer.create 4096 in
-    List.iter
-      (fun (_, title, body) ->
-        Buffer.add_string buf title;
-        Buffer.add_string buf "\n\n";
-        Buffer.add_string buf body;
-        Buffer.add_char buf '\n')
-      (Report.all_tables t);
-    print_string (Buffer.contents buf);
+    let tables = Report.all_tables ~format t in
+    let text =
+      match format with
+      | Report.Json ->
+        (* every table body is a JSON object; wrap them in an array *)
+        "[" ^ String.concat ",\n" (List.map (fun (_, _, b) -> b) tables)
+        ^ "]\n"
+      | Report.Text | Report.Csv ->
+        String.concat ""
+          (List.map
+             (fun (_, title, body) -> title ^ "\n\n" ^ body ^ "\n")
+             tables)
+    in
+    print_string text;
     (match out with
     | Some path ->
       let oc = open_out path in
-      output_string oc (Buffer.contents buf);
+      output_string oc text;
       close_out oc
     | None -> ());
     `Ok ()
@@ -124,7 +172,7 @@ let all_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ jobs_arg $ circuits_arg $ sim_cycles_arg
-        $ out))
+        $ format_arg $ out))
 
 (* --- rar info ------------------------------------------------------ *)
 
@@ -139,6 +187,10 @@ let info_cmd =
     match name with
     | None ->
       Printf.printf "Benchmarks: %s\n" (String.concat ", " Spec.names);
+      Printf.printf "Approaches:\n";
+      List.iter
+        (fun s -> Printf.printf "  %-8s %s\n" (Engine.name s) (Engine.describe s))
+        Engine.all;
       `Ok ()
     | Some name -> (
       match Suite.load name with
@@ -153,7 +205,7 @@ let info_cmd =
            Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
          with
         | Ok st -> Format.printf "%a@." Stage.pp_summary st
-        | Error e -> Printf.printf "stage: %s\n" e);
+        | Error e -> Printf.printf "stage: %s\n" (Error.to_string e));
         `Ok ())
   in
   Cmd.v
@@ -161,11 +213,6 @@ let info_cmd =
     Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg))
 
 (* --- rar run ------------------------------------------------------- *)
-
-let approach_conv =
-  Arg.enum
-    [ ("grar", `Grar); ("grar-gate", `Grar_gate); ("base", `Base);
-      ("nvl", `Nvl); ("evl", `Evl); ("rvl", `Rvl) ]
 
 let pp_outcome name approach c (o : Outcome.t) runtime =
   Printf.printf
@@ -181,46 +228,26 @@ let run_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
   in
-  let approach =
-    Arg.(
-      value & opt approach_conv `Grar
-      & info [ "approach"; "a" ] ~docv:"APPROACH"
-          ~doc:
-            "One of $(b,grar), $(b,grar-gate), $(b,base), $(b,nvl), \
-             $(b,evl), $(b,rvl).")
-  in
-  let c_arg =
-    Arg.(
-      value & opt float 1.0
-      & info [ "c" ] ~docv:"C" ~doc:"EDL area overhead factor (0.5 .. 2).")
-  in
-  let run verbose jobs name approach c =
+  let run verbose jobs name approach model format c =
     setup verbose jobs;
-    let t = Report.create ~names:[ name ] () in
-    (try
-       (match approach with
-       | `Grar ->
-         let r = Report.grar t name ~c in
-         pp_outcome name "G-RAR" c r.Grar.outcome r.Grar.runtime_s
-       | `Grar_gate ->
-         let r = Report.grar t ~model:Rar_sta.Sta.Gate_based name ~c in
-         pp_outcome name "G-RAR(gate)" c r.Grar.outcome r.Grar.runtime_s
-       | `Base ->
-         let r = Report.base t name ~c in
-         pp_outcome name "Base" c r.Base.outcome r.Base.runtime_s
-       | (`Nvl | `Evl | `Rvl) as v ->
-         let variant =
-           match v with `Nvl -> Vl.Nvl | `Evl -> Vl.Evl | `Rvl -> Vl.Rvl
-         in
-         let r = Report.vl t name ~variant ~c in
-         pp_outcome name (Vl.variant_name variant) c r.Vl.outcome
-           r.Vl.runtime_s);
-       `Ok ()
-     with Failure e -> `Error (false, e))
+    let cfg = Engine.config ~model ~c approach in
+    match Engine.load_and_run cfg name with
+    | Error err -> `Error (false, Error.to_string err)
+    | Ok r ->
+      (match format with
+      | Report.Json ->
+        print_endline (Json.to_string (Engine.result_json ~circuit:name cfg r))
+      | Report.Text | Report.Csv ->
+        pp_outcome name (Engine.label approach) c r.Engine.outcome
+          r.Engine.wall_s);
+      `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one retiming engine on one benchmark.")
-    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg $ approach $ c_arg))
+    Term.(
+      ret
+        (const run $ verbose_arg $ jobs_arg $ name_arg $ approach_arg
+        $ model_arg $ format_arg $ c_arg))
 
 (* --- rar bench ----------------------------------------------------- *)
 
@@ -230,16 +257,13 @@ let bench_cmd =
       required & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"ISCAS89 '.bench' netlist.")
   in
-  let c_arg =
-    Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc:"EDL overhead.")
-  in
   let lib_arg =
     Arg.(
       value & opt (some file) None
       & info [ "lib" ] ~docv:"LIBFILE"
           ~doc:"Liberty (.lib) cell library to use instead of the built-in.")
   in
-  let run verbose jobs file c libfile =
+  let run verbose jobs file c format libfile =
     setup verbose jobs;
     let lib =
       match libfile with
@@ -250,30 +274,57 @@ let bench_cmd =
     match lib with
     | Error e -> `Error (false, e)
     | Ok lib -> (
-    match Bench_io.parse_file file with
-    | Error e -> `Error (false, e)
-    | Ok net -> (
-      let p = Suite.prepare ?lib net in
-      Printf.printf "%s: P=%.3f ns, %d flops, NCE=%d, flop area=%.2f\n"
-        (Netlist.name net) p.Suite.p p.Suite.n_flops p.Suite.nce
-        p.Suite.flop_area;
-      match
-        Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
-      with
+      match Bench_io.parse_file file with
       | Error e -> `Error (false, e)
-      | Ok st ->
-        (match Base.run_on_stage ~c st with
-        | Ok r -> pp_outcome file "Base" c r.Base.outcome r.Base.runtime_s
-        | Error e -> Printf.printf "base: %s\n" e);
-        (match Grar.run_on_stage ~c st with
-        | Ok r -> pp_outcome file "G-RAR" c r.Grar.outcome r.Grar.runtime_s
-        | Error e -> Printf.printf "grar: %s\n" e);
-        `Ok ()))
+      | Ok net ->
+        let p = Suite.prepare ?lib net in
+        if format <> Report.Json then
+          Printf.printf "%s: P=%.3f ns, %d flops, NCE=%d, flop area=%.2f\n"
+            (Netlist.name net) p.Suite.p p.Suite.n_flops p.Suite.nce
+            p.Suite.flop_area;
+        let results =
+          List.map
+            (fun spec ->
+              let cfg = Engine.config ~c spec in
+              (spec, cfg, Engine.run_prepared cfg p))
+            Engine.tabulated
+        in
+        if format = Report.Json then begin
+          let entries =
+            List.map
+              (fun (spec, cfg, res) ->
+                match res with
+                | Ok r -> Engine.result_json ~circuit:(Netlist.name net) cfg r
+                | Error err ->
+                  Json.Obj
+                    [
+                      ("approach", Json.String (Engine.name spec));
+                      ("error", Json.String (Error.to_string err));
+                    ])
+              results
+          in
+          print_endline (Json.to_string (Json.List entries))
+        end
+        else
+          List.iter
+            (fun (spec, _, res) ->
+              match res with
+              | Ok r ->
+                pp_outcome file (Engine.label spec) c r.Engine.outcome
+                  r.Engine.wall_s
+              | Error err ->
+                Printf.printf "%s: %s\n" (Engine.name spec)
+                  (Error.to_string err))
+            results;
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"Run base retiming and G-RAR on a '.bench' netlist file.")
-    Term.(ret (const run $ verbose_arg $ jobs_arg $ file $ c_arg $ lib_arg))
+       ~doc:"Run the tabulated engines on a '.bench' netlist file.")
+    Term.(
+      ret
+        (const run $ verbose_arg $ jobs_arg $ file $ c_arg $ format_arg
+        $ lib_arg))
 
 (* --- rar dot ------------------------------------------------------- *)
 
@@ -317,7 +368,7 @@ let period_cmd =
       Printf.printf "%s: derived P = %.3f ns (critical path at 72%%)\n" name
         p.Suite.p;
       match Rar_retime.Period_search.min_feasible ~lib:p.Suite.lib p.Suite.cc with
-      | Error e -> `Error (false, e)
+      | Error e -> `Error (false, Error.to_string e)
       | Ok f -> (
         Printf.printf
           "min feasible P (legal slave retiming exists): %.3f ns (%d \
@@ -327,7 +378,7 @@ let period_cmd =
           Rar_retime.Period_search.min_detection_free ~lib:p.Suite.lib
             p.Suite.cc
         with
-        | Error e -> `Error (false, e)
+        | Error e -> `Error (false, Error.to_string e)
         | Ok d ->
           Printf.printf
             "min detection-free P (G-RAR reaches 0 EDL):   %.3f ns (%d \
@@ -370,13 +421,12 @@ let trace_cmd =
     setup verbose jobs;
     let t = Report.create ~names:[ name ] () in
     try
-      let r = Report.grar t name ~c:1.0 in
+      let r = Report.run t name ~spec:Engine.Grar ~c:1.0 in
       let p = Report.prepared t name in
-      let st = r.Grar.stage in
+      let st = r.Engine.stage in
       let cc = Stage.cc st in
       let staged =
-        Transform.apply_retiming cc
-          r.Grar.outcome.Outcome.placements
+        Transform.apply_retiming cc r.Engine.outcome.Outcome.placements
       in
       let design =
         {
@@ -387,7 +437,7 @@ let trace_cmd =
             List.map
               (fun s ->
                 Rar_sim.Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
-              r.Grar.outcome.Outcome.ed_sinks;
+              r.Engine.outcome.Outcome.ed_sinks;
         }
       in
       let vcd = Rar_sim.Vcd.create design in
@@ -404,7 +454,8 @@ let trace_cmd =
       Printf.printf "wrote %d cycles of the G-RAR-retimed %s to %s\n" cycles
         name out;
       `Ok ()
-    with Failure e -> `Error (false, e)
+    with Report.Engine_failed { what; err } ->
+      `Error (false, Printf.sprintf "%s: %s" what (Error.to_string err))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -437,7 +488,7 @@ let classic_cmd =
           name p0 pmin
           (100. *. (p0 -. pmin) /. p0);
         match Rar_retime.Classic.retime g ~period:pmin with
-        | Error e -> `Error (false, e)
+        | Error e -> `Error (false, Error.to_string e)
         | Ok o ->
           Printf.printf
             "min-area retiming at %.3f ns: %d -> %d registers (achieved \
@@ -538,57 +589,65 @@ let sweep_cmd =
   let out =
     Arg.(
       value & opt (some string) None
-      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write CSV to FILE.")
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the output to FILE.")
   in
-  let run verbose jobs name out =
+  let run verbose jobs name format out =
     setup verbose jobs;
     let t = Report.create ~names:[ name ] () in
     try
-      let tab =
-        Rar_report.Text_table.create
-          ~headers:
-            [ ("c", Rar_report.Text_table.R);
-              ("grar_slaves", Rar_report.Text_table.R);
-              ("grar_edl", Rar_report.Text_table.R);
-              ("grar_seq_area", Rar_report.Text_table.R);
-              ("base_slaves", Rar_report.Text_table.R);
-              ("base_edl", Rar_report.Text_table.R);
-              ("base_seq_area", Rar_report.Text_table.R);
-              ("saving_pct", Rar_report.Text_table.R) ]
+      let rows =
+        List.map
+          (fun c ->
+            let g = (Report.run t name ~spec:Engine.Grar ~c).Engine.outcome in
+            let b = (Report.run t name ~spec:Engine.Base ~c).Engine.outcome in
+            Row.Cells
+              [ Row.float' c;
+                Row.Int g.Outcome.n_slaves;
+                Row.Int (Outcome.ed_count g);
+                Row.float' g.Outcome.seq_area;
+                Row.Int b.Outcome.n_slaves;
+                Row.Int (Outcome.ed_count b);
+                Row.float' b.Outcome.seq_area;
+                Row.Pct
+                  (100.
+                  *. (b.Outcome.seq_area -. g.Outcome.seq_area)
+                  /. b.Outcome.seq_area) ])
+          [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 2.5; 3.0 ]
       in
-      List.iter
-        (fun c ->
-          let g = (Report.grar t name ~c).Grar.outcome in
-          let b = (Report.base t name ~c).Rar_retime.Base_retiming.outcome in
-          Rar_report.Text_table.add_row tab
-            [ Printf.sprintf "%.2f" c;
-              string_of_int g.Outcome.n_slaves;
-              string_of_int (Outcome.ed_count g);
-              Printf.sprintf "%.2f" g.Outcome.seq_area;
-              string_of_int b.Outcome.n_slaves;
-              string_of_int (Outcome.ed_count b);
-              Printf.sprintf "%.2f" b.Outcome.seq_area;
-              Printf.sprintf "%.2f"
-                (100.
-                *. (b.Outcome.seq_area -. g.Outcome.seq_area)
-                /. b.Outcome.seq_area) ])
-        [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 2.5; 3.0 ];
+      let table =
+        {
+          Row.number = 0;
+          title = Printf.sprintf "%s: G-RAR vs base across c" name;
+          columns =
+            [ ("c", T.R); ("grar_slaves", T.R); ("grar_edl", T.R);
+              ("grar_seq_area", T.R); ("base_slaves", T.R); ("base_edl", T.R);
+              ("base_seq_area", T.R); ("saving_pct", T.R) ];
+          rows;
+        }
+      in
+      let rendered =
+        match format with
+        | Report.Text -> Row.render_text table
+        | Report.Csv -> Row.render_csv table
+        | Report.Json -> Row.render_json table ^ "\n"
+      in
       (match out with
       | Some path ->
         let oc = open_out path in
-        output_string oc (Rar_report.Text_table.render_csv tab);
+        output_string oc rendered;
         close_out oc;
         Printf.printf "wrote %s\n" path
-      | None -> print_string (Rar_report.Text_table.render tab));
+      | None -> print_string rendered);
       `Ok ()
-    with Failure e -> `Error (false, e)
+    with Report.Engine_failed { what; err } ->
+      `Error (false, Printf.sprintf "%s: %s" what (Error.to_string err))
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Sweep the EDL overhead factor c and emit the G-RAR vs base \
-          trade-off as a table or CSV series.")
-    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg $ out))
+          trade-off as a table, CSV or JSON series.")
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ name_arg $ format_arg $ out))
 
 let main =
   Cmd.group

@@ -34,7 +34,7 @@ let () =
   let stage =
     match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   Printf.printf "%s: %d random vector pairs per design\n\n" name cycles;
   let show tag stage' o =
@@ -48,10 +48,10 @@ let () =
   in
   (match Base.run_on_stage ~c:1.0 stage with
   | Ok r -> show "base" r.Base.stage r.Base.outcome
-  | Error e -> print_endline e);
+  | Error e -> print_endline (Rar_retime.Error.to_string e));
   (match Grar.run_on_stage ~c:1.0 stage with
   | Ok r -> show "G-RAR" r.Grar.stage r.Grar.outcome
-  | Error e -> print_endline e);
+  | Error e -> print_endline (Rar_retime.Error.to_string e));
   Printf.printf
     "\nA silent-failure cycle would mean a non-error-detecting master \
      captured\nmid-transition — the verification pass guarantees zero.\n"

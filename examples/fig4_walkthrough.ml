@@ -24,7 +24,7 @@ let () =
   let stage =
     match Stage.make ~lib:(Fig4.library ()) ~clocking:Fig4.clocking cc with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   (* Forward and backward delays of the table in Fig. 4. *)
   let o9 = Fig4.node cc "O9" in
@@ -64,14 +64,14 @@ let () =
         r.Base.outcome.Outcome.n_slaves
         (Outcome.ed_count r.Base.outcome)
         r.Base.outcome.Outcome.seq_area
-    | Error e -> print_endline e);
+    | Error e -> print_endline (Rar_retime.Error.to_string e));
     match Grar.run_on_stage ~c stage with
     | Ok r ->
       Printf.printf "%s G-RAR: %d slaves + %d EDL -> %.1f area units\n" tag
         r.Grar.outcome.Outcome.n_slaves
         (Outcome.ed_count r.Grar.outcome)
         r.Grar.outcome.Outcome.seq_area
-    | Error e -> print_endline e
+    | Error e -> print_endline (Rar_retime.Error.to_string e)
   in
   Printf.printf "\n--- c = 2 (the paper's example): Cut2 wins ---\n";
   show "c=2.0" 2.0;

@@ -17,7 +17,7 @@ let () =
   let stage =
     match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   Printf.printf "Overhead sweep on %s (P = %.3f ns)\n\n" name p.Suite.p;
   Printf.printf "%6s | %18s | %18s | %8s\n" "c" "G-RAR slaves/EDL"
@@ -28,12 +28,12 @@ let () =
       let g =
         match Grar.run_on_stage ~c stage with
         | Ok r -> r
-        | Error e -> failwith e
+        | Error e -> failwith (Rar_retime.Error.to_string e)
       in
       let b =
         match Base.run_on_stage ~c stage with
         | Ok r -> r
-        | Error e -> failwith e
+        | Error e -> failwith (Rar_retime.Error.to_string e)
       in
       let go = g.Grar.outcome and bo = b.Base.outcome in
       Printf.printf "%6.2f | %9d /%6d | %9d /%6d | %8.2f\n" c
@@ -56,7 +56,7 @@ let () =
   let st =
     match Stage.make ~lib ~clocking fig4 with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   Printf.printf "%6s | %16s\n" "c" "fig4 slaves/EDL";
   List.iter
@@ -68,5 +68,5 @@ let () =
           (Outcome.ed_count o)
           (if Outcome.ed_count o = 0 then "Cut2: EDL bought out"
            else "Cut1: EDL kept")
-      | Error e -> failwith e)
+      | Error e -> failwith (Rar_retime.Error.to_string e))
     [ 0.5; 1.0; 1.5; 2.0 ]

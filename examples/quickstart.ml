@@ -24,7 +24,7 @@ let () =
   let stage =
     match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   Format.printf "%a@.@." Stage.pp_summary stage;
   (* 3. The un-retimed two-phase design (slaves at the master outputs)
@@ -44,12 +44,14 @@ let () =
   in
   (match Base.run_on_stage ~c stage with
   | Ok r -> show "base" r.Base.outcome r.Base.runtime_s
-  | Error e -> Printf.printf "base: %s\n" e);
+  | Error e -> Printf.printf "base: %s\n" (Rar_retime.Error.to_string e));
   List.iter
     (fun variant ->
       match Vl.run_on_stage ~c variant stage with
       | Ok r -> show (Vl.variant_name variant) r.Vl.outcome r.Vl.runtime_s
-      | Error e -> Printf.printf "%s: %s\n" (Vl.variant_name variant) e)
+      | Error e ->
+        Printf.printf "%s: %s\n" (Vl.variant_name variant)
+          (Rar_retime.Error.to_string e))
     Vl.all_variants;
   (match Grar.run_on_stage ~c stage with
   | Ok r ->
@@ -57,4 +59,4 @@ let () =
     Printf.printf
       "\nG-RAR converted %d retiming-dependent masters to plain latches.\n"
       (List.length r.Grar.modelled_non_ed)
-  | Error e -> Printf.printf "grar: %s\n" e)
+  | Error e -> Printf.printf "grar: %s\n" (Rar_retime.Error.to_string e))

@@ -1,0 +1,268 @@
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+module Stage = Rar_retime.Stage
+module Outcome = Rar_retime.Outcome
+module Error = Rar_retime.Error
+module Grar = Rar_retime.Grar
+module Base_retiming = Rar_retime.Base_retiming
+module Vl = Rar_vl.Vl
+module Movable = Rar_vl.Movable
+module Suite = Rar_circuits.Suite
+module Json = Rar_util.Json
+
+type spec = Initial | Base | Grar | Vl of Vl.variant | Movable
+
+type config = {
+  spec : spec;
+  model : Sta.model;
+  solver : Difflp.engine option;
+  c : float;
+  post_swap : bool;
+  movable_moves : int;
+}
+
+type extras =
+  | No_extras
+  | Retiming of {
+      r : int array;
+      lp_latches : float;
+      modelled_non_ed : int list;
+    }
+  | Retype of {
+      initial_ed : int list;
+      forced_to_ed : int list;
+      swapped_to_non_ed : int list;
+      retype_rounds : int;
+    }
+  | Moves of {
+      moves_tried : int;
+      moves_kept : int;
+      fixed_total_area : float;
+    }
+
+type result = {
+  spec : spec;
+  outcome : Outcome.t;
+  stage : Stage.t;
+  extras : extras;
+  wall_s : float;
+}
+
+let all = [ Initial; Base; Vl Vl.Nvl; Vl Vl.Evl; Vl Vl.Rvl; Movable; Grar ]
+let tabulated = [ Base; Vl Vl.Rvl; Grar ]
+
+let name = function
+  | Initial -> "initial"
+  | Base -> "base"
+  | Vl Vl.Nvl -> "nvl"
+  | Vl Vl.Evl -> "evl"
+  | Vl Vl.Rvl -> "rvl"
+  | Movable -> "movable"
+  | Grar -> "grar"
+
+let label = function
+  | Initial -> "Init"
+  | Base -> "Base"
+  | Vl Vl.Nvl -> "NVL"
+  | Vl Vl.Evl -> "EVL"
+  | Vl Vl.Rvl -> "RVL"
+  | Movable -> "Mov"
+  | Grar -> "G"
+
+let describe = function
+  | Initial -> "un-retimed two-phase design (slaves at the sources)"
+  | Base -> "resilience-blind minimum-area retiming"
+  | Vl Vl.Nvl -> "virtual library, every master seeded non-error-detecting"
+  | Vl Vl.Evl -> "virtual library, every master seeded error-detecting"
+  | Vl Vl.Rvl -> "virtual library, near-critical masters seeded error-detecting"
+  | Movable -> "RVL with the bounded movable-master local search"
+  | Grar -> "G-RAR: coupled retiming and latch typing by min-cost flow"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "initial" -> Some Initial
+  | "base" -> Some Base
+  | "nvl" -> Some (Vl Vl.Nvl)
+  | "evl" -> Some (Vl Vl.Evl)
+  | "rvl" -> Some (Vl Vl.Rvl)
+  | "movable" -> Some Movable
+  | "grar" -> Some Grar
+  | _ -> None
+
+let config ?(model = Sta.Path_based) ?solver ?(c = 0.5) ?(post_swap = true)
+    ?(movable_moves = 6) spec =
+  { spec; model; solver; c; post_swap; movable_moves }
+
+let model_name = function Sta.Path_based -> "path" | Sta.Gate_based -> "gate"
+
+let solver_name = function
+  | None -> "auto"
+  | Some Difflp.Network_simplex -> "ns"
+  | Some Difflp.Ssp -> "ssp"
+  | Some Difflp.Closure -> "closure"
+
+let config_key (cfg : config) =
+  Printf.sprintf "%s/%s/%s/c%.6g/swap%b/mov%d" (name cfg.spec)
+    (model_name cfg.model) (solver_name cfg.solver) cfg.c cfg.post_swap
+    cfg.movable_moves
+
+let config_json (cfg : config) =
+  Json.Obj
+    [
+      ("approach", Json.String (name cfg.spec));
+      ("model", Json.String (model_name cfg.model));
+      ("solver", Json.String (solver_name cfg.solver));
+      ("c", Json.Float cfg.c);
+      ("post_swap", Json.Bool cfg.post_swap);
+      ("movable_moves", Json.Int cfg.movable_moves);
+    ]
+
+let run (cfg : config) stage =
+  let t0 = Rar_util.Clock.now_s () in
+  let engine = cfg.solver in
+  let finish spec outcome stage extras =
+    Ok { spec; outcome; stage; extras; wall_s = Rar_util.Clock.now_s () -. t0 }
+  in
+  match cfg.spec with
+  | Initial ->
+    let outcome = Outcome.of_initial ~c:cfg.c stage in
+    finish Initial outcome stage No_extras
+  | Base -> (
+    match Base_retiming.run_on_stage ?engine ~c:cfg.c stage with
+    | Error _ as e -> e
+    | Ok r ->
+      finish Base r.Base_retiming.outcome r.Base_retiming.stage
+        (Retiming
+           {
+             r = r.Base_retiming.r;
+             lp_latches = r.Base_retiming.lp_latches;
+             modelled_non_ed = [];
+           }))
+  | Grar -> (
+    match Grar.run_on_stage ?engine ~c:cfg.c stage with
+    | Error _ as e -> e
+    | Ok r ->
+      finish Grar r.Grar.outcome r.Grar.stage
+        (Retiming
+           {
+             r = r.Grar.r;
+             lp_latches = r.Grar.lp_latches;
+             modelled_non_ed = r.Grar.modelled_non_ed;
+           }))
+  | Vl variant -> (
+    match
+      Vl.run_on_stage ?engine ~post_swap:cfg.post_swap ~c:cfg.c variant stage
+    with
+    | Error _ as e -> e
+    | Ok r ->
+      finish (Vl variant) r.Vl.outcome r.Vl.stage
+        (Retype
+           {
+             initial_ed = r.Vl.initial_ed;
+             forced_to_ed = r.Vl.forced_to_ed;
+             swapped_to_non_ed = r.Vl.swapped_to_non_ed;
+             retype_rounds = r.Vl.retype_rounds;
+           }))
+  | Movable -> (
+    match Stage.source stage with
+    | None ->
+      Error
+        (Error.Invalid_input
+           "movable: stage lacks its two-phase source netlist")
+    | Some two_phase -> (
+      match
+        Movable.run ?engine ~model:(Stage.model stage)
+          ~max_moves:cfg.movable_moves ~lib:(Stage.lib stage)
+          ~clocking:(Stage.clocking stage) ~c:cfg.c two_phase
+      with
+      | Error _ as e -> e
+      | Ok r ->
+        finish Movable r.Movable.movable.Vl.outcome r.Movable.movable.Vl.stage
+          (Moves
+             {
+               moves_tried = r.Movable.moves_tried;
+               moves_kept = r.Movable.moves_kept;
+               fixed_total_area =
+                 r.Movable.fixed.Vl.outcome.Outcome.total_area;
+             })))
+
+let run_prepared (cfg : config) (p : Suite.prepared) =
+  match
+    Stage.make ~model:cfg.model ~source:p.Suite.two_phase ~lib:p.Suite.lib
+      ~clocking:p.Suite.clocking p.Suite.cc
+  with
+  | Error _ as e -> e
+  | Ok stage -> run cfg stage
+
+let load_and_run cfg circuit =
+  match Suite.load circuit with
+  | Error _ -> Error (Error.Unknown_circuit circuit)
+  | Ok p -> run_prepared cfg p
+
+let sink_names stage sinks =
+  Json.List
+    (List.map
+       (fun s -> Json.String (Netlist.node_name (Stage.comb stage) s))
+       sinks)
+
+let extras_json stage = function
+  | No_extras -> Json.Null
+  | Retiming { r = _; lp_latches; modelled_non_ed } ->
+    Json.Obj
+      [
+        ("kind", Json.String "retiming");
+        ("lp_latches", Json.Float lp_latches);
+        ("modelled_non_ed", sink_names stage modelled_non_ed);
+      ]
+  | Retype { initial_ed; forced_to_ed; swapped_to_non_ed; retype_rounds } ->
+    Json.Obj
+      [
+        ("kind", Json.String "retype");
+        ("initial_ed", sink_names stage initial_ed);
+        ("forced_to_ed", sink_names stage forced_to_ed);
+        ("swapped_to_non_ed", sink_names stage swapped_to_non_ed);
+        ("retype_rounds", Json.Int retype_rounds);
+      ]
+  | Moves { moves_tried; moves_kept; fixed_total_area } ->
+    Json.Obj
+      [
+        ("kind", Json.String "moves");
+        ("moves_tried", Json.Int moves_tried);
+        ("moves_kept", Json.Int moves_kept);
+        ("fixed_total_area", Json.Float fixed_total_area);
+      ]
+
+let result_json ?circuit cfg r =
+  let o = r.outcome in
+  let circuit_field =
+    match circuit with
+    | None -> []
+    | Some c -> [ ("circuit", Json.String c) ]
+  in
+  Json.Obj
+    ([ ("schema", Json.String "rar-run/1");
+       ("approach", Json.String (name r.spec)) ]
+    @ circuit_field
+    @ [
+        ("config", config_json cfg);
+        ( "outcome",
+          Json.Obj
+            [
+              ("n_slaves", Json.Int o.Outcome.n_slaves);
+              ("n_masters", Json.Int o.Outcome.n_masters);
+              ("ed_count", Json.Int (Outcome.ed_count o));
+              ("ed_sinks", sink_names r.stage o.Outcome.ed_sinks);
+              ("violations", sink_names r.stage o.Outcome.violations);
+              ("seq_area", Json.Float o.Outcome.seq_area);
+              ("comb_area", Json.Float o.Outcome.comb_area);
+              ("total_area", Json.Float o.Outcome.total_area);
+              ( "period",
+                Json.Float (Clocking.period (Stage.clocking r.stage)) );
+            ] );
+        ("extras", extras_json r.stage r.extras);
+        ("wall_s", Json.Float r.wall_s);
+      ])

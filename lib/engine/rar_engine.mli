@@ -1,0 +1,139 @@
+(** The unified engine layer: every retiming approach in the repo —
+    the un-retimed two-phase baseline, base (resilience-blind)
+    retiming, the virtual-library variants, the movable-master search
+    and G-RAR — behind one typed entry point.
+
+    A {!spec} names an engine; a {!config} fixes everything that can
+    change a result (engine, STA model, flow solver, EDL overhead [c],
+    VL post-swap, movable move budget); {!run} takes a prepared
+    {!Stage.t} and returns a {!result} carrying the shared verified
+    {!Outcome.t}, per-engine {!extras} and the wall-clock time, or a
+    typed {!Error.t}. The registry ({!all}, {!tabulated}, {!of_name})
+    is what the CLI and the report tables iterate, so adding an engine
+    here extends both. *)
+
+module Netlist = Rar_netlist.Netlist
+module Transform = Rar_netlist.Transform
+module Liberty = Rar_liberty.Liberty
+module Sta = Rar_sta.Sta
+module Clocking = Rar_sta.Clocking
+module Difflp = Rar_flow.Difflp
+module Stage = Rar_retime.Stage
+module Outcome = Rar_retime.Outcome
+module Error = Rar_retime.Error
+module Vl = Rar_vl.Vl
+module Suite = Rar_circuits.Suite
+module Json = Rar_util.Json
+
+type spec =
+  | Initial  (** un-retimed two-phase design (slaves at the sources) *)
+  | Base  (** resilience-blind min-area retiming (§VI-C "base") *)
+  | Grar  (** the paper's G-RAR min-cost-flow formulation *)
+  | Vl of Vl.variant  (** virtual-library flow: NVL / EVL / RVL *)
+  | Movable  (** RVL plus the bounded movable-master search (§VI-E) *)
+
+type config = {
+  spec : spec;
+  model : Sta.model;  (** STA model for stage analysis *)
+  solver : Difflp.engine option;  (** [None] = each engine's default *)
+  c : float;  (** EDL area overhead *)
+  post_swap : bool;  (** VL post-retiming latch-type swap (§V) *)
+  movable_moves : int;  (** move budget for the movable-master search *)
+}
+
+(** What an engine reports beyond the shared outcome. *)
+type extras =
+  | No_extras
+  | Retiming of {
+      r : int array;  (** retiming values per graph vertex *)
+      lp_latches : float;  (** modelled (LP) latch count *)
+      modelled_non_ed : int list;
+          (** sinks the model priced as non-error-detecting (G-RAR) *)
+    }
+  | Retype of {
+      initial_ed : int list;
+      forced_to_ed : int list;
+      swapped_to_non_ed : int list;
+      retype_rounds : int;
+    }
+  | Moves of {
+      moves_tried : int;
+      moves_kept : int;
+      fixed_total_area : float;  (** verified area before any master moved *)
+    }
+
+type result = {
+  spec : spec;
+  outcome : Outcome.t;  (** verified placement, ED set, areas *)
+  stage : Stage.t;  (** stage the outcome was verified on (post sizing) *)
+  extras : extras;
+  wall_s : float;
+}
+
+(** {1 Registry} *)
+
+val all : spec list
+(** Every engine, cheapest first:
+    [Initial; Base; Vl Nvl; Vl Evl; Vl Rvl; Movable; Grar]. *)
+
+val tabulated : spec list
+(** The engines the paper's comparison tables (IV–VIII) column over:
+    [Base; Vl Rvl; Grar]. The head is the baseline other columns are
+    normalised against. *)
+
+val name : spec -> string
+(** Stable lowercase identifier: ["initial"], ["base"], ["nvl"],
+    ["evl"], ["rvl"], ["movable"], ["grar"]. Used for CLI [--approach],
+    JSON and simulation seeds. *)
+
+val label : spec -> string
+(** Short table-heading label: ["Init"], ["Base"], ["NVL"], ["EVL"],
+    ["RVL"], ["Mov"], ["G"]. *)
+
+val describe : spec -> string
+(** One-line human description. *)
+
+val of_name : string -> spec option
+(** Inverse of {!name}, case-insensitive. *)
+
+(** {1 Configuration} *)
+
+val config :
+  ?model:Sta.model ->
+  ?solver:Difflp.engine ->
+  ?c:float ->
+  ?post_swap:bool ->
+  ?movable_moves:int ->
+  spec ->
+  config
+(** Defaults: path-based STA, each engine's default solver, [c = 0.5],
+    post-swap on, 6 movable moves. *)
+
+val config_key : config -> string
+(** Deterministic key covering every field — safe for memoisation. *)
+
+val config_json : config -> Json.t
+
+(** {1 Running} *)
+
+val run : config -> Stage.t -> (result, Error.t) Stdlib.result
+(** Run the configured engine on a prepared stage. The [Movable]
+    engine perturbs the full two-phase netlist, so its stage must
+    carry a {!Stage.source}; otherwise it fails with
+    [Invalid_input]. *)
+
+val run_prepared :
+  config -> Suite.prepared -> (result, Error.t) Stdlib.result
+(** Build the stage (with its two-phase source attached) from a
+    prepared benchmark, then {!run}. *)
+
+val load_and_run : config -> string -> (result, Error.t) Stdlib.result
+(** [load_and_run cfg name] loads the named benchmark and runs;
+    unknown names yield [Unknown_circuit]. *)
+
+(** {1 Structured output} *)
+
+val result_json : ?circuit:string -> config -> result -> Json.t
+(** ["rar-run/1"] schema: [schema], [approach], optional [circuit],
+    [config], [outcome] (slave/master/ED counts, areas, violation and
+    ED sink names, period), [extras] and [wall_s]. *)

@@ -1,17 +1,28 @@
 module Suite = Rar_circuits.Suite
 module Spec = Rar_circuits.Spec
 module Stage = Rar_retime.Stage
-module Grar = Rar_retime.Grar
-module Base = Rar_retime.Base_retiming
 module Outcome = Rar_retime.Outcome
+module Error = Rar_retime.Error
+module Engine = Rar_engine
 module Vl = Rar_vl.Vl
-module Movable = Rar_vl.Movable
 module Sim = Rar_sim.Sim
 module Sta = Rar_sta.Sta
 module Transform = Rar_netlist.Transform
 module T = Text_table
+module R = Row
 
 let overheads = [ ("low", 0.5); ("medium", 1.0); ("high", 2.0) ]
+
+type format = Text | Csv | Json
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "text" -> Some Text
+  | "csv" -> Some Csv
+  | "json" -> Some Json
+  | _ -> None
+
+exception Engine_failed of { what : string; err : Error.t }
 
 type t = {
   names_ : string list;
@@ -20,11 +31,9 @@ type t = {
   lock : Mutex.t; (* guards every memo table below *)
   prepared_ : (string, Suite.prepared) Hashtbl.t;
   stages : (string, Stage.t) Hashtbl.t;
-  grars : (string, Grar.t) Hashtbl.t;
-  bases : (string, Base.t) Hashtbl.t;
-  vls : (string, Vl.t) Hashtbl.t;
-  movables : (string, Movable.t) Hashtbl.t;
+  results : (string, Engine.result) Hashtbl.t; (* circuit "/" config_key *)
   rates : (string, Sim.rate) Hashtbl.t;
+  rows_ : (int, Row.table) Hashtbl.t;
 }
 
 let create ?(names = Spec.names) ?(sim_cycles = 300) ?(movable_moves = 4) () =
@@ -35,11 +44,9 @@ let create ?(names = Spec.names) ?(sim_cycles = 300) ?(movable_moves = 4) () =
     lock = Mutex.create ();
     prepared_ = Hashtbl.create 16;
     stages = Hashtbl.create 32;
-    grars = Hashtbl.create 64;
-    bases = Hashtbl.create 64;
-    vls = Hashtbl.create 128;
-    movables = Hashtbl.create 32;
+    results = Hashtbl.create 256;
     rates = Hashtbl.create 64;
+    rows_ = Hashtbl.create 16;
   }
 
 let names t = t.names_
@@ -49,7 +56,8 @@ let names t = t.names_
    memoise their inputs and independent cells can compute in parallel
    on the pool. Two domains racing on the same key both compute; the
    first store wins (engines are deterministic, so both values are
-   equal — the winner just keeps object identity stable). *)
+   equal — the winner just keeps object identity stable). Failures
+   escape as exceptions and are never cached. *)
 let memo t tbl key f =
   let find () = Mutex.protect t.lock (fun () -> Hashtbl.find_opt tbl key) in
   match find () with
@@ -63,12 +71,14 @@ let memo t tbl key f =
           Hashtbl.replace tbl key v;
           v)
 
-let ok_or_fail what = function
-  | Ok v -> v
-  | Error e -> failwith (Printf.sprintf "Report: %s failed: %s" what e)
+let fail what err = raise (Engine_failed { what; err })
+let ok_or_fail what = function Ok v -> v | Error err -> fail what err
 
 let prepared t name =
-  memo t t.prepared_ name (fun () -> ok_or_fail name (Suite.load name))
+  memo t t.prepared_ name (fun () ->
+      match Suite.load name with
+      | Ok p -> p
+      | Error _ -> fail name (Error.Unknown_circuit name))
 
 let model_tag = function Sta.Gate_based -> "gate" | Sta.Path_based -> "path"
 
@@ -78,35 +88,36 @@ let stage t ?(model = Sta.Path_based) name =
     (fun () ->
       let p = prepared t name in
       ok_or_fail (name ^ " stage")
-        (Stage.make ~model ~lib:p.Suite.lib ~clocking:p.Suite.clocking
-           p.Suite.cc))
+        (Stage.make ~model ~source:p.Suite.two_phase ~lib:p.Suite.lib
+           ~clocking:p.Suite.clocking p.Suite.cc))
 
-let grar t ?(model = Sta.Path_based) name ~c =
-  memo t t.grars
-    (Printf.sprintf "%s/%s/%g" name (model_tag model) c)
-    (fun () ->
-      ok_or_fail (name ^ " grar") (Grar.run_on_stage ~c (stage t ~model name)))
+let config t ?(model = Sta.Path_based) ~c spec =
+  Engine.config ~model ~c ~movable_moves:t.movable_moves spec
 
-let base t name ~c =
-  memo t t.bases
-    (Printf.sprintf "%s/%g" name c)
-    (fun () -> ok_or_fail (name ^ " base") (Base.run_on_stage ~c (stage t name)))
+let run_result t ?(model = Sta.Path_based) name ~spec ~c =
+  let cfg = config t ~model ~c spec in
+  let key = name ^ "/" ^ Engine.config_key cfg in
+  let find () =
+    Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.results key)
+  in
+  match find () with
+  | Some r -> Ok r
+  | None -> (
+    match Engine.run cfg (stage t ~model name) with
+    | Error _ as e -> e
+    | Ok r ->
+      Ok
+        (Mutex.protect t.lock (fun () ->
+             match Hashtbl.find_opt t.results key with
+             | Some winner -> winner
+             | None ->
+               Hashtbl.replace t.results key r;
+               r)))
 
-let vl t ?(post_swap = true) name ~variant ~c =
-  memo t t.vls
-    (Printf.sprintf "%s/%s/%g/%b" name (Vl.variant_name variant) c post_swap)
-    (fun () ->
-      ok_or_fail (name ^ " vl")
-        (Vl.run_on_stage ~post_swap ~c variant (stage t name)))
-
-let movable t name ~c =
-  memo t t.movables
-    (Printf.sprintf "%s/%g" name c)
-    (fun () ->
-      let p = prepared t name in
-      ok_or_fail (name ^ " movable")
-        (Movable.run ~max_moves:t.movable_moves ~lib:p.Suite.lib
-           ~clocking:p.Suite.clocking ~c p.Suite.two_phase))
+let run t ?model name ~spec ~c =
+  ok_or_fail
+    (name ^ " " ^ Engine.name spec)
+    (run_result t ?model name ~spec ~c)
 
 let sim_design t name st (outcome : Outcome.t) =
   let p = prepared t name in
@@ -117,41 +128,23 @@ let sim_design t name st (outcome : Outcome.t) =
       (fun s -> Sim.sink_of_comb ~comb:cc.Transform.comb ~staged s)
       outcome.Outcome.ed_sinks
   in
-  {
-    Sim.staged;
-    lib = p.Suite.lib;
-    clocking = p.Suite.clocking;
-    ed_sinks;
-  }
+  { Sim.staged; lib = p.Suite.lib; clocking = p.Suite.clocking; ed_sinks }
 
-let error_rate t name ~approach ~c =
-  let tag =
-    match approach with `Base -> "base" | `Rvl -> "rvl" | `Grar -> "grar"
-  in
+let error_rate t name ~spec ~c =
+  let tag = Engine.name spec in
   memo t t.rates
     (Printf.sprintf "%s/%s/%g" name tag c)
     (fun () ->
-      let st, outcome =
-        match approach with
-        | `Base ->
-          let r = base t name ~c in
-          (r.Base.stage, r.Base.outcome)
-        | `Rvl ->
-          let r = vl t name ~variant:Vl.Rvl ~c in
-          (r.Vl.stage, r.Vl.outcome)
-        | `Grar ->
-          let r = grar t name ~c in
-          (r.Grar.stage, r.Grar.outcome)
-      in
+      let r = run t name ~spec ~c in
       Sim.error_rate ~cycles:t.sim_cycles ~seed:(name ^ "/" ^ tag)
-        (sim_design t name st outcome))
+        (sim_design t name r.Engine.stage r.Engine.outcome))
 
 (* ------------------------------------------------------------------ *)
 (* Parallel precompute                                                 *)
 (* ------------------------------------------------------------------ *)
 
 (* Populate the memo tables for the whole (circuit x overhead x
-   approach) result grid through the domain pool, phase by phase so
+   engine) result grid through the domain pool, phase by phase so
    each phase's cells find their inputs already memoised instead of
    racing to recompute them. Failures are swallowed here: a cell that
    cannot be computed fails again — deterministically and with its
@@ -159,8 +152,7 @@ let error_rate t name ~approach ~c =
 let precompute t =
   let phase thunks =
     ignore
-      (Rar_util.Pool.run
-         (List.map (fun f () -> try f () with _ -> ()) thunks)
+      (Rar_util.Pool.run (List.map (fun f () -> try f () with _ -> ()) thunks)
         : unit list)
   in
   let names = t.names_ in
@@ -176,13 +168,11 @@ let precompute t =
        (fun name ->
          List.concat_map
            (fun (_, c) ->
-             [ (fun () -> ignore (grar t name ~c));
-               (fun () -> ignore (grar t ~model:Sta.Gate_based name ~c));
-               (fun () -> ignore (base t name ~c));
-               (fun () -> ignore (vl t name ~variant:Vl.Nvl ~c));
-               (fun () -> ignore (vl t name ~variant:Vl.Evl ~c));
-               (fun () -> ignore (vl t name ~variant:Vl.Rvl ~c));
-               (fun () -> ignore (movable t name ~c)) ])
+             (fun () ->
+               ignore (run t ~model:Sta.Gate_based name ~spec:Engine.Grar ~c))
+             :: List.map
+                  (fun spec () -> ignore (run t name ~spec ~c))
+                  Engine.all)
            overheads)
        names);
   phase
@@ -191,8 +181,8 @@ let precompute t =
          List.concat_map
            (fun (_, c) ->
              List.map
-               (fun approach () -> ignore (error_rate t name ~approach ~c))
-               [ `Base; `Rvl; `Grar ])
+               (fun spec () -> ignore (error_rate t name ~spec ~c))
+               Engine.tabulated)
            overheads)
        names)
 
@@ -210,296 +200,16 @@ let avg xs =
 let seq_area (o : Outcome.t) = o.Outcome.seq_area
 let total_area (o : Outcome.t) = o.Outcome.total_area
 
-(* ------------------------------------------------------------------ *)
-(* Tables                                                              *)
-(* ------------------------------------------------------------------ *)
+let outcome t ?model name ~spec ~c = (run t ?model name ~spec ~c).Engine.outcome
 
-let table_i t =
-  let tab =
-    T.create
-      ~headers:
-        [ ("Circuit", T.L); ("P (ns)", T.R); ("flop #", T.R); ("NCE #", T.R);
-          ("Prep (s)", T.R); ("Area", T.R) ]
-  in
-  let acc_p = ref [] and acc_f = ref [] and acc_n = ref [] and acc_r = ref []
-  and acc_a = ref [] in
-  List.iter
-    (fun name ->
-      let p = prepared t name in
-      acc_p := p.Suite.p :: !acc_p;
-      acc_f := float_of_int p.Suite.n_flops :: !acc_f;
-      acc_n := float_of_int p.Suite.nce :: !acc_n;
-      acc_r := p.Suite.runtime_s :: !acc_r;
-      acc_a := p.Suite.flop_area :: !acc_a;
-      T.add_row tab
-        [ name; T.fmt_f ~decimals:3 p.Suite.p; string_of_int p.Suite.n_flops;
-          string_of_int p.Suite.nce; T.fmt_f p.Suite.runtime_s;
-          T.fmt_f p.Suite.flop_area ])
-    t.names_;
-  T.add_rule tab;
-  T.add_row tab
-    [ "average"; T.fmt_f ~decimals:3 (avg !acc_p); T.fmt_f (avg !acc_f);
-      T.fmt_f (avg !acc_n); T.fmt_f (avg !acc_r); T.fmt_f (avg !acc_a) ];
-  T.render tab
-
-let table_ii t =
-  let headers =
-    ("Circuit", T.L)
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ (tag ^ " gate", T.R); (tag ^ " path", T.R); (tag ^ " impr%", T.R) ])
-         overheads
-  in
-  let tab = T.create ~headers in
-  let sums = Hashtbl.create 16 in
+(* Accumulator for the "average" footer rows. *)
+let sums () =
+  let tbl = Hashtbl.create 16 in
   let push key x =
-    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
+    Hashtbl.replace tbl key (x :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
   in
-  List.iter
-    (fun name ->
-      let cells =
-        List.concat_map
-          (fun (tag, c) ->
-            let gate_r = grar t ~model:Sta.Gate_based name ~c in
-            let path_r = grar t name ~c in
-            let g = total_area gate_r.Grar.outcome in
-            let p = total_area path_r.Grar.outcome in
-            push (tag ^ "g") g;
-            push (tag ^ "p") p;
-            push (tag ^ "i") (impr g p);
-            [ T.fmt_f g; T.fmt_f p; T.fmt_pct (impr g p) ])
-          overheads
-      in
-      T.add_row tab (name :: cells))
-    t.names_;
-  T.add_rule tab;
-  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
-  T.add_row tab
-    ("average"
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ T.fmt_f (avg_of (tag ^ "g")); T.fmt_f (avg_of (tag ^ "p"));
-             T.fmt_pct (avg_of (tag ^ "i")) ])
-         overheads);
-  T.render tab
-
-let table_iii t =
-  let headers =
-    ("Circuit", T.L)
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ (tag ^ " NVL", T.R); (tag ^ " EVL", T.R); (tag ^ " RVL", T.R) ])
-         overheads
-  in
-  let tab = T.create ~headers in
-  let sums = Hashtbl.create 16 in
-  let push key x =
-    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
-  in
-  List.iter
-    (fun name ->
-      let cells =
-        List.concat_map
-          (fun (tag, c) ->
-            List.map
-              (fun variant ->
-                let r = vl t name ~variant ~c in
-                let a = total_area r.Vl.outcome in
-                push (tag ^ Vl.variant_name variant) a;
-                T.fmt_f a)
-              Vl.all_variants)
-          overheads
-      in
-      T.add_row tab (name :: cells))
-    t.names_;
-  T.add_rule tab;
-  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
-  T.add_row tab
-    ("average"
-    :: List.concat_map
-         (fun (tag, _) ->
-           List.map
-             (fun v -> T.fmt_f (avg_of (tag ^ Vl.variant_name v)))
-             Vl.all_variants)
-         overheads);
-  T.render tab
-
-(* Tables IV and V share their shape: an area extractor selects
-   sequential vs total area. *)
-let table_iv_v t ~area =
-  let headers =
-    ("Circuit", T.L)
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ (tag ^ " Base", T.R); (tag ^ " RVL", T.R); (tag ^ " Impr%", T.R);
-             (tag ^ " G", T.R); (tag ^ " Impr%", T.R) ])
-         overheads
-  in
-  let tab = T.create ~headers in
-  let sums = Hashtbl.create 16 in
-  let push key x =
-    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
-  in
-  List.iter
-    (fun name ->
-      let cells =
-        List.concat_map
-          (fun (tag, c) ->
-            let b = area (base t name ~c).Base.outcome in
-            let r = area (vl t name ~variant:Vl.Rvl ~c).Vl.outcome in
-            let g = area (grar t name ~c).Grar.outcome in
-            push (tag ^ "b") b;
-            push (tag ^ "r") r;
-            push (tag ^ "ri") (impr b r);
-            push (tag ^ "g") g;
-            push (tag ^ "gi") (impr b g);
-            [ T.fmt_f b; T.fmt_f r; T.fmt_pct (impr b r); T.fmt_f g;
-              T.fmt_pct (impr b g) ])
-          overheads
-      in
-      T.add_row tab (name :: cells))
-    t.names_;
-  T.add_rule tab;
-  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
-  T.add_row tab
-    ("average"
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ T.fmt_f (avg_of (tag ^ "b")); T.fmt_f (avg_of (tag ^ "r"));
-             T.fmt_pct (avg_of (tag ^ "ri")); T.fmt_f (avg_of (tag ^ "g"));
-             T.fmt_pct (avg_of (tag ^ "gi")) ])
-         overheads);
-  T.render tab
-
-let table_iv t = table_iv_v t ~area:seq_area
-let table_v t = table_iv_v t ~area:total_area
-
-let table_vi t =
-  let headers =
-    [ ("Circuit", T.L); ("Approach", T.L) ]
-    @ List.concat_map
-        (fun (tag, _) -> [ (tag ^ " slave#", T.R); (tag ^ " EDL#", T.R) ])
-        overheads
-  in
-  let tab = T.create ~headers in
-  List.iter
-    (fun name ->
-      let row approach get =
-        let cells =
-          List.concat_map
-            (fun (_, c) ->
-              let o : Outcome.t = get c in
-              [ string_of_int o.Outcome.n_slaves;
-                string_of_int (Outcome.ed_count o) ])
-            overheads
-        in
-        T.add_row tab (name :: approach :: cells)
-      in
-      row "Base" (fun c -> (base t name ~c).Base.outcome);
-      row "RVL" (fun c -> (vl t name ~variant:Vl.Rvl ~c).Vl.outcome);
-      row "G" (fun c -> (grar t name ~c).Grar.outcome);
-      T.add_rule tab)
-    t.names_;
-  T.render tab
-
-let table_vii t =
-  let headers =
-    ("Circuit", T.L)
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ (tag ^ " Base", T.R); (tag ^ " RVL", T.R); (tag ^ " G", T.R) ])
-         overheads
-  in
-  let tab = T.create ~headers in
-  List.iter
-    (fun name ->
-      let cells =
-        List.concat_map
-          (fun (_, c) ->
-            [ T.fmt_f (base t name ~c).Base.runtime_s;
-              T.fmt_f (vl t name ~variant:Vl.Rvl ~c).Vl.runtime_s;
-              T.fmt_f (grar t name ~c).Grar.runtime_s ])
-          overheads
-      in
-      T.add_row tab (name :: cells))
-    t.names_;
-  T.render tab
-
-let table_viii t =
-  let headers =
-    ("Circuit", T.L)
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ (tag ^ " Base", T.R); (tag ^ " RVL", T.R); (tag ^ " G", T.R) ])
-         overheads
-  in
-  let tab = T.create ~headers in
-  let sums = Hashtbl.create 16 in
-  let push key x =
-    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
-  in
-  List.iter
-    (fun name ->
-      let cells =
-        List.concat_map
-          (fun (tag, c) ->
-            List.map
-              (fun (k, approach) ->
-                let r = error_rate t name ~approach ~c in
-                push (tag ^ k) r.Sim.error_rate;
-                T.fmt_pct r.Sim.error_rate)
-              [ ("b", `Base); ("r", `Rvl); ("g", `Grar) ])
-          overheads
-      in
-      T.add_row tab (name :: cells))
-    t.names_;
-  T.add_rule tab;
-  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
-  T.add_row tab
-    ("average"
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ T.fmt_pct (avg_of (tag ^ "b")); T.fmt_pct (avg_of (tag ^ "r"));
-             T.fmt_pct (avg_of (tag ^ "g")) ])
-         overheads);
-  T.render tab
-
-let table_ix t =
-  let headers =
-    ("Circuit", T.L)
-    :: List.concat_map
-         (fun (tag, _) ->
-           [ (tag ^ " fixed", T.R); (tag ^ " movable", T.R);
-             (tag ^ " diff%", T.R) ])
-         overheads
-  in
-  let tab = T.create ~headers in
-  let sums = Hashtbl.create 16 in
-  let push key x =
-    Hashtbl.replace sums key (x :: Option.value ~default:[] (Hashtbl.find_opt sums key))
-  in
-  List.iter
-    (fun name ->
-      let cells =
-        List.concat_map
-          (fun (tag, c) ->
-            let m = movable t name ~c in
-            let f = total_area m.Movable.fixed.Vl.outcome in
-            let v = total_area m.Movable.movable.Vl.outcome in
-            push (tag ^ "d") (impr f v);
-            [ T.fmt_f f; T.fmt_f v; T.fmt_pct (impr f v) ])
-          overheads
-      in
-      T.add_row tab (name :: cells))
-    t.names_;
-  T.add_rule tab;
-  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt sums key)) in
-  T.add_row tab
-    ("average"
-    :: List.concat_map
-         (fun (tag, _) -> [ ""; ""; T.fmt_pct (avg_of (tag ^ "d")) ])
-         overheads);
-  T.render tab
+  let avg_of key = avg (Option.value ~default:[] (Hashtbl.find_opt tbl key)) in
+  (push, avg_of)
 
 let title = function
   | 1 -> "Table I: circuit information of original flop-based designs"
@@ -513,23 +223,350 @@ let title = function
   | 9 -> "Table IX: fixed-master vs movable-master RVL-RAR"
   | n -> Printf.sprintf "Table %d" n
 
-let table t = function
-  | 1 -> Ok (table_i t)
-  | 2 -> Ok (table_ii t)
-  | 3 -> Ok (table_iii t)
-  | 4 -> Ok (table_iv t)
-  | 5 -> Ok (table_v t)
-  | 6 -> Ok (table_vi t)
-  | 7 -> Ok (table_vii t)
-  | 8 -> Ok (table_viii t)
-  | 9 -> Ok (table_ix t)
-  | n -> Error (Printf.sprintf "no table %d (valid: 1-9)" n)
+let table_of number columns rows =
+  { Row.number; title = title number; columns; rows }
 
-let all_tables t =
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table_i t =
+  let columns =
+    [ ("Circuit", T.L); ("P (ns)", T.R); ("flop #", T.R); ("NCE #", T.R);
+      ("Prep (s)", T.R); ("Area", T.R) ]
+  in
+  let push, avg_of = sums () in
+  let body =
+    List.map
+      (fun name ->
+        let p = prepared t name in
+        push "p" p.Suite.p;
+        push "f" (float_of_int p.Suite.n_flops);
+        push "n" (float_of_int p.Suite.nce);
+        push "r" p.Suite.runtime_s;
+        push "a" p.Suite.flop_area;
+        R.Cells
+          [ R.Str name; R.Float { v = p.Suite.p; decimals = 3 };
+            R.Int p.Suite.n_flops; R.Int p.Suite.nce;
+            R.Time p.Suite.runtime_s; R.float' p.Suite.flop_area ])
+      t.names_
+  in
+  let footer =
+    R.Cells
+      [ R.Str "average"; R.Float { v = avg_of "p"; decimals = 3 };
+        R.float' (avg_of "f"); R.float' (avg_of "n"); R.Time (avg_of "r");
+        R.float' (avg_of "a") ]
+  in
+  table_of 1 columns (body @ [ R.Rule; footer ])
+
+let table_ii t =
+  let columns =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " gate", T.R); (tag ^ " path", T.R); (tag ^ " impr%", T.R) ])
+         overheads
+  in
+  let push, avg_of = sums () in
+  let body =
+    List.map
+      (fun name ->
+        let cells =
+          List.concat_map
+            (fun (tag, c) ->
+              let g =
+                total_area
+                  (outcome t ~model:Sta.Gate_based name ~spec:Engine.Grar ~c)
+              in
+              let p = total_area (outcome t name ~spec:Engine.Grar ~c) in
+              push (tag ^ "g") g;
+              push (tag ^ "p") p;
+              push (tag ^ "i") (impr g p);
+              [ R.float' g; R.float' p; R.Pct (impr g p) ])
+            overheads
+        in
+        R.Cells (R.Str name :: cells))
+      t.names_
+  in
+  let footer =
+    R.Cells
+      (R.Str "average"
+      :: List.concat_map
+           (fun (tag, _) ->
+             [ R.float' (avg_of (tag ^ "g")); R.float' (avg_of (tag ^ "p"));
+               R.Pct (avg_of (tag ^ "i")) ])
+           overheads)
+  in
+  table_of 2 columns (body @ [ R.Rule; footer ])
+
+let table_iii t =
+  let columns =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           List.map
+             (fun v -> (tag ^ " " ^ Vl.variant_name v, T.R))
+             Vl.all_variants)
+         overheads
+  in
+  let push, avg_of = sums () in
+  let body =
+    List.map
+      (fun name ->
+        let cells =
+          List.concat_map
+            (fun (tag, c) ->
+              List.map
+                (fun variant ->
+                  let a =
+                    total_area (outcome t name ~spec:(Engine.Vl variant) ~c)
+                  in
+                  push (tag ^ Vl.variant_name variant) a;
+                  R.float' a)
+                Vl.all_variants)
+            overheads
+        in
+        R.Cells (R.Str name :: cells))
+      t.names_
+  in
+  let footer =
+    R.Cells
+      (R.Str "average"
+      :: List.concat_map
+           (fun (tag, _) ->
+             List.map
+               (fun v -> R.float' (avg_of (tag ^ Vl.variant_name v)))
+               Vl.all_variants)
+           overheads)
+  in
+  table_of 3 columns (body @ [ R.Rule; footer ])
+
+(* Tables IV and V share their shape: an area extractor selects
+   sequential vs total area. Columns come from the engine registry —
+   the first tabulated engine is the baseline, every other engine gets
+   a value column and an improvement-over-baseline column. *)
+let table_iv_v t number ~area =
+  let baseline, rest =
+    match Engine.tabulated with
+    | b :: rest -> (b, rest)
+    | [] -> invalid_arg "Report: empty engine registry"
+  in
+  let columns =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           (tag ^ " " ^ Engine.label baseline, T.R)
+           :: List.concat_map
+                (fun spec ->
+                  [ (tag ^ " " ^ Engine.label spec, T.R);
+                    (tag ^ " Impr%", T.R) ])
+                rest)
+         overheads
+  in
+  let push, avg_of = sums () in
+  let body =
+    List.map
+      (fun name ->
+        let cells =
+          List.concat_map
+            (fun (tag, c) ->
+              let b = area (outcome t name ~spec:baseline ~c) in
+              push (tag ^ Engine.name baseline) b;
+              R.float' b
+              :: List.concat_map
+                   (fun spec ->
+                     let x = area (outcome t name ~spec ~c) in
+                     push (tag ^ Engine.name spec) x;
+                     push (tag ^ Engine.name spec ^ "i") (impr b x);
+                     [ R.float' x; R.Pct (impr b x) ])
+                   rest)
+            overheads
+        in
+        R.Cells (R.Str name :: cells))
+      t.names_
+  in
+  let footer =
+    R.Cells
+      (R.Str "average"
+      :: List.concat_map
+           (fun (tag, _) ->
+             R.float' (avg_of (tag ^ Engine.name baseline))
+             :: List.concat_map
+                  (fun spec ->
+                    [ R.float' (avg_of (tag ^ Engine.name spec));
+                      R.Pct (avg_of (tag ^ Engine.name spec ^ "i")) ])
+                  rest)
+           overheads)
+  in
+  table_of number columns (body @ [ R.Rule; footer ])
+
+let table_iv t = table_iv_v t 4 ~area:seq_area
+let table_v t = table_iv_v t 5 ~area:total_area
+
+let table_vi t =
+  let columns =
+    [ ("Circuit", T.L); ("Approach", T.L) ]
+    @ List.concat_map
+        (fun (tag, _) -> [ (tag ^ " slave#", T.R); (tag ^ " EDL#", T.R) ])
+        overheads
+  in
+  let body =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun spec ->
+            let cells =
+              List.concat_map
+                (fun (_, c) ->
+                  let o = outcome t name ~spec ~c in
+                  [ R.Int o.Outcome.n_slaves; R.Int (Outcome.ed_count o) ])
+                overheads
+            in
+            R.Cells (R.Str name :: R.Str (Engine.label spec) :: cells))
+          Engine.tabulated
+        @ [ R.Rule ])
+      t.names_
+  in
+  table_of 6 columns body
+
+let table_vii t =
+  let columns =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           List.map
+             (fun spec -> (tag ^ " " ^ Engine.label spec, T.R))
+             Engine.tabulated)
+         overheads
+  in
+  let body =
+    List.map
+      (fun name ->
+        let cells =
+          List.concat_map
+            (fun (_, c) ->
+              List.map
+                (fun spec -> R.Time (run t name ~spec ~c).Engine.wall_s)
+                Engine.tabulated)
+            overheads
+        in
+        R.Cells (R.Str name :: cells))
+      t.names_
+  in
+  table_of 7 columns body
+
+let table_viii t =
+  let columns =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           List.map
+             (fun spec -> (tag ^ " " ^ Engine.label spec, T.R))
+             Engine.tabulated)
+         overheads
+  in
+  let push, avg_of = sums () in
+  let body =
+    List.map
+      (fun name ->
+        let cells =
+          List.concat_map
+            (fun (tag, c) ->
+              List.map
+                (fun spec ->
+                  let r = error_rate t name ~spec ~c in
+                  push (tag ^ Engine.name spec) r.Sim.error_rate;
+                  R.Pct r.Sim.error_rate)
+                Engine.tabulated)
+            overheads
+        in
+        R.Cells (R.Str name :: cells))
+      t.names_
+  in
+  let footer =
+    R.Cells
+      (R.Str "average"
+      :: List.concat_map
+           (fun (tag, _) ->
+             List.map
+               (fun spec -> R.Pct (avg_of (tag ^ Engine.name spec)))
+               Engine.tabulated)
+           overheads)
+  in
+  table_of 8 columns (body @ [ R.Rule; footer ])
+
+let table_ix t =
+  let columns =
+    ("Circuit", T.L)
+    :: List.concat_map
+         (fun (tag, _) ->
+           [ (tag ^ " fixed", T.R); (tag ^ " movable", T.R);
+             (tag ^ " diff%", T.R) ])
+         overheads
+  in
+  let push, avg_of = sums () in
+  let body =
+    List.map
+      (fun name ->
+        let cells =
+          List.concat_map
+            (fun (tag, c) ->
+              let r = run t name ~spec:Engine.Movable ~c in
+              let f =
+                match r.Engine.extras with
+                | Engine.Moves { fixed_total_area; _ } -> fixed_total_area
+                | _ -> total_area r.Engine.outcome
+              in
+              let v = total_area r.Engine.outcome in
+              push (tag ^ "d") (impr f v);
+              [ R.float' f; R.float' v; R.Pct (impr f v) ])
+            overheads
+        in
+        R.Cells (R.Str name :: cells))
+      t.names_
+  in
+  let footer =
+    R.Cells
+      (R.Str "average"
+      :: List.concat_map
+           (fun (tag, _) -> [ R.Empty; R.Empty; R.Pct (avg_of (tag ^ "d")) ])
+           overheads)
+  in
+  table_of 9 columns (body @ [ R.Rule; footer ])
+
+let build_rows t = function
+  | 1 -> table_i t
+  | 2 -> table_ii t
+  | 3 -> table_iii t
+  | 4 -> table_iv t
+  | 5 -> table_v t
+  | 6 -> table_vi t
+  | 7 -> table_vii t
+  | 8 -> table_viii t
+  | 9 -> table_ix t
+  | _ -> assert false
+
+let rows t n =
+  if n < 1 || n > 9 then Error (Printf.sprintf "no table %d (valid: 1-9)" n)
+  else
+    try Ok (memo t t.rows_ n (fun () -> build_rows t n))
+    with Engine_failed { what; err } ->
+      Error
+        (Printf.sprintf "table %d: %s failed: %s" n what (Error.to_string err))
+
+let render format rows =
+  match format with
+  | Text -> Row.render_text rows
+  | Csv -> Row.render_csv rows
+  | Json -> Row.render_json rows
+
+let table t ?(format = Text) n = Result.map (render format) (rows t n)
+
+let all_tables ?(format = Text) t =
   precompute t;
   List.map
     (fun n ->
-      match table t n with
+      match table t ~format n with
       | Ok s -> (n, title n, s)
       | Error e -> (n, title n, e))
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]

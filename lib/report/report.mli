@@ -1,21 +1,32 @@
-(** Experiment drivers: one function per table/figure of the paper's
-    evaluation (§VI). All engine runs are cached per context, so
-    rendering every table costs one pass over the benchmark suite.
+(** Experiment drivers: one function per table of the paper's
+    evaluation (§VI), built on the unified {!Rar_engine} registry. All
+    engine runs are memoised per context keyed by the full engine
+    config, so rendering every table costs one pass over the benchmark
+    suite; each table is built once as typed {!Row.table} rows and
+    rendered from those rows into text, CSV or JSON.
 
     Overheads follow §VI-A: low [c = 0.5], medium [c = 1.0], high
     [c = 2.0]. *)
 
 module Suite = Rar_circuits.Suite
 module Stage = Rar_retime.Stage
-module Grar = Rar_retime.Grar
-module Base = Rar_retime.Base_retiming
 module Outcome = Rar_retime.Outcome
-module Vl = Rar_vl.Vl
-module Movable = Rar_vl.Movable
+module Error = Rar_retime.Error
+module Engine = Rar_engine
 module Sta = Rar_sta.Sta
 
 val overheads : (string * float) list
 (** [("low", 0.5); ("medium", 1.0); ("high", 2.0)]. *)
+
+type format = Text | Csv | Json
+
+val format_of_string : string -> format option
+(** ["text"] / ["csv"] / ["json"], case-insensitive. *)
+
+exception Engine_failed of { what : string; err : Error.t }
+(** Raised by the raising accessors below when a cached cell cannot be
+    computed; {!rows} and {!table} catch it and return a one-line
+    diagnostic instead. *)
 
 type t
 
@@ -35,15 +46,35 @@ val names : t -> string list
 
 val prepared : t -> string -> Suite.prepared
 val stage : t -> ?model:Sta.model -> string -> Stage.t
-val grar : t -> ?model:Sta.model -> string -> c:float -> Grar.t
-val base : t -> string -> c:float -> Base.t
-val vl : t -> ?post_swap:bool -> string -> variant:Vl.variant -> c:float -> Vl.t
-val movable : t -> string -> c:float -> Movable.t
+(** Stage with the two-phase source netlist attached (so the movable
+    engine can run on it). *)
+
+val config : t -> ?model:Sta.model -> c:float -> Engine.spec -> Engine.config
+(** The context's engine config: the given model (default path-based),
+    default solver, post-swap on, the context's movable move budget. *)
+
+val run_result :
+  t ->
+  ?model:Sta.model ->
+  string ->
+  spec:Engine.spec ->
+  c:float ->
+  (Engine.result, Error.t) result
+(** Memoised {!Engine.run} on the named benchmark, keyed by circuit
+    and full config. Failures are not cached. *)
+
+val run :
+  t -> ?model:Sta.model -> string -> spec:Engine.spec -> c:float ->
+  Engine.result
+(** Like {!run_result} but raises {!Engine_failed}. *)
+
 val error_rate :
-  t -> string -> approach:[ `Base | `Rvl | `Grar ] -> c:float -> Rar_sim.Sim.rate
+  t -> string -> spec:Engine.spec -> c:float -> Rar_sim.Sim.rate
+(** Two-phase error-rate simulation of the engine's verified design
+    (seeded by circuit and engine name, so results are stable). *)
 
 val precompute : t -> unit
-(** Evaluate the whole (circuit x overhead x approach) result grid into
+(** Evaluate the whole (circuit x overhead x engine) result grid into
     the context's memo tables through the {!Rar_util.Pool} — phase by
     phase (prepare, stage, engines, error rates) so cells never race to
     recompute a shared input. {!all_tables} calls this before
@@ -53,22 +84,18 @@ val precompute : t -> unit
 
 (** {1 Tables} *)
 
-val table_i : t -> string
-val table_ii : t -> string
-val table_iii : t -> string
-val table_iv : t -> string
-val table_v : t -> string
-val table_vi : t -> string
-val table_vii : t -> string
-val table_viii : t -> string
-val table_ix : t -> string
+val rows : t -> int -> (Row.table, string) result
+(** Typed rows of table [n] (memoised). [Error] carries a one-line
+    diagnostic: unknown table number, or the first engine cell that
+    failed (with its typed error rendered). *)
 
-val table : t -> int -> (string, string) result
-(** Table by number, 1-9. *)
+val table : t -> ?format:format -> int -> (string, string) result
+(** Table by number, 1-9, rendered from {!rows} in the requested
+    format (default text). *)
 
-val all_tables : t -> (int * string * string) list
+val all_tables : ?format:format -> t -> (int * string * string) list
 (** [(number, title, rendered)] for every table. Runs {!precompute}
     first, so the whole grid evaluates on the domain pool before any
-    table renders. *)
+    table renders. A failed table renders as its diagnostic line. *)
 
 val title : int -> string

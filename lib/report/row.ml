@@ -1,0 +1,86 @@
+module Json = Rar_util.Json
+
+type cell =
+  | Str of string
+  | Int of int
+  | Float of { v : float; decimals : int }
+  | Pct of float
+  | Time of float
+  | Empty
+
+type row = Cells of cell list | Rule
+
+type table = {
+  number : int;
+  title : string;
+  columns : (string * Text_table.align) list;
+  rows : row list;
+}
+
+let float' ?(decimals = 2) v = Float { v; decimals }
+
+let cell_text = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float { v; decimals } -> Printf.sprintf "%.*f" decimals v
+  | Pct v -> Text_table.fmt_pct v
+  | Time v -> Text_table.fmt_f v
+  | Empty -> ""
+
+let cell_json c =
+  match c with
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Float _ | Pct _ -> Json.Float (float_of_string (cell_text c))
+  | Time _ -> Json.Obj [ ("time_s", Json.Float (float_of_string (cell_text c))) ]
+  | Empty -> Json.Null
+
+let map_cells f t =
+  {
+    t with
+    rows =
+      List.map
+        (function Rule -> Rule | Cells cs -> Cells (List.map f cs))
+        t.rows;
+  }
+
+let to_text_table t =
+  let tab = Text_table.create ~headers:t.columns in
+  List.iter
+    (function
+      | Rule -> Text_table.add_rule tab
+      | Cells cs -> Text_table.add_row tab (List.map cell_text cs))
+    t.rows;
+  tab
+
+let render_text t = Text_table.render (to_text_table t)
+let render_csv t = Text_table.render_csv (to_text_table t)
+
+let to_json t =
+  let align = function Text_table.L -> "l" | Text_table.R -> "r" in
+  Json.Obj
+    [
+      ("schema", Json.String "rar-tables/1");
+      ("number", Json.Int t.number);
+      ("title", Json.String t.title);
+      ( "columns",
+        Json.List
+          (List.map
+             (fun (name, a) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("align", Json.String (align a));
+                 ])
+             t.columns) );
+      ( "rows",
+        Json.List
+          (List.map
+             (function
+               | Rule -> Json.Obj [ ("rule", Json.Bool true) ]
+               | Cells cs ->
+                 Json.Obj [ ("cells", Json.List (List.map cell_json cs)) ])
+             t.rows) );
+    ]
+
+let render_json t = Json.to_string (to_json t)

@@ -66,7 +66,8 @@ let render t =
 let render_csv t =
   let buf = Buffer.create 512 in
   let quote s =
-    if String.exists (fun c -> c = ',' || c = '"') s then
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+    then
       "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
     else s
   in

@@ -16,23 +16,25 @@ let run_on_stage ?engine ~c stage =
   let t0 = Rar_util.Clock.now_s () in
   let g = Rgraph.build ~bias_early:true stage in
   match Rgraph.solve ?engine g with
-  | Error e -> Error ("Base_retiming: " ^ e)
+  | Error _ as e -> e
   | Ok r -> (
     let placements = Rgraph.placements_of g r in
     match Rgraph.check_legal g placements with
-    | Error e -> Error ("Base_retiming: " ^ e)
+    | Error e -> Error e
     | Ok () -> (
       let lp_latches = Rgraph.modelled_latch_count g r in
       let limit = Clocking.max_delay (Stage.clocking stage) in
       match Sizing.fix ~deadlines:(fun _ -> limit) stage placements with
-      | Error e -> Error ("Base_retiming: " ^ e)
+      | Error _ as e -> e
       | Ok stage' ->
         let outcome = Outcome.assemble ~c stage' placements in
         if outcome.Outcome.violations <> [] then
           Error
-            (Printf.sprintf
-               "Base_retiming: %d sinks violate max delay after sizing"
-               (List.length outcome.Outcome.violations))
+            (Error.Timing_violations
+               {
+                 approach = "Base";
+                 count = List.length outcome.Outcome.violations;
+               })
         else
           Ok
             { outcome; stage = stage'; r; lp_latches;
@@ -41,7 +43,7 @@ let run_on_stage ?engine ~c stage =
 let run ?engine ?(model = Sta.Path_based) ~lib ~clocking ~c cc =
   let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
-  | Error e -> Error ("Base_retiming: " ^ e)
+  | Error _ as e -> e
   | Ok stage -> (
     match run_on_stage ?engine ~c stage with
     | Error _ as e -> e

@@ -28,9 +28,9 @@ val run :
   clocking:Clocking.t ->
   c:float ->
   Transform.comb_circuit ->
-  (t, string) result
+  (t, Error.t) result
 (** [c] only affects the area accounting of the after-the-fact EDL
     assignment, never the optimisation. *)
 
 val run_on_stage :
-  ?engine:Difflp.engine -> c:float -> Stage.t -> (t, string) result
+  ?engine:Difflp.engine -> c:float -> Stage.t -> (t, Error.t) result

@@ -353,7 +353,9 @@ let realize g r =
 
 let retime ?(engine = Difflp.Network_simplex) g ~period =
   if engine = Difflp.Closure then
-    Error "Classic.retime: the closure engine requires binary retiming values"
+    Error
+      (Error.Invalid_input
+         "Classic.retime: the closure engine requires binary retiming values")
   else begin
     let wd = wd_matrices g in
     let w_mat, d_mat = wd in
@@ -395,7 +397,7 @@ let retime ?(engine = Difflp.Network_simplex) g ~period =
       done
     done;
     match Difflp.solve ~engine lp ~reference:host with
-    | Error e -> Error ("Classic.retime: " ^ e)
+    | Error e -> Error (Error.Infeasible_lp { detail = e })
     | Ok r_all ->
       let r = Array.sub r_all 0 g.n in
       let retimed = realize g r in

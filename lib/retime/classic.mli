@@ -63,7 +63,7 @@ type outcome = {
 }
 
 val retime :
-  ?engine:Difflp.engine -> graph -> period:float -> (outcome, string) result
+  ?engine:Difflp.engine -> graph -> period:float -> (outcome, Error.t) result
 (** Min-area retiming meeting [period]. [engine] defaults to the
     network simplex; the closure engine is rejected (solutions are not
     binary). *)

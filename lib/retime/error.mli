@@ -1,0 +1,41 @@
+(** Typed failure modes of the retiming engines.
+
+    Every public entry point in [lib/retime], [lib/vl] and the engine
+    layer returns [('a, Error.t) result] — the variant replaces the
+    stringly errors the early reproduction used, so callers (the CLI,
+    the report memoiser, the serving layer) can branch on the failure
+    kind instead of parsing messages. [to_string] renders the same
+    one-line diagnostics the strings used to carry. *)
+
+type t =
+  | Unknown_circuit of string
+      (** benchmark name not in the Table I suite *)
+  | Illegal_stage of { node : string }
+      (** the node violates both Constraint (6) and (7): no legal
+          slave position exists on some path (paper §IV-B) *)
+  | Untimeable_sink of { sink : string; limit : float }
+      (** a capture point cannot meet [max_delay] before any slave is
+          even placed *)
+  | Infeasible_lp of { detail : string }
+      (** the difference-constraint LP has no feasible point (or the
+          flow solver rejected the instance) *)
+  | Illegal_placement of { detail : string }
+      (** a decoded placement breaks the one-slave-per-path invariant *)
+  | Timing_violations of { approach : string; count : int }
+      (** sinks still violate [max_delay] after the size-only fix *)
+  | Retype_diverged of { rounds : int }
+      (** the virtual-library retyping loop failed to converge *)
+  | Search_failed of { detail : string }
+      (** period binary search found no feasible bracket *)
+  | Invalid_input of string
+      (** caller error: bad argument, unusable netlist, missing
+          context (e.g. the movable engine without its source) *)
+
+val to_string : t -> string
+(** One-line diagnostic, suitable for CLI [stderr]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val kind : t -> string
+(** Stable machine-readable tag (["unknown_circuit"],
+    ["infeasible_lp"], …) used by the JSON renderings. *)

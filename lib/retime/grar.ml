@@ -18,11 +18,11 @@ let run_on_stage ?engine ~c stage =
   let t0 = Rar_util.Clock.now_s () in
   let g = Rgraph.build ~edl_overhead:c stage in
   match Rgraph.solve ?engine g with
-  | Error e -> Error ("Grar: " ^ e)
+  | Error _ as e -> e
   | Ok r -> (
     let placements = Rgraph.placements_of g r in
     match Rgraph.check_legal g placements with
-    | Error e -> Error ("Grar: " ^ e)
+    | Error e -> Error e
     | Ok () -> (
       let modelled_non_ed =
         List.filter_map
@@ -38,13 +38,16 @@ let run_on_stage ?engine ~c stage =
       let limit = Clocking.max_delay clocking in
       let deadline s = if List.mem s modelled_non_ed then period else limit in
       match Sizing.fix ~deadlines:deadline stage placements with
-      | Error e -> Error ("Grar: " ^ e)
+      | Error _ as e -> e
       | Ok stage' ->
         let outcome = Outcome.assemble ~c stage' placements in
         if outcome.Outcome.violations <> [] then
           Error
-            (Printf.sprintf "Grar: %d sinks violate max delay after sizing"
-               (List.length outcome.Outcome.violations))
+            (Error.Timing_violations
+               {
+                 approach = "G-RAR";
+                 count = List.length outcome.Outcome.violations;
+               })
         else
           Ok
             {
@@ -59,7 +62,7 @@ let run_on_stage ?engine ~c stage =
 let run ?engine ?(model = Sta.Path_based) ~lib ~clocking ~c cc =
   let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
-  | Error e -> Error ("Grar: " ^ e)
+  | Error _ as e -> e
   | Ok stage -> (
     match run_on_stage ?engine ~c stage with
     | Error _ as e -> e

@@ -29,7 +29,7 @@ val run :
   clocking:Clocking.t ->
   c:float ->
   Transform.comb_circuit ->
-  (t, string) result
+  (t, Error.t) result
 (** [model] defaults to the journal version's [Path_based]; pass
     [Gate_based] to reproduce the DAC'17 model (Table II compares
     both). [engine] defaults to the paper's network simplex. *)
@@ -38,5 +38,5 @@ val run_on_stage :
   ?engine:Difflp.engine ->
   c:float ->
   Stage.t ->
-  (t, string) result
+  (t, Error.t) result
 (** As {!run} but reusing an existing stage analysis. *)

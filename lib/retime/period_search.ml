@@ -17,7 +17,7 @@ let worst_arrival ~model ~lib cc =
    (false ... false true ... true). *)
 let search ~model ~lib ~tol ~feasible cc =
   let base = worst_arrival ~model ~lib cc in
-  if base <= 0. then Error "Period_search: empty circuit"
+  if base <= 0. then Error (Error.Search_failed { detail = "empty circuit" })
   else begin
     (* Bracket: grow hi until feasible (the constraints all loosen with
        P), with a sanity cap. *)
@@ -27,7 +27,8 @@ let search ~model ~lib ~tol ~feasible cc =
       else grow (hi *. 1.5) (k - 1)
     in
     match grow base 24 with
-    | None -> Error "Period_search: no feasible period found"
+    | None ->
+      Error (Error.Search_failed { detail = "no feasible period found" })
     | Some hi0 ->
       let lo = ref (base /. 4.) and hi = ref hi0 in
       let iterations = ref 0 in

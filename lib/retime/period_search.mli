@@ -30,7 +30,7 @@ val min_feasible :
   ?tol:float ->
   lib:Liberty.t ->
   Transform.comb_circuit ->
-  (search, string) result
+  (search, Error.t) result
 (** [tol] is the relative bracket width to stop at (default 0.01). *)
 
 val min_detection_free :
@@ -38,4 +38,4 @@ val min_detection_free :
   ?tol:float ->
   lib:Liberty.t ->
   Transform.comb_circuit ->
-  (search, string) result
+  (search, Error.t) result

@@ -136,7 +136,10 @@ let build ?edl_overhead ?(forbidden_edges = []) ?(bias_early = false) stage =
   end;
   { stage; lp; host; var_of; p_sinks; constant = !constant; edges = !edges }
 
-let solve ?engine t = Difflp.solve ?engine t.lp ~reference:t.host
+let solve ?engine t =
+  match Difflp.solve ?engine t.lp ~reference:t.host with
+  | Ok r -> Ok r
+  | Error detail -> Error (Error.Infeasible_lp { detail })
 
 let modelled_latch_count t r =
   List.fold_left
@@ -224,9 +227,12 @@ let check_legal t placements =
   | None -> Ok ()
   | Some v ->
     Error
-      (Printf.sprintf
-         "Rgraph.check_legal: sink %S sees between %d and %d slaves on its \
-          paths"
-         (Netlist.node_name net v)
-         (if lo.(v) = max_int then -1 else lo.(v))
-         (if hi.(v) = min_int then -1 else hi.(v)))
+      (Error.Illegal_placement
+         {
+           detail =
+             Printf.sprintf
+               "sink %S sees between %d and %d slaves on its paths"
+               (Netlist.node_name net v)
+               (if lo.(v) = max_int then -1 else lo.(v))
+               (if hi.(v) = min_int then -1 else hi.(v));
+         })

@@ -60,7 +60,7 @@ val modelled_latch_count : t -> int array -> float
     independent of any tie-break terms in the LP objective. *)
 
 val solve :
-  ?engine:Difflp.engine -> t -> (int array, string) result
+  ?engine:Difflp.engine -> t -> (int array, Error.t) result
 (** Solve and return the full variable assignment (normalised to
     [r(host) = 0]). *)
 
@@ -77,6 +77,6 @@ val count_latches : t -> Transform.placement list -> int
 (** Physical slave count of a placement list (= list length). *)
 
 val check_legal :
-  t -> Transform.placement list -> (unit, string) result
+  t -> Transform.placement list -> (unit, Error.t) result
 (** Verify the single-latch-per-path invariant: every source-to-sink
     path crosses exactly one slave. *)

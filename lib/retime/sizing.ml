@@ -84,10 +84,11 @@ let fix ?(max_rounds = 12) ~deadlines stage placements =
           let cc = Stage.cc stage in
           let cc' = { cc with Transform.comb = net' } in
           match
-            Stage.make ~model:(Stage.model stage) ~lib
+            Stage.make ~model:(Stage.model stage)
+              ?source:(Stage.source stage) ~lib
               ~clocking:(Stage.clocking stage) cc'
           with
-          | Error e -> Error ("Sizing.fix: " ^ e)
+          | Error _ as e -> e
           | Ok stage' -> round stage' best best_count (k - 1)
         end
       end

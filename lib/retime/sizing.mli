@@ -13,7 +13,7 @@ val fix :
   deadlines:(int -> float) ->
   Stage.t ->
   Transform.placement list ->
-  (Stage.t, string) result
+  (Stage.t, Error.t) result
 (** Returns a stage over the (possibly) resized netlist — the input
     stage unchanged when nothing violates. [deadlines sink] is the
     latest acceptable verified arrival. [max_rounds] defaults to 12.

@@ -17,6 +17,7 @@ type sink_class =
 
 type t = {
   cc : Transform.comb_circuit;
+  source : Netlist.t option; (* two-phase netlist the cc came from *)
   lib : Liberty.t;
   clocking : Clocking.t;
   sta : Sta.t;
@@ -30,6 +31,7 @@ type t = {
 }
 
 let cc t = t.cc
+let source t = t.source
 let comb t = t.cc.Transform.comb
 let sta t = t.sta
 let lib t = t.lib
@@ -136,12 +138,7 @@ let compute_regions ~sta_an ~lib ~clocking net =
     else if cannot_move then regions.(v) <- Rn
   done;
   match !conflict with
-  | Some name ->
-    Error
-      (Printf.sprintf
-         "Stage: node %S violates both Constraint (6) and (7); no legal \
-          slave position"
-         name)
+  | Some name -> Error (Error.Illegal_stage { node = name })
   | None -> Ok regions
 
 (* Result of classifying one sink. The per-sink edge lists are
@@ -283,7 +280,7 @@ let classify_sink ~sta_an ~clocking ~latch net s =
         win = !window; empty_cut = false }
   end
 
-let make ?(model = Sta.Path_based) ~lib ~clocking cc =
+let make ?(model = Sta.Path_based) ?source ~lib ~clocking cc =
   let net = cc.Transform.comb in
   let sta_an = Sta.analyse lib model net in
   let latch = Liberty.latch lib in
@@ -306,8 +303,7 @@ let make ?(model = Sta.Path_based) ~lib ~clocking cc =
     (match too_long with
     | Some s ->
       Error
-        (Printf.sprintf "Stage: sink %S cannot meet max delay %.4f"
-           (Netlist.node_name net s) limit)
+        (Error.Untimeable_sink { sink = Netlist.node_name net s; limit })
     | None ->
       let max_paths = Hashtbl.create 64 in
       let illegal_tbl = Hashtbl.create 64 in
@@ -355,8 +351,8 @@ let make ?(model = Sta.Path_based) ~lib ~clocking cc =
             let u = (Netlist.fanins net v).(pin) in
             Netlist.kind net u = Netlist.Input)
       in
-      Ok { cc; lib; clocking; sta = sta_an; regions; classes; initial_arr;
-           max_paths; illegal; window = window_tbl })
+      Ok { cc; source; lib; clocking; sta = sta_an; regions; classes;
+           initial_arr; max_paths; illegal; window = window_tbl })
 
 let pp_summary ppf t =
   let net = comb t in

@@ -29,15 +29,23 @@ type t
 
 val make :
   ?model:Sta.model ->
+  ?source:Netlist.t ->
   lib:Liberty.t ->
   clocking:Clocking.t ->
   Transform.comb_circuit ->
-  (t, string) result
-(** Analyse a stage. [model] defaults to [Path_based]. Errors when a
-    node violates both Constraint (6) and (7) (no legal slave position
-    on some path) or when a sink cannot meet [max_delay] at all. *)
+  (t, Error.t) result
+(** Analyse a stage. [model] defaults to [Path_based]. Errors
+    ([Illegal_stage]) when a node violates both Constraint (6) and (7)
+    (no legal slave position on some path) or ([Untimeable_sink]) when
+    a sink cannot meet [max_delay] at all.
+
+    [source] optionally records the two-phase netlist the
+    [comb_circuit] was extracted from; engines that perturb the full
+    netlist (the movable-master search) require it, everything else
+    ignores it. Derived stages (e.g. after sizing) inherit it. *)
 
 val cc : t -> Transform.comb_circuit
+val source : t -> Netlist.t option
 val comb : t -> Netlist.t
 val sta : t -> Sta.t
 val lib : t -> Liberty.t

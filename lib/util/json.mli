@@ -1,0 +1,30 @@
+(** Minimal JSON tree: enough to emit the machine-readable report
+    formats ([rar-tables/1], [rar-run/1]) and to parse them back in
+    tests — no external dependency.
+
+    Rendering is deterministic: object fields keep insertion order and
+    floats are printed with ["%.12g"], so equal values always render to
+    equal bytes (the cross-job-count determinism tests rely on this). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset this module emits: UTF-8 is passed
+    through untouched; [\uXXXX] escapes decode to UTF-8. Numbers
+    without [.], [e] or [E] become [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+(** Numeric value of [Int] or [Float]. *)

@@ -78,13 +78,13 @@ let apply_backward net m g s =
 
 let total_area (r : Vl.t) = r.Vl.outcome.Outcome.total_area
 
-let run ?(max_moves = 6) ~lib ~clocking ~c two_phase =
+let run ?engine ?model ?(max_moves = 6) ~lib ~clocking ~c two_phase =
   let t0 = Rar_util.Clock.now_s () in
   let run_vl net =
-    Vl.run ~lib ~clocking ~c Vl.Rvl (Transform.extract_comb net)
+    Vl.run ?engine ?model ~lib ~clocking ~c Vl.Rvl (Transform.extract_comb net)
   in
   match run_vl two_phase with
-  | Error e -> Error ("Movable: " ^ e)
+  | Error _ as e -> e
   | Ok fixed ->
     (* Candidate masters: the error-detecting ones (a backward move
        shortens their capture path), identified by name so ids survive

@@ -27,11 +27,13 @@ type t = {
 }
 
 val run :
+  ?engine:Rar_flow.Difflp.engine ->
+  ?model:Rar_sta.Sta.model ->
   ?max_moves:int ->
   lib:Liberty.t ->
   clocking:Clocking.t ->
   c:float ->
   Netlist.t ->
-  (t, string) result
+  (t, Rar_retime.Error.t) result
 (** [two_phase] netlist in, as produced by {!Rar_netlist.Transform.to_two_phase}.
     [max_moves] (default 6) bounds the candidate evaluations. *)

@@ -8,6 +8,7 @@ module Stage = Rar_retime.Stage
 module Rgraph = Rar_retime.Rgraph
 module Outcome = Rar_retime.Outcome
 module Sizing = Rar_retime.Sizing
+module Error = Rar_retime.Error
 
 let src = Logs.Src.create "rar.vl" ~doc:"Virtual-library retiming"
 
@@ -66,7 +67,7 @@ let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
   in
   let rec attempt ed_set rounds =
     if rounds > List.length sinks + 1 then
-      Error "Vl: retyping failed to converge"
+      Error (Error.Retype_diverged { rounds })
     else begin
       let non_ed = List.filter (fun s -> not (List.mem s ed_set)) sinks in
       let forbidden = List.concat_map (forbidden_for stage) non_ed in
@@ -88,7 +89,10 @@ let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
             None non_ed
         in
         (match worst with
-        | None -> Error "Vl: infeasible even with every master error-detecting"
+        | None ->
+          Error
+            (Error.Infeasible_lp
+               { detail = "infeasible even with every master error-detecting" })
         | Some s ->
           Log.debug (fun m ->
               m "retype %s to error-detecting"
@@ -98,16 +102,16 @@ let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
   in
   let seed = List.sort_uniq compare (initial_ed @ List.filter hopeless sinks) in
   match attempt seed 0 with
-  | Error e -> Error ("Vl: " ^ e)
+  | Error _ as e -> e
   | Ok (typed_ed, rounds, g, r) -> (
     let placements = Rgraph.placements_of g r in
     match Rgraph.check_legal g placements with
-    | Error e -> Error ("Vl: " ^ e)
+    | Error _ as e -> e
     | Ok () -> (
       (* Size-only incremental compile against the typed deadlines. *)
       let deadline s = if List.mem s typed_ed then limit else period in
       match Sizing.fix ~deadlines:deadline stage placements with
-      | Error e -> Error ("Vl: " ^ e)
+      | Error _ as e -> e
       | Ok stage' ->
         (* Mandatory fixes: non-ED masters still inside the window
            become error-detecting. *)
@@ -138,8 +142,11 @@ let run_on_stage ?engine ?(post_swap = true) ~c variant stage =
         let outcome = Outcome.assemble ~ed:ed_final ~c stage' placements in
         if outcome.Outcome.violations <> [] then
           Error
-            (Printf.sprintf "Vl: %d sinks violate max delay after sizing"
-               (List.length outcome.Outcome.violations))
+            (Error.Timing_violations
+               {
+                 approach = variant_name variant;
+                 count = List.length outcome.Outcome.violations;
+               })
         else
           Ok
             {
@@ -156,7 +163,7 @@ let run ?engine ?(model = Sta.Path_based) ?post_swap ~lib ~clocking ~c variant
     cc =
   let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
-  | Error e -> Error ("Vl: " ^ e)
+  | Error _ as e -> e
   | Ok stage -> (
     match run_on_stage ?engine ?post_swap ~c variant stage with
     | Error _ as e -> e

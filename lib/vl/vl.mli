@@ -23,6 +23,7 @@ module Clocking = Rar_sta.Clocking
 module Difflp = Rar_flow.Difflp
 module Stage = Rar_retime.Stage
 module Outcome = Rar_retime.Outcome
+module Error = Rar_retime.Error
 
 type variant =
   | Nvl  (** seed every master in the detecting stage non-error-detecting *)
@@ -54,7 +55,7 @@ val run :
   c:float ->
   variant ->
   Transform.comb_circuit ->
-  (t, string) result
+  (t, Error.t) result
 (** [post_swap] (default true) enables the §V post-retiming step that
     swaps unnecessary error-detecting masters back to normal latches;
     disabling it reproduces the paper's "-0.36%" RVL data point. *)
@@ -65,4 +66,4 @@ val run_on_stage :
   c:float ->
   variant ->
   Stage.t ->
-  (t, string) result
+  (t, Error.t) result

@@ -29,13 +29,16 @@ let () =
         (match
            Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
          with
-        | Error e -> Printf.printf "  stage FAIL: %s\n%!" e
+        | Error e ->
+          Printf.printf "  stage FAIL: %s\n%!" (Rar_retime.Error.to_string e)
         | Ok stage ->
           Format.printf "  %a@." Stage.pp_summary stage;
           List.iter
             (fun c ->
               (match Grar.run_on_stage ~c stage with
-              | Error e -> Printf.printf "  grar c=%.1f FAIL: %s\n%!" c e
+              | Error e ->
+                Printf.printf "  grar c=%.1f FAIL: %s\n%!" c
+                  (Rar_retime.Error.to_string e)
               | Ok r ->
                 Printf.printf
                   "  grar c=%.1f: slaves=%d edl=%d seq=%.1f total=%.1f \
@@ -45,7 +48,9 @@ let () =
                   r.Grar.outcome.Outcome.seq_area
                   r.Grar.outcome.Outcome.total_area r.Grar.runtime_s);
               (match Base.run_on_stage ~c stage with
-              | Error e -> Printf.printf "  base c=%.1f FAIL: %s\n%!" c e
+              | Error e ->
+                Printf.printf "  base c=%.1f FAIL: %s\n%!" c
+                  (Rar_retime.Error.to_string e)
               | Ok r ->
                 Printf.printf
                   "  base c=%.1f: slaves=%d edl=%d seq=%.1f total=%.1f \
@@ -59,7 +64,8 @@ let () =
                   match Vl.run_on_stage ~c variant stage with
                   | Error e ->
                     Printf.printf "  %s c=%.1f FAIL: %s\n%!"
-                      (Vl.variant_name variant) c e
+                      (Vl.variant_name variant) c
+                      (Rar_retime.Error.to_string e)
                   | Ok r ->
                     Printf.printf
                       "  %s c=%.1f: slaves=%d edl=%d seq=%.1f total=%.1f \

@@ -22,12 +22,14 @@ let () =
     in
     let p = Suite.prepare (Generator.generate spec) in
     match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
-    | Error e -> incr fails; Printf.printf "seed %d stage: %s\n" seed e
+    | Error e ->
+      incr fails;
+      Printf.printf "seed %d stage: %s\n" seed (Rar_retime.Error.to_string e)
     | Ok st ->
       List.iter
         (fun c ->
           let check tag = function
-            | Error e -> incr fails; Printf.printf "seed %d %s c=%g: %s\n" seed tag c e
+            | Error e -> incr fails; Printf.printf "seed %d %s c=%g: %s\n" seed tag c (Rar_retime.Error.to_string e)
             | Ok (o : Outcome.t) ->
               if o.Outcome.violations <> [] then begin
                 incr fails;

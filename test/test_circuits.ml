@@ -130,18 +130,18 @@ let test_real_s27 () =
       Rar_retime.Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking
         p.Suite.cc
     with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
     | Ok stage ->
       (match Rar_retime.Grar.run_on_stage ~c:2.0 stage with
       | Ok r ->
         Alcotest.(check (list int)) "no violations" []
           r.Rar_retime.Grar.outcome.Rar_retime.Outcome.violations
-      | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Rar_retime.Error.to_string e));
       (match Rar_retime.Base_retiming.run_on_stage ~c:2.0 stage with
       | Ok r ->
         Alcotest.(check (list int)) "no violations" []
           r.Rar_retime.Base_retiming.outcome.Rar_retime.Outcome.violations
-      | Error e -> Alcotest.fail e))
+      | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)))
 
 let prop_generated_bench_roundtrip =
   QCheck.Test.make ~name:"generated circuits roundtrip through .bench"

@@ -52,7 +52,7 @@ let test_feasibility_boundaries () =
 let test_retime_to_min () =
   let g = graph () in
   match Classic.retime g ~period:13. with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok o ->
     Alcotest.(check bool) "achieves 13" true
       (o.Classic.achieved_period <= 13. +. 1e-9);
@@ -73,7 +73,7 @@ let test_engines_agree () =
   | Ok a, Ok b ->
     Alcotest.(check int) "same register count" a.Classic.registers_after
       b.Classic.registers_after
-  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Error e, _ | _, Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
 
 let test_zero_cycle_rejected () =
   (* a purely combinational PI -> PO path must be rejected without
@@ -107,7 +107,7 @@ let test_generated_circuit () =
   let pmin = Classic.min_period g in
   Alcotest.(check bool) "min <= original" true (pmin <= p0 +. 1e-9);
   match Classic.retime g ~period:pmin with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok o ->
     (* moving registers changes fanout loads, so the re-measured period
        may drift slightly above the load-frozen optimum — the same

@@ -83,7 +83,7 @@ let test_certificate_rejects_bogus () =
 let test_fig4_min_feasible () =
   let cc = Fig4.circuit () in
   match Period_search.min_feasible ~lib:(Fig4.library ()) cc with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok s ->
     (* the critical path is 9.0; P must at least cover it and the
        walkthrough's 12.5 must be feasible *)
@@ -102,7 +102,7 @@ let test_fig4_detection_free_above_feasible () =
   | Ok f, Ok d ->
     Alcotest.(check bool) "detection-free needs at least as much period" true
       (d.Period_search.p >= f.Period_search.p -. 1e-6)
-  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Error e, _ | _, Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
 
 (* --- EDL clustering ------------------------------------------------- *)
 
@@ -138,10 +138,10 @@ let test_annotate () =
         (Fig4.circuit ())
     with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   match Grar.run_on_stage ~c:0.5 stage with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok r ->
     let o = r.Grar.outcome in
     let o', tree = Edl_cluster.annotate ~lib:(Fig4.library ()) o in
@@ -160,10 +160,10 @@ let test_vcd_trace () =
         (Fig4.circuit ())
     with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rar_retime.Error.to_string e)
   in
   match Grar.run_on_stage ~c:2.0 stage with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok r ->
     let cc = Stage.cc r.Grar.stage in
     let staged = Transform.apply_retiming cc r.Grar.outcome.Outcome.placements in

@@ -22,7 +22,7 @@ let stage () =
     Stage.make ~lib:(Fig4.library ()) ~clocking:Fig4.clocking (Fig4.circuit ())
   with
   | Ok s -> s
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
 
 let name_of st v = Rar_netlist.Netlist.node_name (Stage.comb st) v
 
@@ -83,7 +83,7 @@ let run_grar ?engine c =
       (Fig4.circuit ())
   with
   | Ok r -> r
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
 
 let run_base c =
   match
@@ -91,7 +91,7 @@ let run_base c =
       (Fig4.circuit ())
   with
   | Ok r -> r
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
 
 let test_grar_high_overhead () =
   (* c = 2: Cut2 wins; O9 becomes non-error-detecting. *)
@@ -145,7 +145,7 @@ let test_placement_legality () =
   let st = stage () in
   let g = Rgraph.build ~edl_overhead:2.0 st in
   match Rgraph.solve g with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok r ->
     let p = Rgraph.placements_of g r in
     Alcotest.(check bool) "legal" true (Rgraph.check_legal g p = Ok ());

@@ -1,10 +1,13 @@
-(* Report-layer tests: table rendering and the cached experiment
-   context, on a single small benchmark to keep the suite fast. *)
+(* Report-layer tests: table rendering in all three formats, the cached
+   experiment context and its error paths, on a single small benchmark
+   to keep the suite fast. *)
 
 module Report = Rar_report.Report
+module Row = Rar_report.Row
 module T = Rar_report.Text_table
+module Json = Rar_util.Json
 module Outcome = Rar_retime.Outcome
-module Grar = Rar_retime.Grar
+module Engine = Rar_engine
 
 let test_text_table () =
   let t = T.create ~headers:[ ("name", T.L); ("x", T.R) ] in
@@ -28,17 +31,38 @@ let test_text_table_mismatch () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "expected column mismatch rejection"
 
+let test_csv_escaping () =
+  (* RFC 4180: commas, quotes, newlines and carriage returns force
+     quoting; embedded quotes are doubled; everything else is bare. *)
+  let t = T.create ~headers:[ ("name", T.L); ("note", T.L) ] in
+  T.add_row t [ "a,b"; "plain" ];
+  T.add_rule t;
+  T.add_row t [ "say \"hi\""; "line1\nline2" ];
+  T.add_row t [ "cr\rhere"; "" ];
+  Alcotest.(check string) "rfc 4180 output"
+    ("name,note\n" ^ "\"a,b\",plain\n" ^ "\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+   ^ "\"cr\rhere\",\n")
+    (T.render_csv t)
+
 let ctx = lazy (Report.create ~names:[ "s1196" ] ~sim_cycles:20 ())
 
 let test_cache_hits () =
   let t = Lazy.force ctx in
-  let a = Report.grar t "s1196" ~c:1.0 in
-  let b = Report.grar t "s1196" ~c:1.0 in
+  let a = Report.run t "s1196" ~spec:Engine.Grar ~c:1.0 in
+  let b = Report.run t "s1196" ~spec:Engine.Grar ~c:1.0 in
   Alcotest.(check bool) "same cached object" true (a == b)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec find i =
+    i + n <= String.length hay
+    && (String.sub hay i n = needle || find (i + 1))
+  in
+  find 0
 
 let test_tables_render () =
   let t = Lazy.force ctx in
-  (* Tables I and V exercise prepare + all three engines. *)
+  (* Tables I and V exercise prepare + the whole tabulated registry. *)
   List.iter
     (fun n ->
       match Report.table t n with
@@ -46,67 +70,127 @@ let test_tables_render () =
         Alcotest.(check bool)
           (Printf.sprintf "table %d mentions s1196" n)
           true
-          (String.length s > 50
-          &&
-          let re = "s1196" in
-          let rec find i =
-            if i + String.length re > String.length s then false
-            else if String.sub s i (String.length re) = re then true
-            else find (i + 1)
-          in
-          find 0)
+          (String.length s > 50 && contains s "s1196")
       | Error e -> Alcotest.fail e)
-    [ 1; 5 ];
+    [ 1; 5 ]
+
+let test_table_out_of_range () =
+  let t = Lazy.force ctx in
   match Report.table t 12 with
-  | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected error for table 12"
+  | Error e ->
+    Alcotest.(check bool) "one-line diagnostic" true
+      (not (String.contains e '\n'));
+    Alcotest.(check bool) "names the table" true (contains e "12")
+
+let test_failed_engine_cell () =
+  (* A context over an unknown benchmark: every engine cell fails, and
+     the table must surface that as a one-line diagnostic, not raise. *)
+  let t = Report.create ~names:[ "nosuch" ] ~sim_cycles:20 () in
+  match Report.table t 4 with
+  | Ok _ -> Alcotest.fail "expected table 4 to fail on unknown circuit"
+  | Error e ->
+    Alcotest.(check bool) "one-line diagnostic" true
+      (not (String.contains e '\n'));
+    Alcotest.(check bool) "names the failing circuit" true
+      (contains e "nosuch")
 
 let test_grar_beats_base_on_suite_circuit () =
   (* The headline comparison on a real benchmark at high overhead. *)
   let t = Lazy.force ctx in
-  let g = (Report.grar t "s1196" ~c:2.0).Grar.outcome in
-  let b = (Report.base t "s1196" ~c:2.0).Rar_retime.Base_retiming.outcome in
+  let g = (Report.run t "s1196" ~spec:Engine.Grar ~c:2.0).Engine.outcome in
+  let b = (Report.run t "s1196" ~spec:Engine.Base ~c:2.0).Engine.outcome in
   Alcotest.(check bool) "total area improves" true
     (g.Outcome.total_area <= b.Outcome.total_area +. 1e-9)
 
-(* Determinism across pool sizes. Wall-clock cells (Table I "Prep (s)",
-   every data column of the Table VII runtime comparison) can never be
-   byte-identical between two runs, so those columns are masked before
-   comparing; everything else must match exactly. Cells are re-joined
-   trimmed, so the comparison is also immune to column-width jitter
-   caused by masked cells. *)
-let normalize_table n s =
-  let lines = String.split_on_char '\n' s in
-  let cells l = List.map String.trim (String.split_on_char '|' l) in
-  let contains_seconds c =
-    let re = "(s)" in
-    let rec find j =
-      j + String.length re <= String.length c
-      && (String.sub c j (String.length re) = re || find (j + 1))
-    in
-    find 0
+(* The three renderings of a table all come from the same typed rows;
+   parse the JSON back and cross-check every cell against the text
+   rendering cell by cell. *)
+
+let is_rule_line l =
+  String.length l > 0
+  && String.for_all (fun c -> c = '|' || c = '-') l
+
+let text_data_lines s =
+  match String.split_on_char '\n' (String.trim s) with
+  | _header :: rest -> List.filter (fun l -> not (is_rule_line l)) rest
+  | [] -> []
+
+let text_cells line =
+  (* "| a | b |" -> ["a"; "b"] *)
+  match String.split_on_char '|' line with
+  | "" :: cells -> (
+    match List.rev cells with
+    | _trailing :: rev -> List.rev_map String.trim rev
+    | [] -> [])
+  | _ -> Alcotest.fail ("unexpected table line: " ^ line)
+
+let test_json_matches_text () =
+  let t = Lazy.force ctx in
+  let tbl =
+    match Report.rows t 5 with
+    | Ok tbl -> tbl
+    | Error e -> Alcotest.fail e
   in
-  let runtime_cols =
-    match List.find_opt (fun l -> String.contains l '|') lines with
-    | None -> []
-    | Some header ->
-      (* Leading '|' makes index 1 the first real column. *)
-      List.concat
-        (List.mapi
-           (fun i c ->
-             if c <> "" && (contains_seconds c || (n = 7 && i > 1)) then [ i ]
-             else [])
-           (cells header))
+  let json =
+    match Json.of_string (Row.render_json tbl) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("table 5 JSON does not parse: " ^ e)
   in
-  let mask l =
-    if not (String.contains l '|') then l
-    else
-      String.concat "|"
-        (List.mapi
-           (fun i c -> if List.mem i runtime_cols then "<t>" else c)
-           (cells l))
+  Alcotest.(check (option string)) "schema" (Some "rar-tables/1")
+    (match Json.member "schema" json with
+    | Some (Json.String s) -> Some s
+    | _ -> None);
+  Alcotest.(check (option int)) "number" (Some 5)
+    (match Json.member "number" json with
+    | Some (Json.Int n) -> Some n
+    | _ -> None);
+  let jrows =
+    match Json.member "rows" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "missing rows array"
   in
-  String.concat "\n" (List.map mask lines)
+  (* Drop rule rows from the JSON and rule lines from the text: what
+     remains must agree pairwise, cell by cell. *)
+  let data_rows =
+    List.filter_map
+      (fun r ->
+        match Json.member "cells" r with
+        | Some (Json.List cells) -> Some cells
+        | _ -> None)
+      jrows
+  in
+  let lines = text_data_lines (Row.render_text tbl) in
+  Alcotest.(check int) "row count matches text" (List.length lines)
+    (List.length data_rows);
+  Alcotest.(check bool) "has data rows" true (data_rows <> []);
+  let checked = ref 0 in
+  List.iter2
+    (fun cells line ->
+      List.iter2
+        (fun jcell text ->
+          match jcell with
+          | Json.String s ->
+            incr checked;
+            Alcotest.(check string) "string cell matches text" text s
+          | Json.Int _ | Json.Float _ ->
+            incr checked;
+            Alcotest.(check (float 0.)) "numeric cell matches text"
+              (float_of_string text)
+              (Option.get (Json.to_float jcell))
+          | _ -> ())
+        cells (text_cells line))
+    data_rows lines;
+  Alcotest.(check bool) "cross-checked some cells" true (!checked > 0)
+
+(* Determinism across pool sizes, in text and JSON. Wall-clock cells
+   (Table I "Prep (s)", every data column of the Table VII runtime
+   comparison) can never be byte-identical between two runs, so Time
+   cells are masked in the typed rows before rendering; everything
+   else must match exactly. *)
+
+let mask_time =
+  Row.map_cells (function Row.Time _ -> Row.Time 0. | c -> c)
 
 let render_all ~jobs =
   Rar_util.Pool.set_jobs jobs;
@@ -114,20 +198,28 @@ let render_all ~jobs =
     ~finally:(fun () -> Rar_util.Pool.set_jobs 1)
     (fun () ->
       let t = Report.create ~names:[ "s1196"; "s1423" ] ~sim_cycles:20 () in
+      Report.precompute t;
       List.map
-        (fun (n, title, s) -> (n, title, normalize_table n s))
-        (Report.all_tables t))
+        (fun n ->
+          match Report.rows t n with
+          | Ok tbl ->
+            let tbl = mask_time tbl in
+            (n, Row.render_text tbl, Row.render_json tbl)
+          | Error e -> (n, e, e))
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
 
 let test_jobs_determinism () =
   let seq = render_all ~jobs:1 and par = render_all ~jobs:4 in
   Alcotest.(check int) "same table count" (List.length seq) (List.length par);
   List.iter2
-    (fun (n, ts, s) (n', tp, p) ->
+    (fun (n, ts, js) (n', tp, jp) ->
       Alcotest.(check int) "same table number" n n';
-      Alcotest.(check string) "same title" ts tp;
       Alcotest.(check string)
-        (Printf.sprintf "table %d byte-identical across pool sizes" n)
-        s p)
+        (Printf.sprintf "table %d text identical across pool sizes" n)
+        ts tp;
+      Alcotest.(check string)
+        (Printf.sprintf "table %d JSON identical across pool sizes" n)
+        js jp)
     seq par
 
 let suite =
@@ -135,10 +227,17 @@ let suite =
     Alcotest.test_case "text table renders aligned" `Quick test_text_table;
     Alcotest.test_case "text table rejects mismatch" `Quick
       test_text_table_mismatch;
+    Alcotest.test_case "csv escaping is RFC 4180" `Quick test_csv_escaping;
     Alcotest.test_case "context caches results" `Quick test_cache_hits;
     Alcotest.test_case "tables render" `Quick test_tables_render;
+    Alcotest.test_case "out-of-range table is a one-line error" `Quick
+      test_table_out_of_range;
+    Alcotest.test_case "failed engine cell is a one-line error" `Quick
+      test_failed_engine_cell;
     Alcotest.test_case "G-RAR beats base on s1196" `Quick
       test_grar_beats_base_on_suite_circuit;
+    Alcotest.test_case "JSON cells match text cells" `Quick
+      test_json_matches_text;
     Alcotest.test_case "tables identical across pool sizes" `Slow
       test_jobs_determinism;
   ]

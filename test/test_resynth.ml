@@ -151,10 +151,10 @@ let test_retiming_still_clean_after_resynth () =
     Rar_retime.Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking
       p.Suite.cc
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok st -> (
     match Rar_retime.Grar.run_on_stage ~c:1.0 st with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
     | Ok r ->
       Alcotest.(check (list int)) "no violations" []
         r.Rar_retime.Grar.outcome.Rar_retime.Outcome.violations)

@@ -34,7 +34,7 @@ let stage_of_spec spec =
   let p = Suite.prepare (Generator.generate spec) in
   match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with
   | Ok st -> st
-  | Error e -> failwith e
+  | Error e -> failwith (Rar_retime.Error.to_string e)
 
 let cached_stage =
   let tbl = Hashtbl.create 8 in
@@ -46,26 +46,8 @@ let cached_stage =
       Hashtbl.replace tbl seed st;
       st
 
-let prop_results_legal =
-  QCheck.Test.make ~name:"engine placements legal and timing-clean" ~count:12
-    QCheck.(int_bound 40)
-    (fun seed ->
-      let st = cached_stage seed in
-      let check_result (o : Outcome.t) =
-        o.Outcome.violations = []
-        && o.Outcome.n_slaves = List.length o.Outcome.placements
-      in
-      let g =
-        match Grar.run_on_stage ~c:1.0 st with
-        | Ok r -> check_result r.Grar.outcome
-        | Error _ -> false
-      in
-      let b =
-        match Base.run_on_stage ~c:1.0 st with
-        | Ok r -> check_result r.Base.outcome
-        | Error _ -> false
-      in
-      g && b)
+(* Per-engine legality properties live in Test_engine now, swept over
+   the whole registry. *)
 
 let prop_engines_agree_on_objective =
   QCheck.Test.make ~name:"LP engines agree on the G-RAR objective" ~count:8
@@ -153,7 +135,7 @@ let test_regions_exclusive () =
 let test_grar_converts_targets () =
   let st = cached_stage 3 in
   match Grar.run_on_stage ~c:2.0 st with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok r ->
     (* at c = 2 every modelled conversion must be verified non-ED *)
     List.iter
@@ -165,7 +147,7 @@ let test_grar_converts_targets () =
 let test_outcome_area_formula () =
   let st = cached_stage 5 in
   match Base.run_on_stage ~c:1.5 st with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok r ->
     let o = r.Base.outcome in
     let latch = (Liberty.latch (Stage.lib st)).Liberty.seq_area in
@@ -181,7 +163,7 @@ let test_outcome_area_formula () =
 let test_sizing_noop_when_clean () =
   let st = cached_stage 7 in
   match Base.run_on_stage ~c:1.0 st with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
   | Ok r ->
     (* A second sizing pass over a clean result changes nothing. *)
     let limit = Clocking.max_delay (Stage.clocking st) in
@@ -192,11 +174,10 @@ let test_sizing_noop_when_clean () =
      with
     | Ok st' ->
       Alcotest.(check bool) "same netlist object" true (st' == r.Base.stage)
-    | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.fail (Rar_retime.Error.to_string e))
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_results_legal;
     QCheck_alcotest.to_alcotest prop_engines_agree_on_objective;
     QCheck_alcotest.to_alcotest prop_grar_beats_base_model;
     QCheck_alcotest.to_alcotest prop_deterministic;

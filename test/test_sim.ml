@@ -17,7 +17,7 @@ let stage =
          (Fig4.circuit ())
      with
     | Ok s -> s
-    | Error e -> failwith e)
+    | Error e -> failwith (Rar_retime.Error.to_string e))
 
 let design_of (st : Stage.t) (o : Outcome.t) =
   let cc = Stage.cc st in
@@ -36,13 +36,13 @@ let grar_design =
   lazy
     (match Grar.run_on_stage ~c:2.0 (Lazy.force stage) with
     | Ok r -> (r, design_of r.Grar.stage r.Grar.outcome)
-    | Error e -> failwith e)
+    | Error e -> failwith (Rar_retime.Error.to_string e))
 
 let base_design =
   lazy
     (match Base.run_on_stage ~c:2.0 (Lazy.force stage) with
     | Ok r -> (r, design_of r.Base.stage r.Base.outcome)
-    | Error e -> failwith e)
+    | Error e -> failwith (Rar_retime.Error.to_string e))
 
 let all_bits v n = Array.make n v
 
