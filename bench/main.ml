@@ -42,6 +42,11 @@ let ok = function
   | Ok v -> v
   | Error e -> failwith (Rar_retime.Error.to_string e)
 
+(* Effective pool size before the harness overrides it with set_jobs:
+   this is what `--jobs` / RAR_JOBS / the core-count default resolve
+   to, recorded in the host metadata of BENCH_eval.json. *)
+let jobs_effective = Rar_util.Pool.jobs ()
+
 (* Representative circuit for the timed kernels: s1423 is the smallest
    benchmark on which every engine behaves non-trivially. *)
 let ctx = Report.create ~names:[ "s1423" ] ~sim_cycles:50 ()
@@ -138,13 +143,12 @@ let tests =
                 (Fig4.circuit ())))));
   ]
 
-let run_benchmarks () =
+let measure_kernels ~banner tests =
   let instance = Instance.monotonic_clock in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 10) ()
   in
-  Printf.printf "== Bechamel kernels (circuit %s, monotonic clock) ==\n%!"
-    circuit;
+  Printf.printf "%s\n%!" banner;
   let kernels = ref [] in
   List.iter
     (fun test ->
@@ -165,6 +169,13 @@ let run_benchmarks () =
         ols)
     tests;
   List.rev !kernels
+
+let run_benchmarks () =
+  measure_kernels
+    ~banner:
+      (Printf.sprintf "== Bechamel kernels (circuit %s, monotonic clock) =="
+         circuit)
+    tests
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_eval.json: machine-readable perf trajectory                   *)
@@ -225,8 +236,11 @@ let write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
   in
   pr "{\n";
   pr "  \"schema\": \"rar-bench-eval/1\",\n";
-  pr "  \"host\": { \"cores\": %d, \"rar_jobs_env\": %s },\n"
+  pr
+    "  \"host\": { \"cores\": %d, \"jobs_effective\": %d, \"rar_jobs_env\": \
+     %s },\n"
     (Domain.recommended_domain_count ())
+    jobs_effective
     (match Sys.getenv_opt "RAR_JOBS" with
     | Some v -> Printf.sprintf "\"%s\"" (json_escape v)
     | None -> "null");
@@ -280,6 +294,61 @@ let run_eval_json kernels =
   Printf.printf "  all_tables   %s: %.3fs seq, %.3fs par (%.2fx)\n%!"
     (String.concat "+" table_names) tables_seq tables_par
     (tables_seq /. Float.max 1e-9 tables_par);
+  Rar_util.Pool.set_jobs 1;
+  write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
+    ~stage_seq ~stage_par ~tables_seq ~tables_par
+
+(* ------------------------------------------------------------------ *)
+(* CI bench smoke                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* RAR_BENCH_SMOKE=1 selects a seconds-long subset that pushes a tiny
+   circuit through the same Bechamel + JSON plumbing: CI validates the
+   emitted rar-bench-eval/1 document and compares the
+   smoke/classic_retiming estimate against the checked-in floor
+   (bench/smoke_floor.json), failing on a > 2x regression. *)
+
+let smoke_net =
+  lazy
+    (let spec =
+       {
+         (Option.get (Rar_circuits.Spec.find "s1196")) with
+         Rar_circuits.Spec.n_gates = 150;
+         depth = 8;
+       }
+     in
+     Rar_circuits.Generator.generate spec)
+
+let smoke_tests =
+  [
+    Test.make ~name:"smoke/classic_retiming" (Staged.stage (fun () ->
+        let lib = Rar_liberty.Liberty.default () in
+        let g =
+          Rar_retime.Classic.of_netlist ~host_registers:1 ~lib
+            (Lazy.force smoke_net)
+        in
+        let pmin = Rar_retime.Classic.min_period g in
+        ignore (ok (Rar_retime.Classic.retime g ~period:pmin))));
+  ]
+
+let run_smoke () =
+  let kernels =
+    measure_kernels
+      ~banner:"== Bechamel smoke kernels (generated 150-gate circuit) =="
+      smoke_tests
+  in
+  let par_jobs = 2 in
+  let stage_names = [ "s1196" ] in
+  let table_names = [ "s1196" ] in
+  let sim_cycles = 5 in
+  Printf.printf "\n== Wall clock (smoke): sequential vs %d-domain pool ==\n%!"
+    par_jobs;
+  let stage_seq = wall_stage_make ~jobs:1 ~names:stage_names in
+  let stage_par = wall_stage_make ~jobs:par_jobs ~names:stage_names in
+  let tables_seq = wall_all_tables ~jobs:1 ~names:table_names ~sim_cycles in
+  let tables_par =
+    wall_all_tables ~jobs:par_jobs ~names:table_names ~sim_cycles
+  in
   Rar_util.Pool.set_jobs 1;
   write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
     ~stage_seq ~stage_par ~tables_seq ~tables_par
@@ -351,8 +420,11 @@ let run_resynth_ablation () =
   show "resynthesised" net'
 
 let () =
-  let kernels = run_benchmarks () in
-  run_eval_json kernels;
-  run_cluster_ablation ();
-  run_resynth_ablation ();
-  run_tables ()
+  if Sys.getenv_opt "RAR_BENCH_SMOKE" = Some "1" then run_smoke ()
+  else begin
+    let kernels = run_benchmarks () in
+    run_eval_json kernels;
+    run_cluster_ablation ();
+    run_resynth_ablation ();
+    run_tables ()
+  end

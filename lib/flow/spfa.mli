@@ -9,6 +9,18 @@ val from_virtual_root :
     with zero-cost arcs to all nodes). [Error] names a node on a
     negative cycle. All distances are [<= 0]. *)
 
+val from_init :
+  n:int -> arcs:(int * int * int) array -> init:int array ->
+  (int array, string) result
+(** Like {!from_virtual_root} but relaxation starts from [init]
+    (copied, not mutated) instead of all-zero — the warm-start entry
+    point: potentials from a previous run over a subset of [arcs]
+    already satisfy those arcs, so only the new arcs trigger work.
+    Negative-cycle detection is unaffected by [init] (any finite start
+    finds the cycle), so the [Ok]/[Error] outcome matches the cold
+    start; the distances themselves may differ and are simply {e some}
+    feasible potential assignment. *)
+
 val from_root :
   n:int -> arcs:(int * int * int) array -> root:int ->
   (int array, string) result

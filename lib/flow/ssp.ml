@@ -72,43 +72,54 @@ let solve p =
       done;
       let dist = Array.make nn Spfa.inf in
       let parent_arc = Array.make nn (-1) in
+      let visited = Array.make nn false in
+      let heap = Heap.create () in
       let routed = ref 0. in
       let exception Infeasible in
       (try
          let continue = ref true in
          while !continue do
-           (* Dijkstra with reduced costs from [source]. *)
+           (* Dijkstra with reduced costs from [source], stopping as
+              soon as the sink settles: every node left unsettled then
+              has tentative distance >= dist(sink), so the potential
+              update below caps it at dist(sink) exactly as the full
+              run would, and the augmenting path only traverses
+              settled nodes — flows and potentials are identical to
+              the drain-everything version at a fraction of the
+              work. *)
            Array.fill dist 0 nn Spfa.inf;
            Array.fill parent_arc 0 nn (-1);
+           Array.fill visited 0 nn false;
            dist.(source) <- 0;
-           let heap = Heap.create () in
+           Heap.clear heap;
            Heap.add heap 0. source;
-           let visited = Array.make nn false in
            let rec drain () =
              match Heap.pop_min heap with
              | None -> ()
              | Some (_, u) ->
-               if not visited.(u) then begin
+               if visited.(u) then drain ()
+               else begin
                  visited.(u) <- true;
-                 Array.iter
-                   (fun ai ->
-                     let a = arcs.(ai) in
-                     if a.cap > eps then begin
-                       let rc = a.cost + pi.(u) - pi.(a.dst) in
-                       (* rc >= 0 by potential invariant *)
-                       if dist.(u) + rc < dist.(a.dst) then begin
-                         dist.(a.dst) <- dist.(u) + rc;
-                         parent_arc.(a.dst) <- ai;
-                         Heap.add heap (float_of_int dist.(a.dst)) a.dst
-                       end
-                     end)
-                   head_arr.(u);
-                 drain ()
+                 if u <> sink then begin
+                   Array.iter
+                     (fun ai ->
+                       let a = arcs.(ai) in
+                       if a.cap > eps then begin
+                         let rc = a.cost + pi.(u) - pi.(a.dst) in
+                         (* rc >= 0 by potential invariant *)
+                         if dist.(u) + rc < dist.(a.dst) then begin
+                           dist.(a.dst) <- dist.(u) + rc;
+                           parent_arc.(a.dst) <- ai;
+                           Heap.add heap (float_of_int dist.(a.dst)) a.dst
+                         end
+                       end)
+                     head_arr.(u);
+                   drain ()
+                 end
                end
-               else drain ()
            in
            drain ();
-           if dist.(sink) >= Spfa.inf then begin
+           if not visited.(sink) then begin
              if !total_supply -. !routed > 1e-6 then raise Infeasible;
              continue := false
            end
@@ -116,7 +127,8 @@ let solve p =
              (* Update potentials, find bottleneck, augment. *)
              let d_sink = dist.(sink) in
              for v = 0 to nn - 1 do
-               pi.(v) <- pi.(v) + min dist.(v) d_sink
+               pi.(v) <- pi.(v) + (if visited.(v) then min dist.(v) d_sink
+                                   else d_sink)
              done;
              let bottleneck = ref infinity in
              let v = ref sink in

@@ -28,6 +28,9 @@ type graph = {
   conns : conn list;
   self_loop_regs : int;       (* registers on self loops: constant *)
   registers_before : int;
+  mutable wd_cache : Wd.t option;
+      (* memoised sparse W/D kernel; everything else in the record is
+         immutable, so the cache is keyed on the graph value itself *)
 }
 
 let node_count g = g.n
@@ -141,99 +144,72 @@ let of_netlist ?(host_registers = 0) ~lib net =
       0 (Netlist.seqs net)
   in
   { net; lib; host_registers; n; vertex_of_gate; gate_of_vertex; delays;
-    conns = !conns; self_loop_regs = !self_loop_regs; registers_before }
+    conns = !conns; self_loop_regs = !self_loop_regs; registers_before;
+    wd_cache = None }
 
 (* ------------------------------------------------------------------ *)
-(* W / D matrices (Eq. 1-2)                                            *)
+(* W / D matrices (Eq. 1-2): sparse kernel, memoised per graph         *)
 (* ------------------------------------------------------------------ *)
 
-let big = max_int / 4
+let wd_edges g =
+  List.rev_map (fun c -> (c.src, c.dst, c.w)) g.conns
 
-let wd_matrices g =
-  let n = g.n in
-  let w = Array.make_matrix n n big in
-  let d = Array.make_matrix n n neg_infinity in
-  for v = 0 to n - 1 do
-    w.(v).(v) <- 0;
-    d.(v).(v) <- g.delays.(v)
-  done;
-  List.iter
-    (fun c ->
-      if c.src <> c.dst then begin
-        let cand_d = g.delays.(c.src) +. g.delays.(c.dst) in
-        if
-          c.w < w.(c.src).(c.dst)
-          || (c.w = w.(c.src).(c.dst) && cand_d > d.(c.src).(c.dst))
-        then begin
-          w.(c.src).(c.dst) <- c.w;
-          d.(c.src).(c.dst) <- cand_d
-        end
-      end)
-    g.conns;
-  for k = 0 to n - 1 do
-    for i = 0 to n - 1 do
-      if w.(i).(k) < big then
-        for j = 0 to n - 1 do
-          if w.(k).(j) < big then begin
-            let nw = w.(i).(k) + w.(k).(j) in
-            let nd = d.(i).(k) +. d.(k).(j) -. g.delays.(k) in
-            if nw < w.(i).(j) || (nw = w.(i).(j) && nd > d.(i).(j)) then begin
-              w.(i).(j) <- nw;
-              d.(i).(j) <- nd
-            end
-          end
-        done
-    done
-  done;
-  (w, d)
+let wd g =
+  match g.wd_cache with
+  | Some t -> t
+  | None ->
+    let t = Wd.build ~n:g.n ~delays:g.delays ~edges:(wd_edges g) in
+    g.wd_cache <- Some t;
+    t
 
-let period_of g =
-  let w, d = wd_matrices g in
-  let worst = ref 0. in
-  for i = 0 to g.n - 1 do
-    for j = 0 to g.n - 1 do
-      if w.(i).(j) = 0 && d.(i).(j) > !worst then worst := d.(i).(j)
-    done
-  done;
-  !worst
+let wd_matrices g = Wd.to_dense (wd g)
 
-let constraint_arcs g (w, d) ~period =
+let wd_matrices_dense g =
+  Wd.floyd_warshall ~n:g.n ~delays:g.delays ~edges:(wd_edges g)
+
+let period_of g = Wd.max_zero_weight_delay (wd g)
+
+(* The arc array of Eq. 3 at [period]: the fan-out arcs first, then
+   the period constraints, emitted in the dense double-scan order so
+   the downstream solvers see byte-identical input. *)
+let constraint_arcs g ~period =
+  let t = wd g in
   let arcs = ref [] in
   List.iter
     (fun c ->
       if c.src <> c.dst then arcs := (c.src, c.dst, c.w) :: !arcs)
     g.conns;
-  for u = 0 to g.n - 1 do
-    for v = 0 to g.n - 1 do
-      if u <> v && w.(u).(v) < big && d.(u).(v) > period +. 1e-9 then
-        arcs := (u, v, w.(u).(v) - 1) :: !arcs
-    done
-  done;
+  Wd.iter_over_period t ~period (fun u v w -> arcs := (u, v, w - 1) :: !arcs);
   Array.of_list !arcs
 
+(* [init] warm-starts the feasibility SPFA: potentials from a probe at
+   a larger period satisfy every arc that probe already had, and
+   shrinking the period only adds arcs, so relaxation restarts from
+   the previous fixpoint instead of from zero. Negative-cycle
+   detection (and hence the boolean) is init-independent. *)
+let feasible_from g ~period ~init =
+  Spfa.from_init ~n:g.n ~arcs:(constraint_arcs g ~period) ~init
+
 let feasible g ~period =
-  let wd = wd_matrices g in
-  match Spfa.from_virtual_root ~n:g.n ~arcs:(constraint_arcs g wd ~period) with
+  match Spfa.from_virtual_root ~n:g.n ~arcs:(constraint_arcs g ~period) with
   | Ok _ -> true
   | Error _ -> false
 
 let min_period g =
-  let _, d = wd_matrices g in
-  let values = Hashtbl.create 64 in
-  for i = 0 to g.n - 1 do
-    for j = 0 to g.n - 1 do
-      if d.(i).(j) > neg_infinity then Hashtbl.replace values d.(i).(j) ()
-    done
-  done;
-  let sorted =
-    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) values [])
-  in
-  let arr = Array.of_list sorted in
+  let arr = Wd.distinct_d_values (wd g) in
   let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let warm = ref None in
   (* the largest D is always feasible (no constraints) *)
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if feasible g ~period:arr.(mid) then hi := mid else lo := mid + 1
+    let init =
+      match !warm with Some pi -> pi | None -> Array.make g.n 0
+    in
+    match feasible_from g ~period:arr.(mid) ~init with
+    | Ok pi ->
+      warm := Some pi;
+      hi := mid
+    | Error _ -> lo := mid + 1
   done;
   arr.(!lo)
 
@@ -357,8 +333,7 @@ let retime ?(engine = Difflp.Network_simplex) g ~period =
       (Error.Invalid_input
          "Classic.retime: the closure engine requires binary retiming values")
   else begin
-    let wd = wd_matrices g in
-    let w_mat, d_mat = wd in
+    let t = wd g in
     (* Variables: vertices plus a mirror per multi-fanout driver
        (grouped by physical source so sharing matches realization). *)
     let groups = Hashtbl.create 64 in
@@ -389,13 +364,9 @@ let retime ?(engine = Difflp.Network_simplex) g ~period =
             Difflp.add_objective lp c.dst (-1. /. k))
           conns)
       groups;
-    (* Period constraints. *)
-    for u = 0 to g.n - 1 do
-      for v = 0 to g.n - 1 do
-        if u <> v && w_mat.(u).(v) < big && d_mat.(u).(v) > period +. 1e-9 then
-          Difflp.add_constraint lp ~u ~v ~bound:(w_mat.(u).(v) - 1)
-      done
-    done;
+    (* Period constraints, in the dense scan's emission order. *)
+    Wd.iter_over_period t ~period (fun u v w ->
+        Difflp.add_constraint lp ~u ~v ~bound:(w - 1));
     match Difflp.solve ~engine lp ~reference:host with
     | Error e -> Error (Error.Infeasible_lp { detail = e })
     | Ok r_all ->

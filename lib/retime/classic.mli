@@ -6,12 +6,12 @@
     consumer of the flow engines outside the binary window, so the
     closure shortcut does not apply).
 
-    - {!wd_matrices} — the [W]/[D] matrices of Eq. 1–2 by
-      lexicographic Floyd–Warshall (min registers, then max delay);
-      O(V^3), intended for the small-to-medium circuits of the
-      examples and tests;
+    - {!wd_matrices} — the [W]/[D] matrices of Eq. 1–2 via the sparse
+      per-source kernel of {!Wd} (min registers, then max delay),
+      computed once per graph and memoised;
     - {!min_period} — binary search over the distinct [D] values, each
-      feasibility check a Bellman–Ford run over Eq. 3's constraints;
+      feasibility check a Bellman–Ford run over Eq. 3's constraints,
+      warm-started from the previous feasible probe's potentials;
     - {!retime} — min-area retiming at a chosen period (Eq. 3 with the
       fanout-sharing breadths), solved by min-cost flow, realised back
       into a netlist with shared register chains. *)
@@ -38,9 +38,21 @@ val of_netlist : ?host_registers:int -> lib:Liberty.t -> Netlist.t -> graph
 
 val node_count : graph -> int
 
+val wd : graph -> Wd.t
+(** The memoised sparse W/D kernel of this graph (computed on first
+    use; every later query reuses it). *)
+
 val wd_matrices : graph -> int array array * float array array
 (** [(w, d)] with [w.(u).(v) = W(u,v)] (register-minimal path count,
-    [max_int] if unreachable) and [d.(u).(v) = D(u,v)]. *)
+    {!Wd.big} if unreachable) and [d.(u).(v) = D(u,v)]. Dense view of
+    the memoised sparse kernel; the first call per graph pays for the
+    all-pairs computation, later calls (and every other query on this
+    page) reuse it. *)
+
+val wd_matrices_dense : graph -> int array array * float array array
+(** The retained O(V^3) Floyd–Warshall reference ({!Wd.floyd_warshall})
+    — slow, bypasses the cache; tests cross-check the sparse kernel
+    against it. *)
 
 val period_of : graph -> float
 (** Current clock period (longest register-free combinational path). *)
@@ -49,6 +61,13 @@ val min_period : graph -> float
 (** Smallest period achievable by retiming. *)
 
 val feasible : graph -> period:float -> bool
+
+val constraint_arcs : graph -> period:float -> (int * int * int) array
+(** The difference-constraint arcs of Eq. 3 at [period]: one
+    [(src, dst, w)] arc per fan-out connection plus one
+    [(u, v, W(u,v) - 1)] arc per reachable pair with
+    [D(u,v) > period + 1e-9] (generated lazily from the cached sparse
+    kernel). Feasible iff retiming can meet [period]. *)
 
 type outcome = {
   r : int array;            (** per graph vertex *)

@@ -314,8 +314,16 @@ let make ?(model = Sta.Path_based) ?source ~lib ~clocking cc =
          forced by [compute_regions] above; force it regardless so the
          shared [Sta.t] stays read-only inside the workers. *)
       ignore (Sta.backward_all sta_an : float array);
+      (* Chunked dispatch with a deliberately coarse grain: a sink
+         classifies in well under a millisecond, so anything smaller
+         than a few hundred sinks is cheaper to scan in place than to
+         ship through the pool (waking a domain costs milliseconds on
+         a contended host — the BENCH_eval stage_make regression).
+         ISCAS-scale circuits (<= ~250 sinks) therefore stay on the
+         sequential path; only multi-thousand-sink designs fan out,
+         in ~50 ms tasks. *)
       let classified =
-        Rar_util.Pool.map (Netlist.outputs net) (fun s ->
+        Rar_util.Pool.map ~min_chunk:256 (Netlist.outputs net) (fun s ->
             (s, classify_sink ~sta_an ~clocking ~latch net s))
       in
       (* Sequential merge, in sink order, so the resulting tables and

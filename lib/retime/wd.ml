@@ -1,0 +1,311 @@
+(* Sparse all-pairs W/D kernel for Leiserson–Saxe retiming.
+
+   The dense formulation (Eq. 1-2) runs a lexicographic Floyd–Warshall
+   in O(V^3); this module computes the same matrices Johnson-style in
+   O(V (E log V + R log R)) where R is the per-source reachable set:
+
+   - per source, a Dijkstra over the sparse deduplicated edge set with
+     the register count [w] as the (non-negative integer) length gives
+     W(u, .);
+   - D(u, .) is then a longest-delay DP over the *tight* subgraph
+     (edges with [W(u,x) + w(e) = W(u,y)]). Every minimum-register
+     path uses only tight edges and every tight path is
+     register-minimal, so the maximum path delay over tight edges is
+     exactly D. The tight subgraph is acyclic — a tight cycle would
+     be a zero-weight cycle, which the graph construction rejects —
+     and sorting the reachable set by (W, zero-weight topological
+     rank) is a topological order of it, so one forward relaxation
+     pass suffices.
+
+   Sources fan out across the {!Rar_util.Pool} domain pool; the
+   per-source result rows are merged by index so the output is
+   identical for every pool size. *)
+
+module Pool = Rar_util.Pool
+module Heap = Rar_util.Heap
+
+let big = max_int / 4
+let eps = 1e-9
+
+type t = {
+  n : int;
+  delays : float array;
+  reach : int array array;
+      (* per source u: reachable vertices, ascending, including u *)
+  w : int array array;   (* parallel to [reach.(u)] *)
+  d : float array array; (* parallel to [reach.(u)] *)
+  by_d : int array array;
+      (* per source: indices into [reach.(u)] sorted by d descending
+         (ties by vertex ascending) — the lazy period-constraint
+         generator walks a prefix of this *)
+}
+
+let node_count t = t.n
+
+(* Deduplicate parallel edges: per (src, dst) keep the minimum w (the
+   delay tie-break of the dense initialisation is vacuous — parallel
+   edges between the same pair share endpoint delays). Self-loops are
+   ignored, as in the dense initialisation. *)
+let dedup ~n edges =
+  let best = Hashtbl.create 256 in
+  List.iter
+    (fun (u, v, w) ->
+      if u <> v then begin
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Wd.build: vertex out of range";
+        if w < 0 then invalid_arg "Wd.build: negative edge weight";
+        let key = (u * n) + v in
+        match Hashtbl.find_opt best key with
+        | Some w' when w' <= w -> ()
+        | Some _ | None -> Hashtbl.replace best key w
+      end)
+    edges;
+  best
+
+(* CSR adjacency from the deduplicated edge table, out-edges sorted by
+   destination for determinism. *)
+let csr ~n best =
+  let deg = Array.make n 0 in
+  Hashtbl.iter (fun key _ -> deg.(key / n) <- deg.(key / n) + 1) best;
+  let head = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    head.(v + 1) <- head.(v) + deg.(v)
+  done;
+  let m = head.(n) in
+  let adj_v = Array.make m 0 and adj_w = Array.make m 0 in
+  let fill = Array.copy head in
+  Hashtbl.iter
+    (fun key w ->
+      let u = key / n and v = key mod n in
+      adj_v.(fill.(u)) <- v;
+      adj_w.(fill.(u)) <- w;
+      fill.(u) <- fill.(u) + 1)
+    best;
+  for u = 0 to n - 1 do
+    let lo = head.(u) and hi = head.(u + 1) in
+    let idx = Array.init (hi - lo) (fun i -> (adj_v.(lo + i), adj_w.(lo + i))) in
+    Array.sort compare idx;
+    Array.iteri
+      (fun i (v, w) ->
+        adj_v.(lo + i) <- v;
+        adj_w.(lo + i) <- w)
+      idx
+  done;
+  (head, adj_v, adj_w)
+
+(* Topological rank of the zero-weight subgraph (Kahn, smallest vertex
+   first). Raises if a zero-weight cycle survives — the caller is
+   expected to have rejected those. *)
+let zero_rank ~n (head, adj_v, adj_w) =
+  let indeg = Array.make n 0 in
+  for u = 0 to n - 1 do
+    for i = head.(u) to head.(u + 1) - 1 do
+      if adj_w.(i) = 0 then indeg.(adj_v.(i)) <- indeg.(adj_v.(i)) + 1
+    done
+  done;
+  let rank = Array.make n 0 in
+  let module H = Set.Make (Int) in
+  let ready = ref H.empty in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := H.add v !ready
+  done;
+  let next = ref 0 in
+  while not (H.is_empty !ready) do
+    let v = H.min_elt !ready in
+    ready := H.remove v !ready;
+    rank.(v) <- !next;
+    incr next;
+    for i = head.(v) to head.(v + 1) - 1 do
+      if adj_w.(i) = 0 then begin
+        let y = adj_v.(i) in
+        indeg.(y) <- indeg.(y) - 1;
+        if indeg.(y) = 0 then ready := H.add y !ready
+      end
+    done
+  done;
+  if !next < n then invalid_arg "Wd.build: zero-weight cycle";
+  rank
+
+(* One source: Dijkstra on w, then the tight-DAG longest-delay pass. *)
+let from_source ~n ~delays ~rank (head, adj_v, adj_w) u =
+  let dist_w = Array.make n big in
+  let settled = Array.make n false in
+  dist_w.(u) <- 0;
+  let heap = Heap.create () in
+  Heap.add heap 0. u;
+  let rec drain () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (_, x) ->
+      if not settled.(x) then begin
+        settled.(x) <- true;
+        for i = head.(x) to head.(x + 1) - 1 do
+          let y = adj_v.(i) in
+          let nw = dist_w.(x) + adj_w.(i) in
+          if nw < dist_w.(y) then begin
+            dist_w.(y) <- nw;
+            Heap.add heap (float_of_int nw) y
+          end
+        done
+      end;
+      drain ()
+  in
+  drain ();
+  let reach = ref [] in
+  for v = n - 1 downto 0 do
+    if settled.(v) then reach := v :: !reach
+  done;
+  let reach = Array.of_list !reach in
+  (* Topological order of the tight DAG: (W ascending, zero-rank
+     ascending). A tight edge either strictly increases W or is a
+     zero-weight edge, which strictly increases the zero-rank. *)
+  let order = Array.copy reach in
+  Array.sort
+    (fun a b ->
+      let c = compare dist_w.(a) dist_w.(b) in
+      if c <> 0 then c else compare rank.(a) rank.(b))
+    order;
+  let dist_d = Array.make n neg_infinity in
+  dist_d.(u) <- delays.(u);
+  Array.iter
+    (fun x ->
+      let dx = dist_d.(x) in
+      for i = head.(x) to head.(x + 1) - 1 do
+        let y = adj_v.(i) in
+        if settled.(y) && dist_w.(x) + adj_w.(i) = dist_w.(y) then begin
+          let nd = dx +. delays.(y) in
+          if nd > dist_d.(y) then dist_d.(y) <- nd
+        end
+      done)
+    order;
+  let k = Array.length reach in
+  let w_row = Array.make k 0 and d_row = Array.make k 0. in
+  Array.iteri
+    (fun i v ->
+      w_row.(i) <- dist_w.(v);
+      d_row.(i) <- dist_d.(v))
+    reach;
+  let by_d = Array.init k (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare d_row.(b) d_row.(a) in
+      if c <> 0 then c else compare reach.(a) reach.(b))
+    by_d;
+  (reach, w_row, d_row, by_d)
+
+let build ~n ~delays ~edges =
+  if n <= 0 then invalid_arg "Wd.build: n <= 0";
+  if Array.length delays <> n then invalid_arg "Wd.build: delays length";
+  let adj = csr ~n (dedup ~n edges) in
+  let rank = zero_rank ~n adj in
+  let rows =
+    Pool.map ~min_chunk:32
+      (Array.init n (fun u -> u))
+      (from_source ~n ~delays ~rank adj)
+  in
+  {
+    n;
+    delays;
+    reach = Array.map (fun (r, _, _, _) -> r) rows;
+    w = Array.map (fun (_, w, _, _) -> w) rows;
+    d = Array.map (fun (_, _, d, _) -> d) rows;
+    by_d = Array.map (fun (_, _, _, b) -> b) rows;
+  }
+
+let to_dense t =
+  let w = Array.make_matrix t.n t.n big in
+  let d = Array.make_matrix t.n t.n neg_infinity in
+  for u = 0 to t.n - 1 do
+    Array.iteri
+      (fun i v ->
+        w.(u).(v) <- t.w.(u).(i);
+        d.(u).(v) <- t.d.(u).(i))
+      t.reach.(u)
+  done;
+  (w, d)
+
+let max_zero_weight_delay t =
+  let worst = ref 0. in
+  for u = 0 to t.n - 1 do
+    let w_row = t.w.(u) and d_row = t.d.(u) in
+    for i = 0 to Array.length w_row - 1 do
+      if w_row.(i) = 0 && d_row.(i) > !worst then worst := d_row.(i)
+    done
+  done;
+  !worst
+
+let distinct_d_values t =
+  let values = Hashtbl.create 64 in
+  for u = 0 to t.n - 1 do
+    Array.iter (fun d -> Hashtbl.replace values d ()) t.d.(u)
+  done;
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) values [])
+  in
+  Array.of_list sorted
+
+let iter_over_period t ~period f =
+  for u = 0 to t.n - 1 do
+    let reach = t.reach.(u)
+    and w_row = t.w.(u)
+    and d_row = t.d.(u)
+    and by_d = t.by_d.(u) in
+    (* [by_d] is sorted by d descending: the pairs with
+       [D > period + eps] are exactly a prefix. *)
+    let k = Array.length by_d in
+    let stop = ref k in
+    (let i = ref 0 in
+     while !i < !stop do
+       if d_row.(by_d.(!i)) > period +. eps then incr i else stop := !i
+     done);
+    if !stop > 0 then begin
+      let over = Array.sub by_d 0 !stop in
+      (* Re-sort the prefix by destination so the emission order matches
+         the dense ascending scan exactly. *)
+      Array.sort (fun a b -> compare reach.(a) reach.(b)) over;
+      Array.iter
+        (fun i ->
+          let v = reach.(i) in
+          if v <> u then f u v w_row.(i))
+        over
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Retained dense reference (tests cross-check the sparse kernel
+   against it)                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let floyd_warshall ~n ~delays ~edges =
+  let w = Array.make_matrix n n big in
+  let d = Array.make_matrix n n neg_infinity in
+  for v = 0 to n - 1 do
+    w.(v).(v) <- 0;
+    d.(v).(v) <- delays.(v)
+  done;
+  List.iter
+    (fun (u, v, we) ->
+      if u <> v then begin
+        let cand_d = delays.(u) +. delays.(v) in
+        if we < w.(u).(v) || (we = w.(u).(v) && cand_d > d.(u).(v)) then begin
+          w.(u).(v) <- we;
+          d.(u).(v) <- cand_d
+        end
+      end)
+    edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if w.(i).(k) < big then
+        for j = 0 to n - 1 do
+          if w.(k).(j) < big then begin
+            let nw = w.(i).(k) + w.(k).(j) in
+            let nd = d.(i).(k) +. d.(k).(j) -. delays.(k) in
+            if nw < w.(i).(j) || (nw = w.(i).(j) && nd > d.(i).(j)) then begin
+              w.(i).(j) <- nw;
+              d.(i).(j) <- nd
+            end
+          end
+        done
+    done
+  done;
+  (w, d)

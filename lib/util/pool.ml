@@ -81,27 +81,37 @@ let set_jobs j =
   | Some p when p.size <> j -> shutdown ()
   | Some _ | None -> ()
 
-let map (xs : 'a array) (f : 'a -> 'b) : 'b array =
+let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
   let n = Array.length xs in
   let size = jobs () in
-  if size <= 1 || n <= 1 || Domain.DLS.get in_worker then Array.map f xs
+  let chunk = Int.max 1 min_chunk in
+  let n_tasks = (n + chunk - 1) / chunk in
+  (* A single chunk means the pool could only serialise the work with
+     extra dispatch overhead: take the plain sequential path (this is
+     the small-input threshold that keeps tiny fan-outs off the
+     pool). *)
+  if size <= 1 || n_tasks <= 1 || Domain.DLS.get in_worker then Array.map f xs
   else begin
     let p = get_pool size in
     let results : ('b, exn * Printexc.raw_backtrace) result option array =
       Array.make n None
     in
-    let pending = ref n in
+    let pending = ref n_tasks in
     let join_lock = Mutex.create () in
     let all_done = Condition.create () in
     Mutex.lock p.lock;
-    for i = 0 to n - 1 do
+    for t = 0 to n_tasks - 1 do
+      let lo = t * chunk in
+      let hi = Int.min n (lo + chunk) - 1 in
       Queue.add
         (fun () ->
-          let r =
-            try Ok (f xs.(i))
-            with e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          results.(i) <- Some r;
+          for i = lo to hi do
+            let r =
+              try Ok (f xs.(i))
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some r
+          done;
           Mutex.lock join_lock;
           decr pending;
           if !pending = 0 then Condition.signal all_done;

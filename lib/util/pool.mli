@@ -27,11 +27,18 @@ val set_jobs : int -> unit
     a different size is already running it is drained, joined and
     re-spawned lazily at the next parallel call. *)
 
-val map : 'a array -> ('a -> 'b) -> 'b array
+val map : ?min_chunk:int -> 'a array -> ('a -> 'b) -> 'b array
 (** [map xs f] applies [f] to every element, in parallel across the
     pool, preserving order. Equivalent to [Array.map f xs] (including
     exception behaviour, up to which of several raising tasks wins:
-    the lowest-index exception is re-raised). *)
+    the lowest-index exception is re-raised).
+
+    [min_chunk] (default 1, i.e. one task per element) dispatches
+    contiguous chunks of that many elements as single pool tasks:
+    cheap per-element work should batch so the queue/lock traffic does
+    not dominate. When the input fits in one chunk the call degrades
+    to the plain sequential path without touching the pool — the
+    work-size threshold that keeps small fan-outs sequential. *)
 
 val run : (unit -> 'a) list -> 'a list
 (** [run thunks] evaluates the thunks in parallel, returning results

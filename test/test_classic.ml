@@ -120,6 +120,230 @@ let test_generated_circuit () =
     Alcotest.(check bool) "valid" true
       (Netlist.validate o.Classic.retimed = Ok ())
 
+(* ------------------------------------------------------------------ *)
+(* Sparse W/D kernel vs the retained dense Floyd–Warshall reference    *)
+(* ------------------------------------------------------------------ *)
+
+module Wd = Rar_retime.Wd
+
+(* Random retiming graph with integral delays (so path-delay sums are
+   exact in floating point regardless of association order).
+   Zero-weight edges only go forward in vertex order, so no
+   zero-weight cycle can form. *)
+let random_wd_graph seed =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let n = 2 + Random.State.int rng 7 in
+  let delays =
+    Array.init n (fun _ -> float_of_int (1 + Random.State.int rng 9))
+  in
+  let m = Random.State.int rng (3 * n) in
+  let edges =
+    List.init m (fun _ ->
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        let w =
+          if u < v then Random.State.int rng 3
+          else 1 + Random.State.int rng 2
+        in
+        (u, v, w))
+  in
+  (n, delays, edges)
+
+let prop_wd_sparse_matches_dense =
+  QCheck.Test.make ~name:"sparse W/D = dense Floyd-Warshall" ~count:500
+    QCheck.small_int
+    (fun seed ->
+      let n, delays, edges = random_wd_graph seed in
+      let t = Wd.build ~n ~delays ~edges in
+      let w_s, d_s = Wd.to_dense t in
+      let w_d, d_d = Wd.floyd_warshall ~n ~delays ~edges in
+      w_s = w_d && d_s = d_d)
+
+let prop_wd_constraints_match_dense_scan =
+  QCheck.Test.make
+    ~name:"lazy period constraints = dense scan (values and order)"
+    ~count:500 QCheck.small_int
+    (fun seed ->
+      let n, delays, edges = random_wd_graph seed in
+      let t = Wd.build ~n ~delays ~edges in
+      let w_m, d_m = Wd.floyd_warshall ~n ~delays ~edges in
+      (* probe a handful of periods spanning the D range *)
+      let rng = Random.State.make [| 0xbeef; seed |] in
+      let ds = Wd.distinct_d_values t in
+      let periods =
+        [ -1.; Random.State.float rng 50.;
+          ds.(Random.State.int rng (Array.length ds));
+          ds.(Array.length ds - 1) ]
+      in
+      List.for_all
+        (fun period ->
+          let sparse = ref [] in
+          Wd.iter_over_period t ~period (fun u v w ->
+              sparse := (u, v, w) :: !sparse);
+          let dense = ref [] in
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              if u <> v && w_m.(u).(v) < Wd.big
+                 && d_m.(u).(v) > period +. 1e-9
+              then dense := (u, v, w_m.(u).(v)) :: !dense
+            done
+          done;
+          !sparse = !dense)
+        periods)
+
+(* The same cross-check on the real circuits the rest of the file
+   uses: matrices bitwise-equal and the period-constraint stream
+   identical at every candidate period. Together these make the
+   sparse-kernel [min_period]/[retime] byte-identical to the dense
+   path (identical candidate sets, identical LP/SPFA inputs). *)
+(* D path sums are accumulated left-to-right by the sparse kernel but
+   by Floyd–Warshall's segment merges in the dense reference — the
+   same real number, associated differently, so entries may differ by
+   an ulp (~1e-16 relative). That is 6 orders of magnitude below the
+   1e-9 epsilon every downstream comparison uses; integral-delay
+   graphs (the qcheck properties above, and the correlator) are exact
+   in every association and must match bitwise. *)
+let d_matches a b =
+  a = b
+  || (a > neg_infinity && b > neg_infinity
+      && Float.abs (a -. b) <= 1e-12 *. Float.max 1. (Float.abs b))
+
+let check_circuit_matches_dense ?(exact_d = false) name g =
+  let t = Classic.wd g in
+  let w_s, d_s = Wd.to_dense t in
+  let w_d, d_d = Classic.wd_matrices_dense g in
+  Alcotest.(check bool) (name ^ ": W sparse = dense") true (w_s = w_d);
+  let n = Classic.node_count g in
+  let d_ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if
+        if exact_d then d_s.(u).(v) <> d_d.(u).(v)
+        else not (d_matches d_s.(u).(v) d_d.(u).(v))
+      then d_ok := false
+    done
+  done;
+  Alcotest.(check bool)
+    (name ^ if exact_d then ": D sparse = dense" else ": D within 1 ulp")
+    true !d_ok;
+  (* the dense constraint scan, at a spread of candidate periods:
+     same pairs, same bounds, same emission order *)
+  let candidates = Wd.distinct_d_values t in
+  let m = Array.length candidates in
+  List.iter
+    (fun period ->
+      let dense = ref [] in
+      for u = n - 1 downto 0 do
+        for v = n - 1 downto 0 do
+          if u <> v && w_d.(u).(v) < Wd.big && d_d.(u).(v) > period +. 1e-9
+          then dense := (u, v, w_d.(u).(v)) :: !dense
+        done
+      done;
+      let sparse = ref [] in
+      Wd.iter_over_period t ~period (fun u v w ->
+          sparse := (u, v, w) :: !sparse);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: constraint stream at period %g" name period)
+        true
+        (List.rev !sparse = !dense))
+    [ candidates.(0); candidates.(m / 2); candidates.(m - 1);
+      Classic.min_period g ];
+  (* End-to-end: re-run the binary search the dense path used to run
+     (dense matrices, dense constraint scan, cold SPFA) and check the
+     sparse [min_period] agrees, then compare the full [retime]
+     outcome at both periods — identical retiming vector, register
+     count and achieved period. *)
+  let dense_arcs period =
+    let arcs = ref [] in
+    for u = n - 1 downto 0 do
+      for v = n - 1 downto 0 do
+        if u <> v && w_d.(u).(v) < Wd.big && d_d.(u).(v) > period +. 1e-9
+        then arcs := (u, v, w_d.(u).(v) - 1) :: !arcs
+      done
+    done;
+    (* [constraint_arcs] at an infinite period emits no period
+       constraints: exactly the fan-out arcs of Eq. 3. *)
+    Array.append
+      (Classic.constraint_arcs g ~period:infinity)
+      (Array.of_list !arcs)
+  in
+  let values = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun d -> if d > neg_infinity then Hashtbl.replace values d ())
+        row)
+    d_d;
+  let cand_d =
+    Array.of_list
+      (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) values []))
+  in
+  let lo = ref 0 and hi = ref (Array.length cand_d - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    match
+      Rar_flow.Spfa.from_virtual_root ~n ~arcs:(dense_arcs cand_d.(mid))
+    with
+    | Ok _ -> hi := mid
+    | Error _ -> lo := mid + 1
+  done;
+  let p_dense = cand_d.(!lo) in
+  let p_sparse = Classic.min_period g in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: min_period %.17g within 1 ulp of dense %.17g" name
+       p_sparse p_dense)
+    true
+    (if exact_d then p_sparse = p_dense else d_matches p_sparse p_dense);
+  match (Classic.retime g ~period:p_sparse, Classic.retime g ~period:p_dense)
+  with
+  | Error e, _ | _, Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
+  | Ok a, Ok b ->
+    Alcotest.(check bool) (name ^ ": same retiming vector") true
+      (a.Classic.r = b.Classic.r);
+    Alcotest.(check int)
+      (name ^ ": same register count")
+      b.Classic.registers_after a.Classic.registers_after;
+    Alcotest.(check bool)
+      (name ^ ": same achieved period")
+      true
+      (a.Classic.achieved_period = b.Classic.achieved_period)
+
+let test_sparse_vs_dense_correlator () =
+  (* integral delays: every association is exact, so bitwise equal *)
+  check_circuit_matches_dense ~exact_d:true "correlator" (graph ())
+
+let test_sparse_vs_dense_fig4 () =
+  let cc = Rar_circuits.Fig4.circuit () in
+  let lib4 = Rar_circuits.Fig4.library () in
+  let g =
+    Classic.of_netlist ~host_registers:1 ~lib:lib4
+      cc.Rar_netlist.Transform.comb
+  in
+  check_circuit_matches_dense "fig4" g;
+  (* outcome sanity on the worked example *)
+  let pmin = Classic.min_period g in
+  Alcotest.(check bool) "fig4 min <= original" true
+    (pmin <= Classic.period_of g +. 1e-9);
+  match Classic.retime g ~period:pmin with
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
+  | Ok o ->
+    Alcotest.(check bool) "fig4 retimed valid" true
+      (Netlist.validate o.Classic.retimed = Ok ())
+
+let test_sparse_vs_dense_generated () =
+  let spec =
+    { (Option.get (Spec.find "s1196")) with Spec.n_gates = 150; depth = 8 }
+  in
+  let net = Generator.generate spec in
+  let lib = Liberty.default () in
+  let g = Classic.of_netlist ~host_registers:1 ~lib net in
+  check_circuit_matches_dense "s1196-small" g
+
+let test_sparse_vs_dense_s1423 () =
+  let net = Generator.generate (Option.get (Spec.find "s1423")) in
+  let lib = Liberty.default () in
+  let g = Classic.of_netlist ~host_registers:1 ~lib net in
+  check_circuit_matches_dense "s1423" g
+
 let suite =
   [
     Alcotest.test_case "correlator original period" `Quick test_period_of;
@@ -133,4 +357,14 @@ let suite =
       test_zero_cycle_rejected;
     Alcotest.test_case "generated circuit min-period" `Quick
       test_generated_circuit;
+    QCheck_alcotest.to_alcotest prop_wd_sparse_matches_dense;
+    QCheck_alcotest.to_alcotest prop_wd_constraints_match_dense_scan;
+    Alcotest.test_case "sparse = dense on correlator" `Quick
+      test_sparse_vs_dense_correlator;
+    Alcotest.test_case "sparse = dense on fig4" `Quick
+      test_sparse_vs_dense_fig4;
+    Alcotest.test_case "sparse = dense on generated s1196" `Quick
+      test_sparse_vs_dense_generated;
+    Alcotest.test_case "sparse = dense on full s1423" `Slow
+      test_sparse_vs_dense_s1423;
   ]
