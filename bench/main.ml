@@ -77,6 +77,31 @@ let sim_design =
            r.Engine.outcome.Outcome.ed_sinks;
      })
 
+(* Resilience-overhead kernels: the same solve with and without the
+   instrumentation the resilience layer adds. A far-future deadline
+   exercises the strided in-loop checks at full frequency without ever
+   firing; the verify pair isolates the optimality-certificate cost;
+   the fallback kernel times the full fail-and-retry path under an
+   injected timeout. *)
+let far_deadline () = Rar_util.Deadline.make ~budget_s:86400.
+
+let chain_lp =
+  lazy
+    (let n = 1500 in
+     let t = Difflp.create ~n in
+     for i = 0 to n - 2 do
+       Difflp.add_constraint t ~u:(i + 1) ~v:i ~bound:1
+     done;
+     Difflp.add_constraint t ~u:0 ~v:(n - 1) ~bound:1;
+     Difflp.add_objective t 0 1.0;
+     Difflp.add_objective t (n - 1) (-1.0);
+     t)
+
+let classic_graph () =
+  let p = Lazy.force prepared in
+  Rar_retime.Classic.of_netlist ~host_registers:1 ~lib:p.Suite.lib
+    p.Suite.flop_netlist
+
 let tests =
   [
     Test.make ~name:"table_i/prepare" (Staged.stage (fun () ->
@@ -126,13 +151,22 @@ let tests =
           (Rar_retime.Period_search.min_feasible ~lib:(Fig4.library ())
              (Fig4.circuit ()))));
     Test.make ~name:"ablation/classic_retiming" (Staged.stage (fun () ->
-        let p = Lazy.force prepared in
-        let g =
-          Rar_retime.Classic.of_netlist ~host_registers:1 ~lib:p.Suite.lib
-            p.Suite.flop_netlist
-        in
+        let g = classic_graph () in
         let pmin = Rar_retime.Classic.min_period g in
         ignore (ok (Rar_retime.Classic.retime g ~period:pmin))));
+    Test.make ~name:"resilience/classic_deadline" (Staged.stage (fun () ->
+        let g = classic_graph () in
+        let deadline = far_deadline () in
+        let pmin = Rar_retime.Classic.min_period ~deadline g in
+        ignore (ok (Rar_retime.Classic.retime ~deadline g ~period:pmin))));
+    Test.make ~name:"resilience/solve_verify" (Staged.stage (fun () ->
+        ignore (Difflp.solve (Lazy.force chain_lp) ~reference:0)));
+    Test.make ~name:"resilience/solve_noverify" (Staged.stage (fun () ->
+        ignore (Difflp.solve ~verify:false (Lazy.force chain_lp) ~reference:0)));
+    Test.make ~name:"resilience/fallback_timeout" (Staged.stage (fun () ->
+        Rar_resilience.Faults.configure [ Rar_resilience.Faults.Timeout ];
+        Fun.protect ~finally:Rar_resilience.Faults.use_env (fun () ->
+            ignore (Difflp.solve (Lazy.force chain_lp) ~reference:0))));
     Test.make ~name:"fig1/clocking" (Staged.stage (fun () ->
         let c = Clocking.of_p 1.0 in
         ignore (Format.asprintf "%a" Clocking.pp_diagram c)));
@@ -225,8 +259,18 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
-    ~stage_seq ~stage_par ~tables_seq ~tables_par =
+(* Overhead ratios derived from kernel pairs, for the "resilience"
+   section of BENCH_eval.json (and the smoke job's <5% deadline gate). *)
+let overhead_ratios kernels pairs =
+  List.filter_map
+    (fun (label, num, den) ->
+      match (List.assoc_opt num kernels, List.assoc_opt den kernels) with
+      | Some a, Some b when b > 0. -> Some (label, a /. b)
+      | _ -> None)
+    pairs
+
+let write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
+    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par =
   let path = "BENCH_eval.json" in
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
@@ -252,6 +296,16 @@ let write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
         (if i = List.length kernels - 1 then "" else ","))
     kernels;
   pr "  ],\n";
+  pr "  \"resilience\": {%s},\n"
+    (if resilience = [] then " "
+     else
+       " "
+       ^ String.concat ", "
+           (List.map
+              (fun (label, r) ->
+                Printf.sprintf "\"%s\": %.4f" (json_escape label) r)
+              resilience)
+       ^ " ");
   pr "  \"wallclock\": {\n";
   pr
     "    \"stage_make\": { \"circuits\": [%s], \"seq_s\": %.4f, \"par_s\": \
@@ -295,8 +349,25 @@ let run_eval_json kernels =
     (String.concat "+" table_names) tables_seq tables_par
     (tables_seq /. Float.max 1e-9 tables_par);
   Rar_util.Pool.set_jobs 1;
-  write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
-    ~stage_seq ~stage_par ~tables_seq ~tables_par
+  let resilience =
+    overhead_ratios kernels
+      [
+        ( "deadline_overhead_ratio",
+          "g/resilience/classic_deadline",
+          "g/ablation/classic_retiming" );
+        ( "verify_overhead_ratio",
+          "g/resilience/solve_verify",
+          "g/resilience/solve_noverify" );
+        ( "fallback_overhead_ratio",
+          "g/resilience/fallback_timeout",
+          "g/resilience/solve_verify" );
+      ]
+  in
+  List.iter
+    (fun (label, r) -> Printf.printf "  %-28s %12.3fx\n%!" label r)
+    resilience;
+  write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
+    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par
 
 (* ------------------------------------------------------------------ *)
 (* CI bench smoke                                                      *)
@@ -319,16 +390,21 @@ let smoke_net =
      in
      Rar_circuits.Generator.generate spec)
 
+let smoke_graph () =
+  let lib = Rar_liberty.Liberty.default () in
+  Rar_retime.Classic.of_netlist ~host_registers:1 ~lib (Lazy.force smoke_net)
+
 let smoke_tests =
   [
     Test.make ~name:"smoke/classic_retiming" (Staged.stage (fun () ->
-        let lib = Rar_liberty.Liberty.default () in
-        let g =
-          Rar_retime.Classic.of_netlist ~host_registers:1 ~lib
-            (Lazy.force smoke_net)
-        in
+        let g = smoke_graph () in
         let pmin = Rar_retime.Classic.min_period g in
         ignore (ok (Rar_retime.Classic.retime g ~period:pmin))));
+    Test.make ~name:"smoke/classic_deadline" (Staged.stage (fun () ->
+        let g = smoke_graph () in
+        let deadline = far_deadline () in
+        let pmin = Rar_retime.Classic.min_period ~deadline g in
+        ignore (ok (Rar_retime.Classic.retime ~deadline g ~period:pmin))));
   ]
 
 let run_smoke () =
@@ -350,8 +426,19 @@ let run_smoke () =
     wall_all_tables ~jobs:par_jobs ~names:table_names ~sim_cycles
   in
   Rar_util.Pool.set_jobs 1;
-  write_bench_eval ~kernels ~par_jobs ~stage_names ~table_names ~sim_cycles
-    ~stage_seq ~stage_par ~tables_seq ~tables_par
+  let resilience =
+    overhead_ratios kernels
+      [
+        ( "deadline_overhead_ratio",
+          "g/smoke/classic_deadline",
+          "g/smoke/classic_retiming" );
+      ]
+  in
+  List.iter
+    (fun (label, r) -> Printf.printf "  %-28s %12.3fx\n%!" label r)
+    resilience;
+  write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
+    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par
 
 let run_tables () =
   let names =

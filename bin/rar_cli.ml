@@ -103,6 +103,18 @@ let c_arg =
     value & opt float 1.0
     & info [ "c" ] ~docv:"C" ~doc:"EDL area overhead factor (0.5 .. 2).")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the solve; when exceeded the run aborts \
+           cleanly with a timeout error instead of running to completion.")
+
+let make_deadline =
+  Option.map (fun budget_s -> Rar_util.Deadline.make ~budget_s)
+
 let ctx names sim_cycles = Report.create ?names ~sim_cycles ()
 
 (* --- rar table ----------------------------------------------------- *)
@@ -228,10 +240,10 @@ let run_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
   in
-  let run verbose jobs name approach model format c =
+  let run verbose jobs name approach model format c deadline =
     setup verbose jobs;
     let cfg = Engine.config ~model ~c approach in
-    match Engine.load_and_run cfg name with
+    match Engine.load_and_run ?deadline:(make_deadline deadline) cfg name with
     | Error err -> `Error (false, Error.to_string err)
     | Ok r ->
       (match format with
@@ -247,7 +259,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ jobs_arg $ name_arg $ approach_arg
-        $ model_arg $ format_arg $ c_arg))
+        $ model_arg $ format_arg $ c_arg $ deadline_arg))
 
 (* --- rar bench ----------------------------------------------------- *)
 
@@ -269,13 +281,13 @@ let bench_cmd =
       match libfile with
       | None -> Ok None
       | Some path ->
-        Result.map Option.some (Rar_liberty.Liberty_io.parse_file path)
+        Result.map Option.some (Rar_liberty.Liberty_io.parse_file_diag path)
     in
     match lib with
-    | Error e -> `Error (false, e)
+    | Error d -> `Error (false, Rar_util.Diag.to_string d)
     | Ok lib -> (
-      match Bench_io.parse_file file with
-      | Error e -> `Error (false, e)
+      match Bench_io.parse_file_diag file with
+      | Error d -> `Error (false, Rar_util.Diag.to_string d)
       | Ok net ->
         let p = Suite.prepare ?lib net in
         if format <> Report.Json then

@@ -101,5 +101,5 @@ let load_all ?lib () =
     (fun name ->
       match load ?lib name with
       | Ok p -> p
-      | Error e -> failwith e)
+      | Error e -> failwith ("Suite.load_all: " ^ e))
     Spec.names

@@ -13,6 +13,8 @@ module Vl = Rar_vl.Vl
 module Movable = Rar_vl.Movable
 module Suite = Rar_circuits.Suite
 module Json = Rar_util.Json
+module Deadline = Rar_util.Deadline
+module Faults = Rar_resilience.Faults
 
 type spec = Initial | Base | Grar | Vl of Vl.variant | Movable
 
@@ -49,6 +51,7 @@ type result = {
   outcome : Outcome.t;
   stage : Stage.t;
   extras : extras;
+  events : Difflp.fallback_event list;
   wall_s : float;
 }
 
@@ -121,18 +124,52 @@ let config_json (cfg : config) =
       ("movable_moves", Json.Int cfg.movable_moves);
     ]
 
-let run (cfg : config) stage =
+(* The engine boundary is where cooperative-cancellation and
+   fault-injection exceptions become typed errors: nothing above this
+   layer sees a raise. *)
+let guard f =
+  try f () with
+  | Deadline.Expired { elapsed; phase } ->
+    Error (Error.Timeout { elapsed; phase })
+  | Faults.Injected detail -> Error (Error.Worker_crashed { detail })
+
+(* An explicit [?deadline] wins; otherwise a [deadline=<ms>] fault
+   profile arms one, so the whole tier-1 suite can run deadline-bound
+   from the environment. *)
+let effective_deadline deadline =
+  match deadline with
+  | Some _ -> deadline
+  | None -> (
+    match Faults.deadline_s () with
+    | Some budget_s -> Some (Deadline.make ~budget_s)
+    | None -> None)
+
+let run ?deadline (cfg : config) stage =
   let t0 = Rar_util.Clock.now_s () in
+  let deadline = effective_deadline deadline in
   let engine = cfg.solver in
+  let events = ref [] in
+  let on_fallback e = events := e :: !events in
   let finish spec outcome stage extras =
-    Ok { spec; outcome; stage; extras; wall_s = Rar_util.Clock.now_s () -. t0 }
+    Ok
+      {
+        spec;
+        outcome;
+        stage;
+        extras;
+        events = List.rev !events;
+        wall_s = Rar_util.Clock.now_s () -. t0;
+      }
   in
+  guard @@ fun () ->
   match cfg.spec with
   | Initial ->
     let outcome = Outcome.of_initial ~c:cfg.c stage in
     finish Initial outcome stage No_extras
   | Base -> (
-    match Base_retiming.run_on_stage ?engine ~c:cfg.c stage with
+    match
+      Base_retiming.run_on_stage ?deadline ~on_fallback ?engine ~c:cfg.c stage
+    with
     | Error _ as e -> e
     | Ok r ->
       finish Base r.Base_retiming.outcome r.Base_retiming.stage
@@ -143,7 +180,7 @@ let run (cfg : config) stage =
              modelled_non_ed = [];
            }))
   | Grar -> (
-    match Grar.run_on_stage ?engine ~c:cfg.c stage with
+    match Grar.run_on_stage ?deadline ~on_fallback ?engine ~c:cfg.c stage with
     | Error _ as e -> e
     | Ok r ->
       finish Grar r.Grar.outcome r.Grar.stage
@@ -155,7 +192,8 @@ let run (cfg : config) stage =
            }))
   | Vl variant -> (
     match
-      Vl.run_on_stage ?engine ~post_swap:cfg.post_swap ~c:cfg.c variant stage
+      Vl.run_on_stage ?deadline ~on_fallback ?engine ~post_swap:cfg.post_swap
+        ~c:cfg.c variant stage
     with
     | Error _ as e -> e
     | Ok r ->
@@ -175,7 +213,7 @@ let run (cfg : config) stage =
            "movable: stage lacks its two-phase source netlist")
     | Some two_phase -> (
       match
-        Movable.run ?engine ~model:(Stage.model stage)
+        Movable.run ?deadline ~on_fallback ?engine ~model:(Stage.model stage)
           ~max_moves:cfg.movable_moves ~lib:(Stage.lib stage)
           ~clocking:(Stage.clocking stage) ~c:cfg.c two_phase
       with
@@ -190,18 +228,19 @@ let run (cfg : config) stage =
                  r.Movable.fixed.Vl.outcome.Outcome.total_area;
              })))
 
-let run_prepared (cfg : config) (p : Suite.prepared) =
+let run_prepared ?deadline (cfg : config) (p : Suite.prepared) =
+  guard @@ fun () ->
   match
     Stage.make ~model:cfg.model ~source:p.Suite.two_phase ~lib:p.Suite.lib
       ~clocking:p.Suite.clocking p.Suite.cc
   with
   | Error _ as e -> e
-  | Ok stage -> run cfg stage
+  | Ok stage -> run ?deadline cfg stage
 
-let load_and_run cfg circuit =
+let load_and_run ?deadline cfg circuit =
   match Suite.load circuit with
   | Error _ -> Error (Error.Unknown_circuit circuit)
-  | Ok p -> run_prepared cfg p
+  | Ok p -> run_prepared ?deadline cfg p
 
 let sink_names stage sinks =
   Json.List
@@ -236,12 +275,27 @@ let extras_json stage = function
         ("fixed_total_area", Json.Float fixed_total_area);
       ]
 
+let event_json (e : Difflp.fallback_event) =
+  Json.Obj
+    [
+      ("failed", Json.String (Difflp.engine_name e.Difflp.failed));
+      ("retried", Json.String (Difflp.engine_name e.Difflp.retried));
+      ("reason", Json.String e.Difflp.reason);
+    ]
+
 let result_json ?circuit cfg r =
   let o = r.outcome in
   let circuit_field =
     match circuit with
     | None -> []
     | Some c -> [ ("circuit", Json.String c) ]
+  in
+  (* Emitted only when a fallback actually fired, so the default-path
+     JSON is byte-identical to the pre-resilience renderer. *)
+  let events_field =
+    match r.events with
+    | [] -> []
+    | evs -> [ ("solver_events", Json.List (List.map event_json evs)) ]
   in
   Json.Obj
     ([ ("schema", Json.String "rar-run/1");
@@ -264,5 +318,6 @@ let result_json ?circuit cfg r =
                 Json.Float (Clocking.period (Stage.clocking r.stage)) );
             ] );
         ("extras", extras_json r.stage r.extras);
-        ("wall_s", Json.Float r.wall_s);
-      ])
+      ]
+    @ events_field
+    @ [ ("wall_s", Json.Float r.wall_s) ])

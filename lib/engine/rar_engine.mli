@@ -67,6 +67,8 @@ type result = {
   outcome : Outcome.t;  (** verified placement, ED set, areas *)
   stage : Stage.t;  (** stage the outcome was verified on (post sizing) *)
   extras : extras;
+  events : Difflp.fallback_event list;
+      (** solver-fallback events, chronological; empty on a clean run *)
   wall_s : float;
 }
 
@@ -116,18 +118,33 @@ val config_json : config -> Json.t
 
 (** {1 Running} *)
 
-val run : config -> Stage.t -> (result, Error.t) Stdlib.result
+val run :
+  ?deadline:Rar_util.Deadline.t ->
+  config -> Stage.t -> (result, Error.t) Stdlib.result
 (** Run the configured engine on a prepared stage. The [Movable]
     engine perturbs the full two-phase netlist, so its stage must
     carry a {!Stage.source}; otherwise it fails with
-    [Invalid_input]. *)
+    [Invalid_input].
+
+    [?deadline] bounds the run cooperatively: the solver inner loops
+    check it and an overrun surfaces as [Error (Timeout _)] — the run
+    terminates within the budget plus one check interval. Without an
+    explicit deadline, a [deadline=<ms>] profile in [RAR_FAULTS] arms
+    one. Certificate-failed or injected-faulty solves retry on the
+    alternate flow solver; each successful retry is recorded in the
+    result's [events]. An injected pool-task kill surfaces as
+    [Error (Worker_crashed _)]. *)
 
 val run_prepared :
+  ?deadline:Rar_util.Deadline.t ->
   config -> Suite.prepared -> (result, Error.t) Stdlib.result
 (** Build the stage (with its two-phase source attached) from a
-    prepared benchmark, then {!run}. *)
+    prepared benchmark, then {!run}. Stage analysis runs under the
+    same exception guard as {!run}. *)
 
-val load_and_run : config -> string -> (result, Error.t) Stdlib.result
+val load_and_run :
+  ?deadline:Rar_util.Deadline.t ->
+  config -> string -> (result, Error.t) Stdlib.result
 (** [load_and_run cfg name] loads the named benchmark and runs;
     unknown names yield [Unknown_circuit]. *)
 
@@ -136,4 +153,6 @@ val load_and_run : config -> string -> (result, Error.t) Stdlib.result
 val result_json : ?circuit:string -> config -> result -> Json.t
 (** ["rar-run/1"] schema: [schema], [approach], optional [circuit],
     [config], [outcome] (slave/master/ED counts, areas, violation and
-    ED sink names, period), [extras] and [wall_s]. *)
+    ED sink names, period), [extras], [solver_events] (present only
+    when a solver fallback fired — each entry carries [failed],
+    [retried], [reason]) and [wall_s]. *)

@@ -1,4 +1,5 @@
 module Vec = Rar_util.Vec
+module Faults = Rar_resilience.Faults
 
 type cons = { u : int; v : int; bound : int }
 
@@ -75,25 +76,75 @@ let normalise reference r =
   let base = r.(reference) in
   Array.map (fun x -> x - base) r
 
-let solve_flow t ~reference ~use_simplex =
+type fallback_event = { failed : engine; retried : engine; reason : string }
+
+(* Stable per-LP fault key: depends only on the LP shape, never on call
+   order, so fault firing is reproducible under any domain scheduling. *)
+let fault_key t = (t.n * 1_000_003) + Vec.length t.cons
+
+let solve_flow ?deadline ?on_fallback ?(verify = true) t ~reference
+    ~use_simplex =
   if not (balanced t) then
     Error "Difflp.solve: objective coefficients do not sum to zero"
   else begin
     let p = to_problem t in
+    let key = fault_key t in
     let from_potentials pi = normalise reference (Array.map (fun x -> -x) pi) in
-    if use_simplex then
-      match Netsimplex.solve p with
-      | Ok s -> Ok (from_potentials s.Netsimplex.potentials)
-      | Error _ -> (
-        (* Pivot-cap or similar: fall back to SSP, which shares the
-           feasibility checks. *)
-        match Ssp.solve p with
-        | Ok s -> Ok (from_potentials s.Ssp.potentials)
-        | Error e -> Error e)
-    else
-      match Ssp.solve p with
-      | Ok s -> Ok (from_potentials s.Ssp.potentials)
-      | Error e -> Error e
+    (* Gate every accepted solution on the LP-duality certificate; a
+       solver bug (or an injected [badcert] fault) is caught here and
+       routed to the alternate engine instead of reaching the caller. *)
+    let certify ~faulty eng ~flow ~potentials =
+      if not verify then Ok potentials
+      else begin
+        let report = Certificate.check p ~flow ~potentials in
+        let ok = Certificate.is_optimal report in
+        let ok =
+          if faulty && Faults.flip_certificate ~key then not ok else ok
+        in
+        if ok then Ok potentials
+        else
+          Error
+            (Format.asprintf
+               "%s solution failed the optimality certificate (%a)"
+               (engine_name eng) Certificate.pp report)
+      end
+    in
+    (* Faults only ever perturb the primary attempt ([faulty] = true);
+       the fallback runs clean, so a faulted run still converges. *)
+    let attempt ~faulty eng =
+      if faulty && Faults.solver_timeout ~key then
+        Error (Printf.sprintf "%s: injected timeout" (engine_name eng))
+      else
+        match eng with
+        | Network_simplex -> (
+          match Netsimplex.solve ?deadline p with
+          | Ok s ->
+            certify ~faulty eng ~flow:s.Netsimplex.flow
+              ~potentials:s.Netsimplex.potentials
+          | Error e -> Error e)
+        | Ssp -> (
+          match Ssp.solve ?deadline p with
+          | Ok s ->
+            certify ~faulty eng ~flow:s.Ssp.flow ~potentials:s.Ssp.potentials
+          | Error e -> Error e)
+        | Closure -> Error "Difflp.solve_flow: closure is not a flow engine"
+    in
+    let primary, secondary =
+      if use_simplex then (Network_simplex, Ssp) else (Ssp, Network_simplex)
+    in
+    match attempt ~faulty:true primary with
+    | Ok pi -> Ok (from_potentials pi)
+    | Error reason -> (
+      match attempt ~faulty:false secondary with
+      | Ok pi ->
+        (match on_fallback with
+        | Some f -> f { failed = primary; retried = secondary; reason }
+        | None -> ());
+        Ok (from_potentials pi)
+      | Error e2 ->
+        Error
+          (Printf.sprintf "%s: %s; %s fallback: %s" (engine_name primary)
+             reason (engine_name secondary) e2))
   end
 
 let solve_closure t ~reference =
@@ -135,12 +186,15 @@ let solve_closure t ~reference =
     | Ok o ->
       Ok (Array.init t.n (fun v -> if o.Closure.selected.(v) then -1 else 0)))
 
-let solve ?(engine = Network_simplex) t ~reference =
+let solve ?deadline ?on_fallback ?verify ?(engine = Network_simplex) t
+    ~reference =
   check_var t reference "solve";
   let result =
     match engine with
-    | Network_simplex -> solve_flow t ~reference ~use_simplex:true
-    | Ssp -> solve_flow t ~reference ~use_simplex:false
+    | Network_simplex ->
+      solve_flow ?deadline ?on_fallback ?verify t ~reference ~use_simplex:true
+    | Ssp ->
+      solve_flow ?deadline ?on_fallback ?verify t ~reference ~use_simplex:false
     | Closure -> solve_closure t ~reference
   in
   match result with

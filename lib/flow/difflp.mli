@@ -33,12 +33,32 @@ type engine = Network_simplex | Ssp | Closure
 val engine_name : engine -> string
 val all_engines : engine list
 
-val solve : ?engine:engine -> t -> reference:int -> (int array, string) result
+type fallback_event = { failed : engine; retried : engine; reason : string }
+(** A primary flow solve failed (solver error, expired-free timeout
+    injection, or certificate rejection) and the alternate engine
+    produced a certified solution instead. Reported through
+    [?on_fallback] only when the retry {e succeeds}; a doubly-failed
+    solve reports a combined [Error] instead. *)
+
+val solve :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(fallback_event -> unit) ->
+  ?verify:bool ->
+  ?engine:engine -> t -> reference:int -> (int array, string) result
 (** Optimal [r] with [r(reference) = 0]. Default engine is
-    [Network_simplex] (with automatic fallback to [Ssp] if its pivot
-    cap trips). The [Closure] engine additionally requires that every
-    feasible normalised solution lies in [{-1, 0}] — the caller's bound
-    constraints must enforce this, as retiming's region bounds do. *)
+    [Network_simplex]. The [Closure] engine additionally requires that
+    every feasible normalised solution lies in [{-1, 0}] — the caller's
+    bound constraints must enforce this, as retiming's region bounds
+    do.
+
+    For the two flow engines every accepted solution is checked against
+    the LP-duality certificate ({!Certificate.is_optimal}) unless
+    [~verify:false]; on solver error or certificate failure the
+    alternate flow engine ([Network_simplex] <-> [Ssp]) is retried
+    before an error is reported, and a successful retry is announced
+    via [?on_fallback]. [?deadline] is threaded into both solvers and
+    expiry raises [Rar_util.Deadline.Expired] (it is {e not} caught by
+    the fallback chain — a budget overrun aborts the whole solve). *)
 
 val solve_brute :
   t -> lo:int -> hi:int -> reference:int -> (int array * float) option

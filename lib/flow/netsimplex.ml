@@ -15,7 +15,7 @@ type arc = {
   mutable in_tree : bool;
 }
 
-let solve ?max_pivots p =
+let solve ?deadline ?max_pivots p =
   let n = Problem.node_count p in
   let m = Problem.arc_count p in
   let max_pivots =
@@ -90,6 +90,9 @@ let solve ?max_pivots p =
            incr pivots;
            if !pivots > max_pivots then
              raise (Infeasible "pivot limit exceeded (possible cycling)");
+           (match deadline with
+           | None -> ()
+           | Some d -> Rar_util.Deadline.check d ~phase:"netsimplex");
            let e = arcs.(!entering) in
            let u = e.src and v = e.dst in
            (* Walk both endpoints to their LCA, recording (arc, direction)

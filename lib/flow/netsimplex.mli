@@ -18,7 +18,11 @@ type solution = {
   pivots : int;            (** pivot count, for the ablation bench *)
 }
 
-val solve : ?max_pivots:int -> Problem.t -> (solution, string) result
+val solve :
+  ?deadline:Rar_util.Deadline.t ->
+  ?max_pivots:int -> Problem.t -> (solution, string) result
 (** [max_pivots] defaults to [200 * max 64 (arc count)]. Errors on
     unbalanced demand, negative cycles / unbounded objective,
-    infeasible demands, or pivot-cap exhaustion. *)
+    infeasible demands, or pivot-cap exhaustion. [?deadline] is checked
+    cooperatively once per pivot (phase ["netsimplex"]); expiry raises
+    [Rar_util.Deadline.Expired]. *)

@@ -14,7 +14,7 @@ let inf = max_int / 2
    arcs, so they are identical to what any relaxation order computes;
    the enqueue counter is kept as a termination backstop and reports
    the same boolean. *)
-let run ~n ~arcs ~init =
+let run ?deadline ~n ~arcs ~init () =
   let m = Array.length arcs in
   (* CSR adjacency *)
   let head = Array.make (n + 1) 0 in
@@ -86,6 +86,9 @@ let run ~n ~arcs ~init =
   in
   (try
      while not (Queue.is_empty q) do
+       (match deadline with
+       | None -> ()
+       | Some d -> Rar_util.Deadline.check d ~phase:"spfa");
        let u = Queue.pop q in
        in_queue.(u) <- false;
        (* Skip stale labels torn out of the forest since enqueue. *)
@@ -125,13 +128,14 @@ let run ~n ~arcs ~init =
   | Some v -> Error (Printf.sprintf "negative cycle (through node %d)" v)
   | None -> Ok dist
 
-let from_virtual_root ~n ~arcs = run ~n ~arcs ~init:(Array.make n 0)
+let from_virtual_root ?deadline ~n ~arcs () =
+  run ?deadline ~n ~arcs ~init:(Array.make n 0) ()
 
-let from_init ~n ~arcs ~init =
+let from_init ?deadline ~n ~arcs ~init () =
   if Array.length init <> n then invalid_arg "Spfa.from_init: init length";
-  run ~n ~arcs ~init
+  run ?deadline ~n ~arcs ~init ()
 
-let from_root ~n ~arcs ~root =
+let from_root ?deadline ~n ~arcs ~root () =
   let init = Array.make n inf in
   init.(root) <- 0;
-  run ~n ~arcs ~init
+  run ?deadline ~n ~arcs ~init ()

@@ -1,16 +1,24 @@
 (** Bellman–Ford/SPFA shortest distances over arc lists, used for
     initial potentials, feasibility certificates and negative-cycle
-    detection. Distances are integers (arc costs are integers). *)
+    detection. Distances are integers (arc costs are integers).
+
+    Every entry point accepts a cooperative [?deadline] token
+    ({!Rar_util.Deadline}), checked once per queue pop (clock-sampled
+    every {!Rar_util.Deadline.stride} checks); expiry raises
+    [Deadline.Expired] with phase ["spfa"]. *)
 
 val from_virtual_root :
-  n:int -> arcs:(int * int * int) array -> (int array, string) result
+  ?deadline:Rar_util.Deadline.t ->
+  n:int -> arcs:(int * int * int) array -> unit ->
+  (int array, string) result
 (** Distances [d] with [d.(v) <= d.(u) + cost] for every arc
     [(u, v, cost)], starting every node at distance 0 (a virtual root
     with zero-cost arcs to all nodes). [Error] names a node on a
     negative cycle. All distances are [<= 0]. *)
 
 val from_init :
-  n:int -> arcs:(int * int * int) array -> init:int array ->
+  ?deadline:Rar_util.Deadline.t ->
+  n:int -> arcs:(int * int * int) array -> init:int array -> unit ->
   (int array, string) result
 (** Like {!from_virtual_root} but relaxation starts from [init]
     (copied, not mutated) instead of all-zero — the warm-start entry
@@ -22,7 +30,8 @@ val from_init :
     feasible potential assignment. *)
 
 val from_root :
-  n:int -> arcs:(int * int * int) array -> root:int ->
+  ?deadline:Rar_util.Deadline.t ->
+  n:int -> arcs:(int * int * int) array -> root:int -> unit ->
   (int array, string) result
 (** Single-source variant; unreachable nodes hold [inf]. Errors on a
     negative cycle reachable from [root]. *)

@@ -19,7 +19,7 @@ type rarc = {
   problem_arc : int;   (* id in the problem, -1 for virtual; forward only *)
 }
 
-let solve p =
+let solve ?deadline p =
   let n = Problem.node_count p in
   if Float.abs (Problem.total_demand p) > 1e-6 then
     Error "Ssp.solve: total demand is not zero"
@@ -30,7 +30,7 @@ let solve p =
           let a = Problem.arc p i in
           (a.Problem.src, a.Problem.dst, a.Problem.cost))
     in
-    match Spfa.from_virtual_root ~n ~arcs:plain with
+    match Spfa.from_virtual_root ?deadline ~n ~arcs:plain () with
     | Error e -> Error ("Ssp.solve: " ^ e)
     | Ok pi0 ->
       let nn = n + 2 in
@@ -79,6 +79,9 @@ let solve p =
       (try
          let continue = ref true in
          while !continue do
+           (match deadline with
+           | None -> ()
+           | Some d -> Rar_util.Deadline.force_check d ~phase:"ssp");
            (* Dijkstra with reduced costs from [source], stopping as
               soon as the sink settles: every node left unsettled then
               has tentative distance >= dist(sink), so the potential
@@ -97,6 +100,9 @@ let solve p =
              match Heap.pop_min heap with
              | None -> ()
              | Some (_, u) ->
+               (match deadline with
+               | None -> ()
+               | Some d -> Rar_util.Deadline.check d ~phase:"ssp");
                if visited.(u) then drain ()
                else begin
                  visited.(u) <- true;

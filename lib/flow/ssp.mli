@@ -14,6 +14,10 @@ type solution = {
   objective : float;        (** [sum cost * flow] *)
 }
 
-val solve : Problem.t -> (solution, string) result
+val solve :
+  ?deadline:Rar_util.Deadline.t -> Problem.t -> (solution, string) result
 (** Errors on: unbalanced total demand, a negative-cost cycle
-    (primal infeasible), or demands that cannot be routed. *)
+    (primal infeasible), or demands that cannot be routed. [?deadline]
+    is checked at the top of every augmentation (unconditionally) and
+    per Dijkstra pop (strided), phase ["ssp"]; it is also threaded into
+    the initial SPFA pass. Expiry raises [Rar_util.Deadline.Expired]. *)

@@ -1,4 +1,16 @@
 module B = Netlist.Builder
+module Diag = Rar_util.Diag
+module Faults = Rar_resilience.Faults
+
+(* Internal structured error; [line = 0] marks the unlocated errors the
+   legacy [parse] reported without a "line N:" prefix (builder-phase
+   duplicate/undriven-signal checks, freeze failures). *)
+type err = { line : int; col : int; msg : string }
+
+let legacy_of_err e =
+  if e.line > 0 then Printf.sprintf "line %d: %s" e.line e.msg else e.msg
+
+let diag_of_err ?file e = Diag.make ?file ~line:e.line ~col:e.col e.msg
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -114,14 +126,20 @@ let tokenize text =
   let toks = ref [] in
   let n = String.length text in
   let line = ref 1 in
+  let bol = ref 0 in
+  (* beginning-of-line index, for error columns *)
   let error = ref None in
   let i = ref 0 in
   let push t = toks := (t, !line) :: !toks in
+  let fail_at pos msg =
+    error := Some { line = !line; col = pos - !bol + 1; msg }
+  in
   while !i < n && !error = None do
     let c = text.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
@@ -140,7 +158,7 @@ let tokenize text =
         find (!i + 2)
       in
       match close with
-      | None -> error := Some (!line, "unterminated attribute")
+      | None -> fail_at !i "unterminated attribute"
       | Some j ->
         let body = String.sub text (!i + 2) (j - !i - 2) in
         let body = String.trim body in
@@ -150,8 +168,8 @@ let tokenize text =
           let v = String.trim (String.sub body (eq + 1) (String.length body - eq - 1)) in
           match int_of_string_opt v with
           | Some d -> push (Attr_drive d)
-          | None -> error := Some (!line, "bad drive attribute"))
-        | _ -> error := Some (!line, "unknown attribute"));
+          | None -> fail_at !i "bad drive attribute")
+        | _ -> fail_at !i "unknown attribute");
         i := j + 2
     end
     else if c = '\\' then begin
@@ -187,7 +205,7 @@ let tokenize text =
     end
   done;
   match !error with
-  | Some (l, msg) -> Error (Printf.sprintf "line %d: %s" l msg)
+  | Some e -> Error e
   | None -> Ok (List.rev !toks)
 
 let kind_of_keyword = function
@@ -207,13 +225,15 @@ let kind_of_keyword = function
   | "latch_s" -> Some (`Seq Netlist.Slave)
   | _ -> None
 
-let parse text =
+let parse_err text =
+  let text = Faults.truncate text in
   match tokenize text with
   | Error _ as e -> e
   | Ok toks -> (
     let toks = ref toks in
     let line () = match !toks with (_, l) :: _ -> l | [] -> 0 in
-    let fail msg = Error (Printf.sprintf "line %d: %s" (line ()) msg) in
+    let fail msg = Error { line = line (); col = 0; msg } in
+    try
     let next () =
       match !toks with
       | t :: rest ->
@@ -382,15 +402,49 @@ let parse text =
                     | `Out id -> B.connect b id ~fanins))
                 (List.rev !pending);
               match !errors with
-              | e :: _ -> Error e
-              | [] -> ( try Ok (B.freeze b) with Failure m -> Error m))
+              | e :: _ -> Error { line = 0; col = 0; msg = e }
+              | [] -> (
+                try Ok (B.freeze b)
+                with Failure m -> Error { line = 0; col = 0; msg = m }))
           end
         end))
-    | _ -> fail "expected 'module'")
+    | _ -> fail "expected 'module'"
+    with
+    | (Stack_overflow | Out_of_memory) as e -> raise e
+    | e ->
+      (* Mutated input must never escape as an exception. *)
+      Error
+        {
+          line = 0;
+          col = 0;
+          msg =
+            Printf.sprintf "Verilog_io.parse: unexpected exception %s"
+              (Printexc.to_string e);
+        })
+
+let parse text =
+  match parse_err text with
+  | Ok net -> Ok net
+  | Error e -> Error (legacy_of_err e)
+
+let parse_diag ?file text =
+  match parse_err text with
+  | Ok net -> Ok net
+  | Error e -> Error (diag_of_err ?file e)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      really_input_string ic len)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text = read_file path in
   parse text
+
+let parse_file_diag path =
+  match read_file path with
+  | exception Sys_error msg -> Error (Diag.make msg)
+  | text -> parse_diag ~file:path text

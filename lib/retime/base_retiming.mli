@@ -22,6 +22,8 @@ type t = {
 }
 
 val run :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
   ?model:Sta.model ->
   lib:Liberty.t ->
@@ -30,7 +32,10 @@ val run :
   Transform.comb_circuit ->
   (t, Error.t) result
 (** [c] only affects the area accounting of the after-the-fact EDL
-    assignment, never the optimisation. *)
+    assignment, never the optimisation. [?deadline] and [?on_fallback]
+    are threaded into the LP solve (see {!Rgraph.solve}). *)
 
 val run_on_stage :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine -> c:float -> Stage.t -> (t, Error.t) result

@@ -187,15 +187,18 @@ let constraint_arcs g ~period =
    shrinking the period only adds arcs, so relaxation restarts from
    the previous fixpoint instead of from zero. Negative-cycle
    detection (and hence the boolean) is init-independent. *)
-let feasible_from g ~period ~init =
-  Spfa.from_init ~n:g.n ~arcs:(constraint_arcs g ~period) ~init
+let feasible_from ?deadline g ~period ~init =
+  Spfa.from_init ?deadline ~n:g.n ~arcs:(constraint_arcs g ~period) ~init ()
 
-let feasible g ~period =
-  match Spfa.from_virtual_root ~n:g.n ~arcs:(constraint_arcs g ~period) with
+let feasible ?deadline g ~period =
+  match
+    Spfa.from_virtual_root ?deadline ~n:g.n
+      ~arcs:(constraint_arcs g ~period) ()
+  with
   | Ok _ -> true
   | Error _ -> false
 
-let min_period g =
+let min_period ?deadline g =
   let arr = Wd.distinct_d_values (wd g) in
   let lo = ref 0 and hi = ref (Array.length arr - 1) in
   let warm = ref None in
@@ -205,7 +208,7 @@ let min_period g =
     let init =
       match !warm with Some pi -> pi | None -> Array.make g.n 0
     in
-    match feasible_from g ~period:arr.(mid) ~init with
+    match feasible_from ?deadline g ~period:arr.(mid) ~init with
     | Ok pi ->
       warm := Some pi;
       hi := mid
@@ -327,7 +330,8 @@ let realize g r =
     !deferred;
   B.freeze b
 
-let retime ?(engine = Difflp.Network_simplex) g ~period =
+let retime ?deadline ?on_fallback ?(engine = Difflp.Network_simplex) g
+    ~period =
   if engine = Difflp.Closure then
     Error
       (Error.Invalid_input
@@ -367,7 +371,7 @@ let retime ?(engine = Difflp.Network_simplex) g ~period =
     (* Period constraints, in the dense scan's emission order. *)
     Wd.iter_over_period t ~period (fun u v w ->
         Difflp.add_constraint lp ~u ~v ~bound:(w - 1));
-    match Difflp.solve ~engine lp ~reference:host with
+    match Difflp.solve ?deadline ?on_fallback ~engine lp ~reference:host with
     | Error e -> Error (Error.Infeasible_lp { detail = e })
     | Ok r_all ->
       let r = Array.sub r_all 0 g.n in

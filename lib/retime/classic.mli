@@ -57,10 +57,11 @@ val wd_matrices_dense : graph -> int array array * float array array
 val period_of : graph -> float
 (** Current clock period (longest register-free combinational path). *)
 
-val min_period : graph -> float
-(** Smallest period achievable by retiming. *)
+val min_period : ?deadline:Rar_util.Deadline.t -> graph -> float
+(** Smallest period achievable by retiming. [?deadline] bounds the
+    feasibility probes (phase ["spfa"]). *)
 
-val feasible : graph -> period:float -> bool
+val feasible : ?deadline:Rar_util.Deadline.t -> graph -> period:float -> bool
 
 val constraint_arcs : graph -> period:float -> (int * int * int) array
 (** The difference-constraint arcs of Eq. 3 at [period]: one
@@ -82,7 +83,10 @@ type outcome = {
 }
 
 val retime :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine -> graph -> period:float -> (outcome, Error.t) result
 (** Min-area retiming meeting [period]. [engine] defaults to the
     network simplex; the closure engine is rejected (solutions are not
-    binary). *)
+    binary). [?deadline] and [?on_fallback] behave as in
+    {!Rgraph.solve}. *)

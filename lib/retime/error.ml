@@ -8,6 +8,8 @@ type t =
   | Retype_diverged of { rounds : int }
   | Search_failed of { detail : string }
   | Invalid_input of string
+  | Timeout of { elapsed : float; phase : string }
+  | Worker_crashed of { detail : string }
 
 let to_string = function
   | Unknown_circuit name -> Printf.sprintf "unknown circuit %S" name
@@ -28,6 +30,10 @@ let to_string = function
       "virtual-library retyping failed to converge after %d rounds" rounds
   | Search_failed { detail } -> Printf.sprintf "period search: %s" detail
   | Invalid_input detail -> detail
+  | Timeout { elapsed; phase } ->
+    Printf.sprintf "deadline exceeded after %.3fs (in %s)" elapsed phase
+  | Worker_crashed { detail } ->
+    Printf.sprintf "worker task crashed: %s" detail
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
@@ -41,3 +47,5 @@ let kind = function
   | Retype_diverged _ -> "retype_diverged"
   | Search_failed _ -> "search_failed"
   | Invalid_input _ -> "invalid_input"
+  | Timeout _ -> "timeout"
+  | Worker_crashed _ -> "worker_crashed"

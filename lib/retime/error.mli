@@ -30,6 +30,13 @@ type t =
   | Invalid_input of string
       (** caller error: bad argument, unusable netlist, missing
           context (e.g. the movable engine without its source) *)
+  | Timeout of { elapsed : float; phase : string }
+      (** a cooperative deadline ({!Rar_util.Deadline}) expired;
+          [phase] names the solver loop that noticed (["netsimplex"],
+          ["spfa"], ["ssp"], ["vl-retype"], ["movable-search"]) *)
+  | Worker_crashed of { detail : string }
+      (** a parallel pool task died with an unexpected exception (or
+          an injected [poolkill] fault) *)
 
 val to_string : t -> string
 (** One-line diagnostic, suitable for CLI [stderr]. *)

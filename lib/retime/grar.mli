@@ -23,6 +23,8 @@ type t = {
 }
 
 val run :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
   ?model:Sta.model ->
   lib:Liberty.t ->
@@ -32,9 +34,13 @@ val run :
   (t, Error.t) result
 (** [model] defaults to the journal version's [Path_based]; pass
     [Gate_based] to reproduce the DAC'17 model (Table II compares
-    both). [engine] defaults to the paper's network simplex. *)
+    both). [engine] defaults to the paper's network simplex.
+    [?deadline] and [?on_fallback] are threaded into the LP solve (see
+    {!Rgraph.solve}). *)
 
 val run_on_stage :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
   c:float ->
   Stage.t ->

@@ -60,9 +60,14 @@ val modelled_latch_count : t -> int array -> float
     independent of any tie-break terms in the LP objective. *)
 
 val solve :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine -> t -> (int array, Error.t) result
 (** Solve and return the full variable assignment (normalised to
-    [r(host) = 0]). *)
+    [r(host) = 0]). [?deadline] and [?on_fallback] are passed to
+    {!Difflp.solve}: deadline expiry raises [Rar_util.Deadline.Expired]
+    (converted to {!Error.Timeout} at the engine boundary), and a
+    successful alternate-solver retry is reported via [?on_fallback]. *)
 
 val r_of_node : t -> int array -> int -> int
 (** Retiming value of a comb node under a solution. *)

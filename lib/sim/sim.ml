@@ -38,7 +38,9 @@ let eval_gate net values v =
     let ins = Array.map (fun u -> values.(u)) (Netlist.fanins net v) in
     Cell_kind.eval fn ins
   | Netlist.Input | Netlist.Output | Netlist.Seq _ ->
-    invalid_arg "Sim.eval_gate"
+    invalid_arg
+      (Printf.sprintf "Sim.eval_gate: node %S is not a gate"
+         (Netlist.node_name net v))
 
 let run_cycle ?(on_event = fun ~time:_ ~node:_ ~value:_ -> ()) design ~prev ~next =
   let net = design.staged in

@@ -1,1 +1,18 @@
 let now_s = Unix.gettimeofday
+
+(* Monotonized wall clock: [Unix.gettimeofday] can step backwards under
+   NTP adjustment, which would let a deadline budget un-expire (or a
+   negative elapsed time leak into diagnostics). Readings are clamped
+   against the largest value any domain has seen, so the sequence is
+   non-decreasing process-wide. *)
+let mono_floor = Atomic.make neg_infinity
+
+let monotonic_s () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let floor = Atomic.get mono_floor in
+    if t > floor then
+      if Atomic.compare_and_set mono_floor floor t then t else clamp ()
+    else floor
+  in
+  clamp ()

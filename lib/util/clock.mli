@@ -9,3 +9,10 @@
 val now_s : unit -> float
 (** Seconds since the epoch ([Unix.gettimeofday]); subtract two
     readings for an elapsed-time measurement. *)
+
+val monotonic_s : unit -> float
+(** Like {!now_s} but guaranteed non-decreasing across the whole
+    process (readings are clamped against the maximum seen so far, in
+    any domain). Use for deadline accounting, where a backwards clock
+    step must never extend a budget. During a backwards step the value
+    stays flat, so elapsed time is under-, never over-estimated. *)

@@ -1,0 +1,32 @@
+type t = {
+  start : float;
+  budget_s : float;
+  mutable countdown : int;
+      (* checks remaining until the next clock sample; a benign data
+         race under parallel use only delays a sample by a stride *)
+}
+
+exception Expired of { elapsed : float; phase : string }
+
+let stride = 256
+
+let make ~budget_s =
+  if not (budget_s >= 0.) then
+    invalid_arg "Rar_util.Deadline.make: budget must be non-negative";
+  { start = Clock.monotonic_s (); budget_s; countdown = 0 }
+
+let budget_s t = t.budget_s
+let elapsed_s t = Clock.monotonic_s () -. t.start
+let remaining_s t = t.budget_s -. elapsed_s t
+let expired t = elapsed_s t >= t.budget_s
+
+let force_check t ~phase =
+  let elapsed = elapsed_s t in
+  if elapsed >= t.budget_s then raise (Expired { elapsed; phase })
+
+let check t ~phase =
+  t.countdown <- t.countdown - 1;
+  if t.countdown <= 0 then begin
+    t.countdown <- stride;
+    force_check t ~phase
+  end

@@ -1,0 +1,47 @@
+(** Cooperative deadline / cancellation token.
+
+    A token carries a wall-clock budget measured on the monotonized
+    clock ({!Clock.monotonic_s}). Long-running kernels thread a token
+    down to their inner loops and call {!check} there; once the budget
+    is exhausted the next check raises {!Expired}, which the engine
+    layer converts into the typed [Error.Timeout]. Cancellation is
+    purely cooperative — nothing is interrupted between checks, so a
+    computation terminates within [budget + one check interval] (one
+    pivot, one queue pop, one augmentation, …).
+
+    {!check} only samples the clock every {!stride} calls (an internal
+    countdown), so it is cheap enough for per-iteration use in solver
+    inner loops; {!force_check} samples unconditionally and suits
+    coarse-grained loops (a retype round, a candidate move). Tokens may
+    be shared across domains: the countdown is racy by design, which at
+    worst delays one sample by a stride. *)
+
+type t
+
+exception Expired of { elapsed : float; phase : string }
+(** Raised by a check once the budget is exhausted. [phase] names the
+    loop that noticed (["netsimplex"], ["spfa"], ["ssp"],
+    ["vl-retype"], ["movable-search"], …); [elapsed] is the wall time
+    since {!make}. *)
+
+val make : budget_s:float -> t
+(** Start the budget now. A zero budget expires at the first check.
+    @raise Invalid_argument on a negative budget. *)
+
+val check : t -> phase:string -> unit
+(** Strided check for inner loops: decrements the countdown and, every
+    {!stride} calls, samples the clock and raises {!Expired} if the
+    budget is spent. *)
+
+val force_check : t -> phase:string -> unit
+(** Sample the clock unconditionally; raise {!Expired} if spent. *)
+
+val expired : t -> bool
+(** Non-raising probe. *)
+
+val elapsed_s : t -> float
+val remaining_s : t -> float
+val budget_s : t -> float
+
+val stride : int
+(** Number of {!check} calls between clock samples (256). *)

@@ -38,7 +38,11 @@ let worker p () =
     else begin
       let task = Queue.pop p.queue in
       Mutex.unlock p.lock;
-      task ();
+      (* A raising task must not kill its domain: [map]'s task bodies
+         capture exceptions for the submitter, so anything escaping
+         here has no one left to report to — swallow it and keep the
+         worker alive for the next batch. *)
+      (try task () with _ -> ());
       loop ()
     end
   in
@@ -81,7 +85,22 @@ let set_jobs j =
   | Some p when p.size <> j -> shutdown ()
   | Some _ | None -> ()
 
+(* Optional per-element hook, run just before each element is
+   evaluated (on both the sequential and pooled paths). Installed by
+   the fault-injection layer to simulate a task dying mid-batch; when
+   [None] the paths are byte-for-byte the unhooked behaviour. *)
+let task_hook : (unit -> unit) option ref = ref None
+let set_task_hook h = task_hook := h
+
 let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
+  let f =
+    match !task_hook with
+    | None -> f
+    | Some hook ->
+      fun x ->
+        hook ();
+        f x
+  in
   let n = Array.length xs in
   let size = jobs () in
   let chunk = Int.max 1 min_chunk in
@@ -105,17 +124,24 @@ let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
       let hi = Int.min n (lo + chunk) - 1 in
       Queue.add
         (fun () ->
-          for i = lo to hi do
-            let r =
-              try Ok (f xs.(i))
-              with e -> Error (e, Printexc.get_raw_backtrace ())
-            in
-            results.(i) <- Some r
-          done;
-          Mutex.lock join_lock;
-          decr pending;
-          if !pending = 0 then Condition.signal all_done;
-          Mutex.unlock join_lock)
+          (* The batch counter must complete even if something raises
+             outside the per-element capture below (it cannot today,
+             but a stuck [pending] would hang the submitter forever —
+             the one failure mode this module must never have). *)
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock join_lock;
+              decr pending;
+              if !pending = 0 then Condition.signal all_done;
+              Mutex.unlock join_lock)
+            (fun () ->
+              for i = lo to hi do
+                let r =
+                  try Ok (f xs.(i))
+                  with e -> Error (e, Printexc.get_raw_backtrace ())
+                in
+                results.(i) <- Some r
+              done))
         p.queue
     done;
     Condition.broadcast p.nonempty;
@@ -129,7 +155,7 @@ let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
       (function
         | Some (Ok v) -> v
         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | None -> assert false)
+        | None -> failwith "Rar_util.Pool.map: task finished without a result")
       results
   end
 

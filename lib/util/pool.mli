@@ -43,3 +43,12 @@ val map : ?min_chunk:int -> 'a array -> ('a -> 'b) -> 'b array
 val run : (unit -> 'a) list -> 'a list
 (** [run thunks] evaluates the thunks in parallel, returning results
     in the original order. *)
+
+val set_task_hook : (unit -> unit) option -> unit
+(** Install (or clear) a hook run immediately before every element a
+    {!map} call evaluates — on the sequential path too, so behaviour
+    does not depend on the pool threshold. A raising hook behaves
+    exactly like a raising task: captured per element and re-raised at
+    the submitter's join. This is the fault-injection seam used by
+    [Rar_resilience.Faults] to simulate a killed pool task; with no
+    hook installed the code path is unchanged. *)

@@ -78,10 +78,12 @@ let apply_backward net m g s =
 
 let total_area (r : Vl.t) = r.Vl.outcome.Outcome.total_area
 
-let run ?engine ?model ?(max_moves = 6) ~lib ~clocking ~c two_phase =
+let run ?deadline ?on_fallback ?engine ?model ?(max_moves = 6) ~lib ~clocking
+    ~c two_phase =
   let t0 = Rar_util.Clock.now_s () in
   let run_vl net =
-    Vl.run ?engine ?model ~lib ~clocking ~c Vl.Rvl (Transform.extract_comb net)
+    Vl.run ?deadline ?on_fallback ?engine ?model ~lib ~clocking ~c Vl.Rvl
+      (Transform.extract_comb net)
   in
   match run_vl two_phase with
   | Error _ as e -> e
@@ -107,7 +109,11 @@ let run ?engine ?model ?(max_moves = 6) ~lib ~clocking ~c two_phase =
         fixed.Vl.outcome.Outcome.ed_sinks
     in
     ignore comb;
-    let rec search net best tried kept = function
+    let rec search net best tried kept names =
+      (match deadline with
+      | None -> ()
+      | Some d -> Rar_util.Deadline.force_check d ~phase:"movable-search");
+      match names with
       | [] -> (net, best, tried, kept)
       | _ when tried >= max_moves -> (net, best, tried, kept)
       | name :: rest -> (

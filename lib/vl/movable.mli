@@ -27,6 +27,8 @@ type t = {
 }
 
 val run :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Rar_flow.Difflp.fallback_event -> unit) ->
   ?engine:Rar_flow.Difflp.engine ->
   ?model:Rar_sta.Sta.model ->
   ?max_moves:int ->
@@ -36,4 +38,7 @@ val run :
   Netlist.t ->
   (t, Rar_retime.Error.t) result
 (** [two_phase] netlist in, as produced by {!Rar_netlist.Transform.to_two_phase}.
-    [max_moves] (default 6) bounds the candidate evaluations. *)
+    [max_moves] (default 6) bounds the candidate evaluations.
+    [?deadline] is force-checked before every candidate move (phase
+    ["movable-search"]) and threaded into each inner VL run;
+    [?on_fallback] reports successful alternate-solver retries. *)

@@ -47,6 +47,8 @@ type t = {
 }
 
 val run :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
   ?model:Sta.model ->
   ?post_swap:bool ->
@@ -58,9 +60,14 @@ val run :
   (t, Error.t) result
 (** [post_swap] (default true) enables the §V post-retiming step that
     swaps unnecessary error-detecting masters back to normal latches;
-    disabling it reproduces the paper's "-0.36%" RVL data point. *)
+    disabling it reproduces the paper's "-0.36%" RVL data point.
+    [?deadline] is force-checked at the top of every retype round
+    (phase ["vl-retype"]) besides being threaded into each LP solve;
+    [?on_fallback] reports successful alternate-solver retries. *)
 
 val run_on_stage :
+  ?deadline:Rar_util.Deadline.t ->
+  ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
   ?post_swap:bool ->
   c:float ->

@@ -16,4 +16,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("resynth", Test_resynth.suite);
       ("classic", Test_classic.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -281,7 +281,7 @@ let check_circuit_matches_dense ?(exact_d = false) name g =
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     match
-      Rar_flow.Spfa.from_virtual_root ~n ~arcs:(dense_arcs cand_d.(mid))
+      Rar_flow.Spfa.from_virtual_root ~n ~arcs:(dense_arcs cand_d.(mid)) ()
     with
     | Ok _ -> hi := mid
     | Error _ -> lo := mid + 1

@@ -68,7 +68,7 @@ let test_unbalanced_demand () =
 
 let test_negative_cycle_detected () =
   let arcs = [| (0, 1, -1); (1, 2, 0); (2, 0, 0) |] in
-  match Spfa.from_virtual_root ~n:3 ~arcs with
+  match Spfa.from_virtual_root ~n:3 ~arcs () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "spfa should detect the negative cycle"
 

@@ -101,6 +101,23 @@ let test_pool_exception_propagation () =
               20 i))
     [ 1; 4 ]
 
+let test_pool_worker_survives_raise () =
+  (* A raising task used to kill its worker domain, leaving the next
+     batch waiting on a pool with fewer live workers; the worker loop
+     must outlive anything a task throws. *)
+  with_jobs 4 (fun () ->
+      for round = 1 to 3 do
+        let xs = Array.init 64 Fun.id in
+        (match Pool.map xs (fun x -> if x mod 2 = 0 then raise (Boom x) else x)
+         with
+        | _ -> Alcotest.fail "expected exception from pool task"
+        | exception Boom _ -> ());
+        let r = Pool.map xs (fun x -> x + 1) in
+        Alcotest.(check int)
+          (Printf.sprintf "pool alive after raising batch %d" round)
+          64 r.(63)
+      done)
+
 let test_pool_size_clamp () =
   Pool.set_jobs (-3);
   Alcotest.(check int) "clamped to 1" 1 (Pool.jobs ());
@@ -168,6 +185,8 @@ let suite =
     Alcotest.test_case "pool preserves order" `Quick test_pool_map_ordering;
     Alcotest.test_case "pool propagates exceptions" `Quick
       test_pool_exception_propagation;
+    Alcotest.test_case "pool workers survive raising tasks" `Quick
+      test_pool_worker_survives_raise;
     Alcotest.test_case "pool size-1 fallback" `Quick test_pool_size_clamp;
     Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
     QCheck_alcotest.to_alcotest prop_heap_matches_sort;
