@@ -44,10 +44,24 @@ let jobs_arg =
           "Worker domains for parallel evaluation (default: $(b,RAR_JOBS) \
            or the machine's core count minus one; 1 = fully sequential).")
 
+(* Where the rar-trace/1 file goes. Exported via [at_exit] so a single
+   arming point covers every subcommand, including ones that fail with
+   an error after doing real work. *)
+let trace_sink : string option ref = ref None
+
+let () = at_exit (fun () -> Option.iter Rar_obs.Trace.export_file !trace_sink)
+
 (* Shared [--verbose]/[--jobs] preamble: every evaluation-heavy
-   command starts with [const setup $ verbose_arg $ jobs_arg]. *)
+   command starts with [const setup $ verbose_arg $ jobs_arg].
+   [RAR_TRACE=FILE] arms tracing for any subcommand; the [run]
+   subcommand's [--trace] flag takes precedence over it. *)
 let setup verbose jobs =
   setup_logs verbose;
+  (match Sys.getenv_opt "RAR_TRACE" with
+  | Some path when path <> "" && !trace_sink = None ->
+    trace_sink := Some path;
+    Rar_obs.Trace.arm ()
+  | Some _ | None -> ());
   Option.iter Rar_util.Pool.set_jobs jobs
 
 let circuits_arg =
@@ -240,18 +254,65 @@ let run_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
   in
-  let run verbose jobs name approach model format c deadline =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a structured execution trace (engine, solver, STA and \
+             kernel spans) and write it to FILE as Chrome trace-event JSON \
+             ($(b,rar-trace/1)) — loadable in chrome://tracing or Perfetto. \
+             Overrides $(b,RAR_TRACE).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect solver/kernel counters (network-simplex pivots, SPFA \
+             relaxations, SSP augmentations, STA pin relaxations, W/D memo \
+             hits, solver fallbacks) and pool gauges; with \
+             $(b,--format json) they are embedded as a $(b,metrics) object \
+             in the rar-run/1 document, otherwise printed after the \
+             summary line.")
+  in
+  let run verbose jobs name approach model format c deadline trace metrics =
     setup verbose jobs;
+    (match trace with
+    | Some path ->
+      trace_sink := Some path;
+      Rar_obs.Trace.clear ();
+      Rar_obs.Trace.arm ()
+    | None -> ());
+    if metrics then begin
+      Rar_obs.Metrics.reset ();
+      Rar_obs.Metrics.arm ()
+    end;
     let cfg = Engine.config ~model ~c approach in
     match Engine.load_and_run ?deadline:(make_deadline deadline) cfg name with
     | Error err -> `Error (false, Error.to_string err)
     | Ok r ->
+      let metrics_json =
+        if metrics then Some (Rar_obs.Metrics.snapshot_json ()) else None
+      in
       (match format with
       | Report.Json ->
-        print_endline (Json.to_string (Engine.result_json ~circuit:name cfg r))
+        print_endline
+          (Json.to_string
+             (Engine.result_json ~circuit:name ?metrics:metrics_json cfg r))
       | Report.Text | Report.Csv ->
         pp_outcome name (Engine.label approach) c r.Engine.outcome
-          r.Engine.wall_s);
+          r.Engine.wall_s;
+        if metrics then begin
+          let counters, gauges = Rar_obs.Metrics.snapshot () in
+          List.iter
+            (fun (k, v) -> Printf.printf "  counter %-20s %d\n" k v)
+            counters;
+          List.iter
+            (fun (k, v) -> Printf.printf "  gauge   %-20s %d\n" k v)
+            gauges
+        end);
       `Ok ()
   in
   Cmd.v
@@ -259,7 +320,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ jobs_arg $ name_arg $ approach_arg
-        $ model_arg $ format_arg $ c_arg $ deadline_arg))
+        $ model_arg $ format_arg $ c_arg $ deadline_arg $ trace_arg
+        $ metrics_arg))
 
 (* --- rar bench ----------------------------------------------------- *)
 

@@ -145,6 +145,10 @@ let effective_deadline deadline =
     | None -> None)
 
 let run ?deadline (cfg : config) stage =
+  (* The span sits inside [guard] below via Fun.protect semantics:
+     Trace.span records its End event before the exception reaches the
+     guard, so traces stay balanced across Timeout / Worker_crashed. *)
+  Rar_obs.Trace.span ("engine/run:" ^ name cfg.spec) @@ fun () ->
   let t0 = Rar_util.Clock.now_s () in
   let deadline = effective_deadline deadline in
   let engine = cfg.solver in
@@ -231,6 +235,7 @@ let run ?deadline (cfg : config) stage =
 let run_prepared ?deadline (cfg : config) (p : Suite.prepared) =
   guard @@ fun () ->
   match
+    Rar_obs.Trace.span ("engine/prepare:" ^ name cfg.spec) @@ fun () ->
     Stage.make ~model:cfg.model ~source:p.Suite.two_phase ~lib:p.Suite.lib
       ~clocking:p.Suite.clocking p.Suite.cc
   with
@@ -283,7 +288,7 @@ let event_json (e : Difflp.fallback_event) =
       ("reason", Json.String e.Difflp.reason);
     ]
 
-let result_json ?circuit cfg r =
+let result_json ?circuit ?metrics cfg r =
   let o = r.outcome in
   let circuit_field =
     match circuit with
@@ -296,6 +301,11 @@ let result_json ?circuit cfg r =
     match r.events with
     | [] -> []
     | evs -> [ ("solver_events", Json.List (List.map event_json evs)) ]
+  in
+  (* Same contract as [events_field]: the [metrics] object appears only
+     when the caller passes a snapshot (the CLI's [--metrics]). *)
+  let metrics_field =
+    match metrics with None -> [] | Some m -> [ ("metrics", m) ]
   in
   Json.Obj
     ([ ("schema", Json.String "rar-run/1");
@@ -320,4 +330,5 @@ let result_json ?circuit cfg r =
         ("extras", extras_json r.stage r.extras);
       ]
     @ events_field
+    @ metrics_field
     @ [ ("wall_s", Json.Float r.wall_s) ])

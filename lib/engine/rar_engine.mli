@@ -150,9 +150,13 @@ val load_and_run :
 
 (** {1 Structured output} *)
 
-val result_json : ?circuit:string -> config -> result -> Json.t
+val result_json : ?circuit:string -> ?metrics:Json.t -> config -> result -> Json.t
 (** ["rar-run/1"] schema: [schema], [approach], optional [circuit],
     [config], [outcome] (slave/master/ED counts, areas, violation and
     ED sink names, period), [extras], [solver_events] (present only
     when a solver fallback fired — each entry carries [failed],
-    [retried], [reason]) and [wall_s]. *)
+    [retried], [reason]), an optional [metrics] object (present only
+    when [?metrics] is passed — the CLI forwards
+    [Rar_obs.Metrics.snapshot_json] under [--metrics]) and [wall_s].
+    Without [?metrics] the document is unchanged from previous
+    releases. *)

@@ -78,6 +78,8 @@ let normalise reference r =
 
 type fallback_event = { failed : engine; retried : engine; reason : string }
 
+let m_fallbacks = Rar_obs.Metrics.counter "solver_fallbacks"
+
 (* Stable per-LP fault key: depends only on the LP shape, never on call
    order, so fault firing is reproducible under any domain scheduling. *)
 let fault_key t = (t.n * 1_000_003) + Vec.length t.cons
@@ -137,6 +139,7 @@ let solve_flow ?deadline ?on_fallback ?(verify = true) t ~reference
     | Error reason -> (
       match attempt ~faulty:false secondary with
       | Ok pi ->
+        Rar_obs.Metrics.incr m_fallbacks;
         (match on_fallback with
         | Some f -> f { failed = primary; retried = secondary; reason }
         | None -> ());
@@ -188,6 +191,7 @@ let solve_closure t ~reference =
 
 let solve ?deadline ?on_fallback ?verify ?(engine = Network_simplex) t
     ~reference =
+  Rar_obs.Trace.span "difflp/solve" @@ fun () ->
   check_var t reference "solve";
   let result =
     match engine with
@@ -195,7 +199,7 @@ let solve ?deadline ?on_fallback ?verify ?(engine = Network_simplex) t
       solve_flow ?deadline ?on_fallback ?verify t ~reference ~use_simplex:true
     | Ssp ->
       solve_flow ?deadline ?on_fallback ?verify t ~reference ~use_simplex:false
-    | Closure -> solve_closure t ~reference
+    | Closure -> Rar_obs.Trace.span "solver/closure" (fun () -> solve_closure t ~reference)
   in
   match result with
   | Error _ as e -> e

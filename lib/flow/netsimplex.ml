@@ -15,7 +15,10 @@ type arc = {
   mutable in_tree : bool;
 }
 
+let m_pivots = Rar_obs.Metrics.counter "netsimplex_pivots"
+
 let solve ?deadline ?max_pivots p =
+  Rar_obs.Trace.span "solver/network-simplex" @@ fun () ->
   let n = Problem.node_count p in
   let m = Problem.arc_count p in
   let max_pivots =
@@ -70,6 +73,12 @@ let solve ?deadline ?max_pivots p =
     let pivots = ref 0 in
     let cursor = ref 0 in
     let total_arcs = m + n in
+    (* Publish the pivot count once per solve — also when the deadline
+       expires mid-pivot — so the metric total stays deterministic
+       across pool sizes without atomic traffic in the pivot loop. *)
+    Fun.protect
+      ~finally:(fun () -> Rar_obs.Metrics.add m_pivots !pivots)
+    @@ fun () ->
     (try
        let improving = ref true in
        while !improving do

@@ -14,7 +14,10 @@ let inf = max_int / 2
    arcs, so they are identical to what any relaxation order computes;
    the enqueue counter is kept as a termination backstop and reports
    the same boolean. *)
+let m_relax = Rar_obs.Metrics.counter "spfa_relaxations"
+
 let run ?deadline ~n ~arcs ~init () =
+  Rar_obs.Trace.span "solver/spfa" @@ fun () ->
   let m = Array.length arcs in
   (* CSR adjacency *)
   let head = Array.make (n + 1) 0 in
@@ -51,6 +54,7 @@ let run ?deadline ~n ~arcs ~init () =
     end
   done;
   let bad = ref None in
+  let relax = ref 0 in
   (* Detach v from its parent's child list. *)
   let unlink v =
     let p = pred.(v) in
@@ -84,6 +88,12 @@ let run ?deadline ~n ~arcs ~init () =
     done;
     !hit
   in
+  (* Publish once per run (also when the deadline expires mid-pass):
+     the relaxation count depends only on the fixpoint computation, so
+     the counter total is deterministic across pool sizes. *)
+  Fun.protect
+    ~finally:(fun () -> Rar_obs.Metrics.add m_relax !relax)
+  @@ fun () ->
   (try
      while not (Queue.is_empty q) do
        (match deadline with
@@ -97,6 +107,7 @@ let run ?deadline ~n ~arcs ~init () =
            let v = adj_v.(ai) in
            let nd = dist.(u) + adj_c.(ai) in
            if nd < dist.(v) then begin
+             incr relax;
              if in_forest.(v) then begin
                unlink v;
                if disassemble v u then begin

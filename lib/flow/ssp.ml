@@ -19,7 +19,10 @@ type rarc = {
   problem_arc : int;   (* id in the problem, -1 for virtual; forward only *)
 }
 
+let m_augment = Rar_obs.Metrics.counter "ssp_augmentations"
+
 let solve ?deadline p =
+  Rar_obs.Trace.span "solver/ssp" @@ fun () ->
   let n = Problem.node_count p in
   if Float.abs (Problem.total_demand p) > 1e-6 then
     Error "Ssp.solve: total demand is not zero"
@@ -75,7 +78,13 @@ let solve ?deadline p =
       let visited = Array.make nn false in
       let heap = Heap.create () in
       let routed = ref 0. in
+      let augment = ref 0 in
       let exception Infeasible in
+      (* Published once per solve (deadline expiry included) so the
+         counter total is deterministic across pool sizes. *)
+      Fun.protect
+        ~finally:(fun () -> Rar_obs.Metrics.add m_augment !augment)
+      @@ fun () ->
       (try
          let continue = ref true in
          while !continue do
@@ -151,7 +160,8 @@ let solve ?deadline p =
                arcs.(a.inv).cap <- arcs.(a.inv).cap +. !bottleneck;
                v := arcs.(a.inv).dst
              done;
-             routed := !routed +. !bottleneck
+             routed := !routed +. !bottleneck;
+             incr augment
            end
          done;
          let flow = Array.make (Problem.arc_count p) 0. in

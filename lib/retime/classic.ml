@@ -154,10 +154,16 @@ let of_netlist ?(host_registers = 0) ~lib net =
 let wd_edges g =
   List.rev_map (fun c -> (c.src, c.dst, c.w)) g.conns
 
+let m_wd_hits = Rar_obs.Metrics.counter "wd_memo_hits"
+let m_wd_misses = Rar_obs.Metrics.counter "wd_memo_misses"
+
 let wd g =
   match g.wd_cache with
-  | Some t -> t
+  | Some t ->
+    Rar_obs.Metrics.incr m_wd_hits;
+    t
   | None ->
+    Rar_obs.Metrics.incr m_wd_misses;
     let t = Wd.build ~n:g.n ~delays:g.delays ~edges:(wd_edges g) in
     g.wd_cache <- Some t;
     t

@@ -194,6 +194,7 @@ let from_source ~n ~delays ~rank (head, adj_v, adj_w) u =
   (reach, w_row, d_row, by_d)
 
 let build ~n ~delays ~edges =
+  Rar_obs.Trace.span "wd/build" @@ fun () ->
   if n <= 0 then invalid_arg "Wd.build: n <= 0";
   if Array.length delays <> n then invalid_arg "Wd.build: delays length";
   let adj = csr ~n (dedup ~n edges) in

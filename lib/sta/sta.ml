@@ -74,7 +74,14 @@ let back_pin mdl un (pa : Liberty.arc) (db : Liberty.arc) : Liberty.arc =
       let worst = Float.max via_rise via_fall in
       { rise = worst; fall = worst })
 
+(* One pin propagation of the forward pass = one "relaxation" of the
+   timing DP: the per-analysis total is structural (pins in the
+   combinational fan-in), so the counter is deterministic under any
+   pool size. *)
+let m_pin_relax = Rar_obs.Metrics.counter "sta_pin_relaxations"
+
 let analyse ?launch lib mdl net =
+  Rar_obs.Trace.span "sta/analyse" @@ fun () ->
   Array.iter
     (fun v ->
       if Netlist.is_seq net v then
@@ -98,6 +105,7 @@ let analyse ?launch lib mdl net =
     | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()
   done;
   let arr = Array.make n neg_inf_arc in
+  let pins = ref 0 in
   Array.iter
     (fun v ->
       match Netlist.kind net v with
@@ -108,6 +116,7 @@ let analyse ?launch lib mdl net =
         let best = ref neg_inf_arc in
         Array.iteri
           (fun pin u ->
+            incr pins;
             let out =
               through_pin mdl (Cell_kind.unateness fn pin) pin_arcs.(v).(pin)
                 arr.(u)
@@ -117,6 +126,7 @@ let analyse ?launch lib mdl net =
         arr.(v) <- !best
       | Netlist.Seq _ -> assert false)
     (Netlist.topo_comb net);
+  Rar_obs.Metrics.add m_pin_relax !pins;
   { net; lib; mdl; launch_time; pin_arcs; delay_max; arr; back_all_cache = None }
 
 let arrival_arc t v = t.arr.(v)
@@ -211,6 +221,7 @@ let backward_all t =
   match t.back_all_cache with
   | Some r -> r
   | None ->
+    Rar_obs.Trace.span "sta/backward_all" @@ fun () ->
     let init = Array.make (Netlist.node_count t.net) neg_inf_arc in
     Array.iter (fun s -> init.(s) <- zero_arc) (Netlist.outputs t.net);
     let r = Array.map Liberty.arc_max (backward_from t init) in

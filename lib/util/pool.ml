@@ -92,6 +92,18 @@ let set_jobs j =
 let task_hook : (unit -> unit) option ref = ref None
 let set_task_hook h = task_hook := h
 
+(* Optional per-batch hook, fired once per pooled [map] dispatch (never
+   on the sequential path) with the batch size and the queue occupancy
+   just after enqueueing. It returns a completion callback invoked when
+   the batch joins — even if the join re-raises a task's exception.
+   Installed by the observability layer, which lives above this module
+   and so cannot be named from here. *)
+let batch_hook :
+    (n_tasks:int -> occupancy:int -> (unit -> unit)) option ref =
+  ref None
+
+let set_batch_hook h = batch_hook := h
+
 let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
   let f =
     match !task_hook with
@@ -144,13 +156,22 @@ let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
               done))
         p.queue
     done;
+    let occupancy = Queue.length p.queue in
     Condition.broadcast p.nonempty;
     Mutex.unlock p.lock;
-    Mutex.lock join_lock;
-    while !pending > 0 do
-      Condition.wait all_done join_lock
-    done;
-    Mutex.unlock join_lock;
+    let on_done =
+      match !batch_hook with
+      | None -> None
+      | Some hook -> Some (hook ~n_tasks ~occupancy)
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter (fun fin -> fin ()) on_done)
+      (fun () ->
+        Mutex.lock join_lock;
+        while !pending > 0 do
+          Condition.wait all_done join_lock
+        done;
+        Mutex.unlock join_lock);
     Array.map
       (function
         | Some (Ok v) -> v

@@ -52,3 +52,13 @@ val set_task_hook : (unit -> unit) option -> unit
     the submitter's join. This is the fault-injection seam used by
     [Rar_resilience.Faults] to simulate a killed pool task; with no
     hook installed the code path is unchanged. *)
+
+val set_batch_hook : (n_tasks:int -> occupancy:int -> (unit -> unit)) option -> unit
+(** Install (or clear) a hook fired once per pooled {!map} dispatch —
+    never on the sequential fast path — with the number of tasks in
+    the batch and the queue occupancy just after enqueueing. The hook
+    returns a completion callback, invoked when the batch joins (even
+    when the join re-raises a task's exception), so the pair brackets
+    the batch's lifetime. This is the seam [Rar_obs] uses for pool
+    gauges and [pool/batch] spans; with no hook installed the code
+    path is unchanged. *)

@@ -17,4 +17,5 @@ let () =
       ("resynth", Test_resynth.suite);
       ("classic", Test_classic.suite);
       ("resilience", Test_resilience.suite);
+      ("obs", Test_obs.suite);
     ]
