@@ -43,9 +43,25 @@ let ok = function
   | Error e -> failwith (Rar_retime.Error.to_string e)
 
 (* Effective pool size before the harness overrides it with set_jobs:
-   this is what `--jobs` / RAR_JOBS / the core-count default resolve
-   to, recorded in the host metadata of BENCH_eval.json. *)
-let jobs_effective = Rar_util.Pool.jobs ()
+   what `--jobs` / RAR_JOBS / the core-count default resolve to after
+   the host-core clamp, recorded in the host metadata of
+   BENCH_eval.json. *)
+let jobs_effective = Rar_util.Pool.effective_jobs ()
+
+(* `--jobs 1,2,4` selects the job counts of the scaling.jobs_curve
+   sweep (requested sizes; the pool clamps each to the host). *)
+let jobs_sweep =
+  let rec find = function
+    | "--jobs" :: v :: _ -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  match find (Array.to_list Sys.argv) with
+  | None -> [ 1; 2; 4 ]
+  | Some v -> (
+    match List.filter_map int_of_string_opt (String.split_on_char ',' v) with
+    | [] -> [ 1; 2; 4 ]
+    | js -> List.filter (fun j -> j >= 1) js)
 
 (* Representative circuit for the timed kernels: s1423 is the smallest
    benchmark on which every engine behaves non-trivially. *)
@@ -314,8 +330,205 @@ let overhead_ratios kernels pairs =
       | _ -> None)
     pairs
 
+(* ------------------------------------------------------------------ *)
+(* Scaling curve: generated 10^5..10^6-gate circuits                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Sizing defaults mirror `rar generate` (bin/rar_cli.ml), so a curve
+   row is reproducible from the CLI with the same gate count. *)
+let scale_spec ~gates =
+  let flops = max 16 (gates / 25) in
+  let depth =
+    max 8 (int_of_float (Float.round (4. *. log (float_of_int gates))))
+  in
+  let name = Printf.sprintf "gen%dx%d" gates depth in
+  {
+    Rar_circuits.Spec.name;
+    n_flops = flops;
+    n_pi = max 8 (gates / 200);
+    n_po = max 8 (gates / 200);
+    n_gates = gates;
+    depth;
+    nce_target = max 4 (flops / 8);
+    seed = name;
+    src_bias_pct = 55;
+  }
+
+(* Run [f] under armed tracing; return its result plus the summed
+   inclusive wall seconds per span name — the per-phase breakdown of
+   each scaling row. *)
+let span_totals f =
+  Rar_obs.Trace.clear ();
+  Rar_obs.Trace.arm ();
+  let r = Fun.protect ~finally:Rar_obs.Trace.disarm f in
+  let evs = Rar_obs.Trace.events () in
+  Rar_obs.Trace.clear ();
+  let stacks = Hashtbl.create 8 and totals = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Rar_obs.Trace.event) ->
+      let st =
+        match Hashtbl.find_opt stacks e.dom with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add stacks e.dom s;
+          s
+      in
+      match e.phase with
+      | Rar_obs.Trace.Begin -> st := (e.name, e.ts_s) :: !st
+      | Rar_obs.Trace.End -> (
+        match !st with
+        | (n, t0) :: rest when n = e.name ->
+          st := rest;
+          Hashtbl.replace totals n
+            (e.ts_s -. t0
+            +. Option.value ~default:0. (Hashtbl.find_opt totals n))
+        | _ -> ()))
+    evs;
+  (r, List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) totals []))
+
+let scale_entry ~name ~gates ~path ~phases ~spans ~stats =
+  let kv (k, v) = Printf.sprintf "\"%s\": %.4f" (json_escape k) v in
+  Printf.sprintf
+    "{ \"circuit\": \"%s\", \"gates\": %d, \"path\": \"%s\", \"phases\": { \
+     %s }, \"spans\": { %s }%s }"
+    (json_escape name) gates (json_escape path)
+    (String.concat ", " (List.map kv phases))
+    (String.concat ", " (List.map kv spans))
+    (if stats = "" then "" else ", " ^ stats)
+
+(* End-to-end classic min-period retiming through the matrix-free FEAS
+   route: generate, build the retiming graph, bisect with FEAS,
+   realise the retimed netlist. The only classic path that fits a
+   10^6-gate circuit. *)
+let scale_classic_feas ~gates =
+  let spec = scale_spec ~gates in
+  let net, generate_s =
+    time_wall (fun () -> Rar_circuits.Generator.generate spec)
+  in
+  let lib = Rar_liberty.Liberty.default () in
+  let (res, spans), retime_s =
+    time_wall (fun () ->
+        span_totals (fun () ->
+            let g =
+              Rar_retime.Classic.of_netlist ~host_registers:1 ~lib net
+            in
+            (Rar_retime.Classic.period_of g,
+             ok (Rar_retime.Classic.retime_feas g))))
+  in
+  let p0, o = res in
+  Printf.printf
+    "  classic_feas %9d gates: gen %6.2fs, retime %6.2fs, %.3f -> %.3f ns, \
+     %d -> %d regs\n%!"
+    gates generate_s retime_s p0 o.Rar_retime.Classic.achieved_period
+    o.Rar_retime.Classic.registers_before
+    o.Rar_retime.Classic.registers_after;
+  scale_entry ~name:spec.Rar_circuits.Spec.name ~gates ~path:"classic_feas"
+    ~phases:[ ("generate_s", generate_s); ("retime_s", retime_s) ]
+    ~spans
+    ~stats:
+      (Printf.sprintf
+         "\"period_before_ns\": %.4f, \"period_after_ns\": %.4f, \
+          \"registers_before\": %d, \"registers_after\": %d"
+         p0 o.Rar_retime.Classic.achieved_period
+         o.Rar_retime.Classic.registers_before
+         o.Rar_retime.Classic.registers_after)
+
+(* End-to-end G-RAR (prepare + stage + engine) on a generated circuit:
+   the paper pipeline's cost at scale, with the sta/wd/solver span
+   split. *)
+let scale_grar ~gates =
+  let spec = scale_spec ~gates in
+  let net, generate_s =
+    time_wall (fun () -> Rar_circuits.Generator.generate spec)
+  in
+  let (res, spans), run_s =
+    time_wall (fun () ->
+        span_totals (fun () ->
+            let p = Suite.prepare net in
+            let st =
+              ok
+                (Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking
+                   p.Suite.cc)
+            in
+            (p, ok (Grar.run_on_stage ~c:1.0 st))))
+  in
+  let p, r = res in
+  let o = r.Grar.outcome in
+  Printf.printf
+    "  grar         %9d gates: gen %6.2fs, run    %6.2fs, P %.3f ns, %d \
+     slaves, %d EDLs\n%!"
+    gates generate_s run_s p.Suite.p o.Outcome.n_slaves (Outcome.ed_count o);
+  scale_entry ~name:spec.Rar_circuits.Spec.name ~gates ~path:"grar"
+    ~phases:[ ("generate_s", generate_s); ("run_s", run_s) ]
+    ~spans
+    ~stats:
+      (Printf.sprintf
+         "\"p_ns\": %.4f, \"n_slaves\": %d, \"edl_count\": %d, \
+          \"total_area\": %.2f"
+         p.Suite.p o.Outcome.n_slaves (Outcome.ed_count o)
+         o.Outcome.total_area)
+
+(* G-RAR stages the whole endpoint set through STA, so it is bounded
+   to the smaller sizes; FEAS covers the full curve. *)
+(* G-RAR stages every endpoint cone through STA and solves the full
+   flow LP, so its cost grows superlinearly: 189 s at 25k gates on the
+   single-core reference container, 50+ min at 100k. The curve keeps a
+   G-RAR point at the largest tractable size and says so when it skips
+   one, rather than silently thinning the curve. *)
+let grar_max_gates = 25_000
+
+(* Must run on a fresh heap, before the bechamel kernels and the table
+   grids: those sections leave a fragmented multi-GB free list behind
+   (and OCaml 5.1's [Gc.compact] cannot defragment — heap compaction
+   only returned in 5.2). *)
+let run_scaling () =
+  Printf.printf "\n== Scaling curve (generated circuits) ==\n%!";
+  let sizes =
+    match Sys.getenv_opt "RAR_BENCH_SCALE" with
+    | Some s -> (
+      match List.filter_map int_of_string_opt (String.split_on_char ',' s) with
+      | [] -> [ 25_000; 100_000; 1_000_000 ]
+      | ss -> ss)
+    | None -> [ 25_000; 100_000; 1_000_000 ]
+  in
+  List.concat_map
+    (fun gates ->
+      let f = scale_classic_feas ~gates in
+      if gates <= grar_max_gates then [ f; scale_grar ~gates ]
+      else begin
+        Printf.printf
+          "  grar         %9d gates: skipped (> %d-gate G-RAR bound)\n%!"
+          gates grar_max_gates;
+        [ f ]
+      end)
+    sizes
+
+let run_jobs_curve ~table_names ~sim_cycles =
+  Printf.printf "\n== Jobs sweep: all_tables at --jobs %s ==\n%!"
+    (String.concat "," (List.map string_of_int jobs_sweep));
+  let base = ref None in
+  let entries =
+    List.map
+      (fun j ->
+        let dt = wall_all_tables ~jobs:j ~names:table_names ~sim_cycles in
+        let eff = Rar_util.Pool.effective_jobs () in
+        if !base = None then base := Some dt;
+        let speedup = Option.get !base /. Float.max 1e-9 dt in
+        Printf.printf "  jobs=%d (effective %d): %.3fs (%.2fx vs first)\n%!"
+          j eff dt speedup;
+        Printf.sprintf
+          "{ \"jobs_requested\": %d, \"jobs_effective\": %d, \
+           \"all_tables_s\": %.4f, \"speedup_vs_first\": %.2f }"
+          j eff dt speedup)
+      jobs_sweep
+  in
+  Rar_util.Pool.set_jobs 1;
+  entries
+
 let write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
-    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par =
+    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par ~scaling
+    ~jobs_curve =
   let path = "BENCH_eval.json" in
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
@@ -362,12 +575,24 @@ let write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
      %.4f, \"par_s\": %.4f, \"jobs\": %d, \"speedup\": %.2f }\n"
     (str_list table_names) sim_cycles tables_seq tables_par par_jobs
     (tables_seq /. Float.max 1e-9 tables_par);
+  pr "  },\n";
+  let arr indent xs =
+    if xs = [] then "[]"
+    else
+      Printf.sprintf "[\n%s%s\n%s]"
+        (String.concat ",\n"
+           (List.map (fun e -> indent ^ "  " ^ e) xs))
+        "" indent
+  in
+  pr "  \"scaling\": {\n";
+  pr "    \"curve\": %s,\n" (arr "    " scaling);
+  pr "    \"jobs_curve\": %s\n" (arr "    " jobs_curve);
   pr "  }\n";
   pr "}\n";
   close_out oc;
   Printf.printf "\nwrote %s\n%!" path
 
-let run_eval_json kernels =
+let run_eval_json ~scaling kernels =
   let par_jobs =
     match Sys.getenv_opt "RAR_BENCH_JOBS" with
     | Some s -> (
@@ -412,8 +637,10 @@ let run_eval_json kernels =
   List.iter
     (fun (label, r) -> Printf.printf "  %-28s %12.3fx\n%!" label r)
     resilience;
+  let jobs_curve = run_jobs_curve ~table_names ~sim_cycles in
   write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
-    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par
+    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par ~scaling
+    ~jobs_curve
 
 (* ------------------------------------------------------------------ *)
 (* CI bench smoke                                                      *)
@@ -489,8 +716,38 @@ let run_smoke () =
   List.iter
     (fun (label, r) -> Printf.printf "  %-28s %12.3fx\n%!" label r)
     resilience;
+  let jobs_curve = run_jobs_curve ~table_names ~sim_cycles in
   write_bench_eval ~kernels ~resilience ~par_jobs ~stage_names ~table_names
-    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par
+    ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par ~scaling:[]
+    ~jobs_curve
+
+(* RAR_BENCH_SCALE_SMOKE=1: one 10^5-gate classic-FEAS row through the
+   scaling plumbing, written to BENCH_scale.json and gated in CI
+   against the wall-clock floor in bench/smoke_floor.json — so the
+   million-gate path cannot silently regress back to matrix cost. *)
+let run_scale_smoke () =
+  let gates =
+    match Sys.getenv_opt "RAR_BENCH_SCALE" with
+    | Some s -> ( match int_of_string_opt s with Some g -> g | None -> 100_000)
+    | None -> 100_000
+  in
+  Printf.printf "== Scale smoke (%d gates, classic FEAS) ==\n%!" gates;
+  let entry, total_s = time_wall (fun () -> scale_classic_feas ~gates) in
+  let path = "BENCH_scale.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"rar-bench-scale/1\",\n\
+    \  \"host\": { \"cores\": %d },\n\
+    \  \"total_s\": %.4f,\n\
+    \  \"curve\": [\n\
+    \    %s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    total_s entry;
+  close_out oc;
+  Printf.printf "\nwrote %s (%.1fs total)\n%!" path total_s
 
 let run_tables () =
   let names =
@@ -559,10 +816,12 @@ let run_resynth_ablation () =
   show "resynthesised" net'
 
 let () =
-  if Sys.getenv_opt "RAR_BENCH_SMOKE" = Some "1" then run_smoke ()
+  if Sys.getenv_opt "RAR_BENCH_SCALE_SMOKE" = Some "1" then run_scale_smoke ()
+  else if Sys.getenv_opt "RAR_BENCH_SMOKE" = Some "1" then run_smoke ()
   else begin
+    let scaling = run_scaling () in
     let kernels = run_benchmarks () in
-    run_eval_json kernels;
+    run_eval_json ~scaling kernels;
     run_cluster_ablation ();
     run_resynth_ablation ();
     run_tables ()

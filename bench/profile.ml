@@ -1,0 +1,51 @@
+(* Scratch profiler for the smoke classic pipeline: span totals. *)
+let ok = function Ok v -> v | Error e -> failwith (Rar_retime.Error.to_string e)
+
+let smoke_net =
+  lazy
+    (let spec =
+       { (Option.get (Rar_circuits.Spec.find "s1196")) with
+         Rar_circuits.Spec.n_gates = 150; depth = 8 }
+     in
+     Rar_circuits.Generator.generate spec)
+
+let smoke_pipeline () =
+  let lib = Rar_liberty.Liberty.default () in
+  let g = Rar_retime.Classic.of_netlist ~host_registers:1 ~lib (Lazy.force smoke_net) in
+  let pmin = Rar_retime.Classic.min_period g in
+  ignore (ok (Rar_retime.Classic.retime g ~period:pmin))
+
+let () =
+  (* warm *)
+  smoke_pipeline ();
+  Rar_obs.Trace.clear (); Rar_obs.Trace.arm ();
+  let t0 = Rar_util.Clock.now_s () in
+  let reps = 20 in
+  for _ = 1 to reps do smoke_pipeline () done;
+  let dt = Rar_util.Clock.now_s () -. t0 in
+  Rar_obs.Trace.disarm ();
+  Printf.printf "total: %.1f ms/run\n" (1000. *. dt /. float_of_int reps);
+  (* aggregate span durations from the trace events *)
+  let evs = Rar_obs.Trace.events () in
+  let stack = Hashtbl.create 16 in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Rar_obs.Trace.event) ->
+      let key = e.dom in
+      let st = match Hashtbl.find_opt stack key with Some s -> s | None -> let s = ref [] in Hashtbl.add stack key s; s in
+      match e.phase with
+      | Rar_obs.Trace.Begin -> st := (e.name, e.ts_s) :: !st
+      | Rar_obs.Trace.End ->
+        (match !st with
+         | (n, t0) :: rest when n = e.name ->
+           st := rest;
+           (* only top-level-ish accumulation: count self time irrespective *)
+           let d = e.ts_s -. t0 in
+           let cur = Option.value ~default:(0., 0) (Hashtbl.find_opt totals n) in
+           Hashtbl.replace totals n (fst cur +. d, snd cur + 1)
+         | _ -> ()))
+    evs;
+  let l = Hashtbl.fold (fun k (d, c) acc -> (k, d, c) :: acc) totals [] in
+  List.iter
+    (fun (k, d, c) -> Printf.printf "  %-28s %10.1f ms  (%d spans)\n" k (d *. 1000. /. float_of_int reps) c)
+    (List.sort (fun (_, a, _) (_, b, _) -> compare b a) l)

@@ -541,44 +541,207 @@ let trace_cmd =
 let classic_cmd =
   let name_arg =
     Arg.(
-      required & pos 0 (some string) None
-      & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+      value & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT"
+          ~doc:"Benchmark name (omit when $(b,--bench) is given).")
   in
-  let run verbose name =
+  let bench_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "Retime a \".bench\" netlist read from FILE (timed with the \
+             built-in library) instead of a suite benchmark.")
+  in
+  let feas_arg =
+    Arg.(
+      value & flag
+      & info [ "feas" ]
+          ~doc:
+            "Use the matrix-free FEAS route (binary search over clock-period \
+             feasibility passes) instead of the O(V^2) W/D matrices. Same \
+             minimum period; required for 10^5-gate-plus netlists.")
+  in
+  let run verbose name bench feas =
     setup_logs verbose;
-    match Suite.load name with
+    let loaded =
+      match (bench, name) with
+      | Some file, _ -> (
+        match Bench_io.parse_file file with
+        | Error e -> Error e
+        | Ok net -> Ok (file, net, Rar_liberty.Liberty.default ()))
+      | None, Some name -> (
+        match Suite.load name with
+        | Error e -> Error e
+        | Ok p -> Ok (name, p.Suite.flop_netlist, p.Suite.lib))
+      | None, None -> Error "give a CIRCUIT name or --bench FILE"
+    in
+    match loaded with
     | Error e -> `Error (false, e)
-    | Ok p -> (
+    | Ok (name, net, lib) -> (
       try
-        let g =
-          Rar_retime.Classic.of_netlist ~host_registers:1 ~lib:p.Suite.lib
-            p.Suite.flop_netlist
-        in
+        let g = Rar_retime.Classic.of_netlist ~host_registers:1 ~lib net in
         let p0 = Rar_retime.Classic.period_of g in
-        let pmin = Rar_retime.Classic.min_period g in
-        Printf.printf
-          "%s: original period %.3f ns, minimum retimed period %.3f ns \
-           (%.1f%% faster)\n"
-          name p0 pmin
-          (100. *. (p0 -. pmin) /. p0);
-        match Rar_retime.Classic.retime g ~period:pmin with
-        | Error e -> `Error (false, Error.to_string e)
-        | Ok o ->
+        if feas then
+          match Rar_retime.Classic.retime_feas g with
+          | Error e -> `Error (false, Error.to_string e)
+          | Ok o ->
+            Printf.printf
+              "%s: original period %.3f ns, FEAS retimed period %.3f ns \
+               (%.1f%% faster)\n"
+              name p0 o.Rar_retime.Classic.achieved_period
+              (100.
+              *. (p0 -. o.Rar_retime.Classic.achieved_period)
+              /. p0);
+            Printf.printf "FEAS retiming: %d -> %d registers\n"
+              o.Rar_retime.Classic.registers_before
+              o.Rar_retime.Classic.registers_after;
+            `Ok ()
+        else
+          let pmin = Rar_retime.Classic.min_period g in
           Printf.printf
-            "min-area retiming at %.3f ns: %d -> %d registers (achieved \
-             %.3f ns)\n"
-            pmin o.Rar_retime.Classic.registers_before
-            o.Rar_retime.Classic.registers_after
-            o.Rar_retime.Classic.achieved_period;
-          `Ok ()
+            "%s: original period %.3f ns, minimum retimed period %.3f ns \
+             (%.1f%% faster)\n"
+            name p0 pmin
+            (100. *. (p0 -. pmin) /. p0);
+          match Rar_retime.Classic.retime g ~period:pmin with
+          | Error e -> `Error (false, Error.to_string e)
+          | Ok o ->
+            Printf.printf
+              "min-area retiming at %.3f ns: %d -> %d registers (achieved \
+               %.3f ns)\n"
+              pmin o.Rar_retime.Classic.registers_before
+              o.Rar_retime.Classic.registers_after
+              o.Rar_retime.Classic.achieved_period;
+            `Ok ()
       with Invalid_argument e -> `Error (false, e))
   in
   Cmd.v
     (Cmd.info "classic"
        ~doc:
          "Classic Leiserson–Saxe min-period / min-area retiming of the \
-          flop-based benchmark (the paper's §II-C background algorithm).")
-    Term.(ret (const run $ verbose_arg $ name_arg))
+          flop-based benchmark (the paper's §II-C background algorithm). \
+          With $(b,--feas), the matrix-free million-gate route.")
+    Term.(ret (const run $ verbose_arg $ name_arg $ bench_arg $ feas_arg))
+
+(* --- rar generate ---------------------------------------------------- *)
+
+let generate_cmd =
+  let gates_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "gates"; "g" ] ~docv:"N" ~doc:"Combinational gate count.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Target logic depth (default: scales with the gate count).")
+  in
+  let flops_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "flops" ] ~docv:"N"
+          ~doc:"Flip-flop count (default: gates/25, at least 16).")
+  in
+  let pi_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "pi" ] ~docv:"N"
+          ~doc:"Primary inputs (default: gates/200, at least 8).")
+  in
+  let po_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "po" ] ~docv:"N"
+          ~doc:"Primary outputs (default: gates/200, at least 8).")
+  in
+  let nce_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "nce" ] ~docv:"N"
+          ~doc:
+            "Near-critical endpoints wired to the deepest layers (default: \
+             flops/8, at least 4).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG stream name (default: derived from the sizes).")
+  in
+  let bias_arg =
+    Arg.(
+      value & opt int 55
+      & info [ "src-bias" ] ~docv:"PCT"
+          ~doc:
+            "Percentage of side pins tied straight to sources rather than \
+             an earlier layer (the suite uses 55).")
+  in
+  let out_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Write the netlist as ISCAS89 \".bench\" text to FILE (stats \
+             only when omitted).")
+  in
+  let run verbose gates depth flops pi po nce seed bias out =
+    setup_logs verbose;
+    if gates < 4 then `Error (false, "--gates must be at least 4")
+    else begin
+      let flops = Option.value flops ~default:(max 16 (gates / 25)) in
+      let pi = Option.value pi ~default:(max 8 (gates / 200)) in
+      let po = Option.value po ~default:(max 8 (gates / 200)) in
+      let nce = Option.value nce ~default:(max 4 (flops / 8)) in
+      let depth =
+        match depth with
+        | Some d -> max 4 d
+        | None ->
+          (* ~36 at 10^4 gates, ~55 at 10^6: a synthesis-like slow
+             growth of depth with area. *)
+          max 8 (int_of_float (Float.round (4. *. log (float_of_int gates))))
+      in
+      let name = Printf.sprintf "gen%dx%d" gates depth in
+      let seed = Option.value seed ~default:name in
+      let spec =
+        {
+          Spec.name;
+          n_flops = flops;
+          n_pi = pi;
+          n_po = po;
+          n_gates = gates;
+          depth;
+          nce_target = nce;
+          seed;
+          src_bias_pct = bias;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let net = Rar_circuits.Generator.generate spec in
+      let dt = Unix.gettimeofday () -. t0 in
+      let st = Stats.compute net in
+      Format.printf "%a@." Stats.pp st;
+      Printf.printf "generated %s in %.2f s\n" name dt;
+      (match out with
+      | Some path ->
+        Bench_io.write_file path net;
+        Printf.printf "wrote %s\n" path
+      | None -> ());
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate a seeded layered-DAG benchmark netlist of a chosen size \
+          (up to millions of gates) and write it as \".bench\" text, for \
+          scaling studies with 'rar classic --bench --feas' and 'rar \
+          bench'.")
+    Term.(
+      ret
+        (const run $ verbose_arg $ gates_arg $ depth_arg $ flops_arg $ pi_arg
+        $ po_arg $ nce_arg $ seed_arg $ bias_arg $ out_arg))
 
 (* --- rar lib -------------------------------------------------------- *)
 
@@ -730,6 +893,6 @@ let main =
          "Retiming of two-phase latch-based resilient circuits — \
           reproduction of Cheng et al. (DAC 2017 / journal extension).")
     [ table_cmd; all_cmd; info_cmd; run_cmd; bench_cmd; dot_cmd; period_cmd;
-      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd ]
+      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd; generate_cmd ]
 
 let () = exit (Cmd.eval main)

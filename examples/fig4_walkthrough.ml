@@ -34,7 +34,7 @@ let () =
     (fun n ->
       let v = Fig4.node cc n in
       let dfv = Sta.df (Stage.sta stage) v in
-      let dbv = Rar_liberty.Liberty.arc_max db.(v) in
+      let dbv = Float.max db.Sta.rise.(v) db.Sta.fall.(v) in
       let region =
         match Stage.region stage v with
         | Stage.Rm -> "Vm (slave must move through)"

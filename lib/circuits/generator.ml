@@ -117,7 +117,7 @@ let generate (spec : Spec.t) =
       (* Side pins: mostly register/PI control signals (sources feed
          logic at every depth in real netlists — this is what keeps a
          deep retiming cut expensive), else a uniformly earlier layer. *)
-      if Rng.int rng 100 < 55 then Rng.pick rng sources
+      if Rng.int rng 100 < spec.src_bias_pct then Rng.pick rng sources
       else begin
         let li = Rng.int rng (l + 1) in
         if li = 0 then Rng.pick rng sources
@@ -140,6 +140,34 @@ let generate (spec : Spec.t) =
     layers.(l) <- Array.init widths.(l) mk
   done;
   let all_gates = Array.concat (Array.to_list layers) in
+  (* [all_gates] is layer-ascending (creation order within a layer), so
+     band filters are contiguous runs and "deepest dangling first" is a
+     per-layer scan — the index structures below answer the endpoint /
+     absorption queries the old O(G)-per-query list filters answered,
+     in O(depth + log G), without touching the RNG stream: a query
+     draws from the RNG only in exactly the cases the filters did, with
+     the same range. *)
+  let module ISet = Set.Make (Int) in
+  (* Positions (indices into [all_gates]) of still-dangling gates, per
+     layer; min element = earliest-created dangling gate of the layer. *)
+  let dangling_at = Array.make depth ISet.empty in
+  let pos_of_id = Hashtbl.create (2 * spec.n_gates) in
+  Array.iteri
+    (fun i g ->
+      Hashtbl.replace pos_of_id g.id i;
+      if fanouts_of g.id = 0 then
+        dangling_at.(g.layer) <- ISet.add i dangling_at.(g.layer))
+    all_gates;
+  (* From here on every fanout bump also retires the gate from its
+     dangling set (fanout counts never return to 0). *)
+  let bump v =
+    bump v;
+    match Hashtbl.find_opt pos_of_id v with
+    | Some i ->
+      let g = all_gates.(i) in
+      dangling_at.(g.layer) <- ISet.remove i dangling_at.(g.layer)
+    | None -> ()
+  in
   (* Endpoint drivers: [nce_target] endpoints hang off the deepest
      layers, the rest off the shallow-to-middle band; dangling gates in
      the band are consumed first. *)
@@ -153,26 +181,36 @@ let generate (spec : Spec.t) =
   let shallow_lo = max 0 (depth * 15 / 100) in
   let shallow_hi = max (shallow_lo + 1) (depth * 52 / 100) in
   let in_band lo hi g = g.layer >= lo && g.layer < hi in
-  let pick_driver ~lo ~hi ~deep_first =
-    let dangling =
-      Array.to_list all_gates
-      |> List.filter (fun g -> in_band lo hi g && fanouts_of g.id = 0)
+  let static_band lo hi =
+    Array.of_list
+      (List.filter (in_band lo hi) (Array.to_list all_gates))
+  in
+  let band_deep = static_band deep_cut depth in
+  let band_shallow = static_band shallow_lo shallow_hi in
+  (* Earliest-created dangling gate of the deepest (or shallowest)
+     non-empty layer of the band — the gate the old
+     filter/stable-sort pipeline put first. *)
+  let first_dangling ~lo ~hi ~deep_first =
+    let rec down l =
+      if l < lo then None
+      else if ISet.is_empty dangling_at.(l) then down (l - 1)
+      else Some (ISet.min_elt dangling_at.(l))
+    and up l =
+      if l >= hi then None
+      else if ISet.is_empty dangling_at.(l) then up (l + 1)
+      else Some (ISet.min_elt dangling_at.(l))
     in
+    if deep_first then down (hi - 1) else up lo
+  in
+  let pick_driver ~band ~lo ~hi ~deep_first =
     (* Endpoints soak up dangling gates from the deep end first (deep
        band) so no deep dangle leaks into an extra primary output. *)
-    let dangling =
-      if deep_first then
-        List.sort (fun a b -> compare b.layer a.layer) dangling
-      else dangling
-    in
     let g =
-      match dangling with
-      | g :: _ -> g
-      | [] -> (
-        let band = Array.to_list all_gates |> List.filter (in_band lo hi) in
-        match band with
-        | [] -> Rng.pick rng all_gates
-        | _ -> List.nth band (Rng.int rng (List.length band)))
+      match first_dangling ~lo ~hi ~deep_first with
+      | Some i -> all_gates.(i)
+      | None ->
+        if Array.length band = 0 then Rng.pick rng all_gates
+        else band.(Rng.int rng (Array.length band))
     in
     bump g.id;
     g.id
@@ -184,8 +222,11 @@ let generate (spec : Spec.t) =
     (fun k i -> if k < spec.nce_target then endpoint_deep.(i) <- true)
     idx;
   let driver_of i =
-    if endpoint_deep.(i) then pick_driver ~lo:deep_cut ~hi:depth ~deep_first:true
-    else pick_driver ~lo:shallow_lo ~hi:shallow_hi ~deep_first:false
+    if endpoint_deep.(i) then
+      pick_driver ~band:band_deep ~lo:deep_cut ~hi:depth ~deep_first:true
+    else
+      pick_driver ~band:band_shallow ~lo:shallow_lo ~hi:shallow_hi
+        ~deep_first:false
   in
   let flop_driver = Array.init spec.n_flops driver_of in
   for i = 0 to spec.n_po - 1 do
@@ -195,15 +236,27 @@ let generate (spec : Spec.t) =
          ~fanin:(driver_of (spec.n_flops + i)))
   done;
   (* Absorb remaining dangling gates / unused sources as extra fanins
-     of downstream n-ary gates (deepest dangle first). *)
+     of downstream n-ary gates (deepest dangle first). The n-ary gate
+     set is static and layer-ascending in [all_gates] order, so "n-ary
+     gates strictly deeper than [layer]" is a suffix of one
+     precomputed array. *)
+  let nary_arr =
+    Array.of_list (List.filter (fun g -> is_nary g.kind) (Array.to_list all_gates))
+  in
+  let n_nary = Array.length nary_arr in
+  (* nary_ge.(l) = first index of [nary_arr] at layer >= l *)
+  let nary_ge = Array.make (depth + 1) n_nary in
+  (let cursor = ref 0 in
+   for l = 0 to depth - 1 do
+     nary_ge.(l) <- !cursor;
+     while !cursor < n_nary && nary_arr.(!cursor).layer = l do
+       incr cursor
+     done
+   done);
   let nary_after layer =
-    let cands =
-      Array.to_list all_gates
-      |> List.filter (fun g -> g.layer > layer && is_nary g.kind)
-    in
-    match cands with
-    | [] -> None
-    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+    let start = if layer + 1 > depth then n_nary else nary_ge.(Int.max 0 (layer + 1)) in
+    let len = n_nary - start in
+    if len = 0 then None else Some nary_arr.(start + Rng.int rng len)
   in
   let extra_po = ref 0 in
   let absorb v layer =

@@ -7,10 +7,14 @@ type t = {
   depth : int;
   nce_target : int;
   seed : string;
+  src_bias_pct : int;
+      (* percentage of side pins tied to sources (registers/PIs)
+         rather than an earlier layer; 55 reproduces the suite *)
 }
 
 let mk name n_flops n_pi n_po n_gates depth nce_target =
-  { name; n_flops; n_pi; n_po; n_gates; depth; nce_target; seed = name }
+  { name; n_flops; n_pi; n_po; n_gates; depth; nce_target; seed = name;
+    src_bias_pct = 55 }
 
 (* Flop/PI/PO counts follow Table I (flops) and the published ISCAS89
    interfaces; gate counts of the four largest circuits are ~halved;

@@ -24,6 +24,10 @@ type t = {
   depth : int;          (** target logic depth, calibrated to Table I's P *)
   nce_target : int;     (** endpoints wired near the critical depth *)
   seed : string;        (** RNG stream name; defaults to [name] *)
+  src_bias_pct : int;
+      (** percentage of side pins tied straight to sources
+          (registers/PIs) rather than to an earlier layer; the suite
+          rows use 55. Affects how expensive deep retiming cuts are. *)
 }
 
 val table_i : t list

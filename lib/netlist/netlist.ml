@@ -8,6 +8,65 @@ type kind =
   | Gate of { fn : Cell_kind.t; drive : int }
   | Seq of seq_role
 
+(* Immutable int-packed CSR view of the graph structure, built once at
+   freeze time and shared by every [t] derived from the same freeze
+   ([with_drive] / [map_gates] change kinds only, never topology). Kept
+   as a separate record so hot loops in Sta/Stage/Wd touch nothing but
+   flat int arrays. [tag] folds the kind down to the 3 bits those loops
+   ever branch on; fn/drive stay in [kinds]. *)
+module Compact = struct
+  type t = {
+    n : int;
+    tags : int array;           (* tag_* below, one per node *)
+    fanin_head : int array;     (* length n+1; pins of v at [head v, head (v+1)) *)
+    fanin : int array;          (* flat fanin ids, pin order *)
+    fanout_head : int array;    (* length n+1 *)
+    fanout : int array;         (* flat fanout ids, same order as [fanouts] *)
+    topo : int array;           (* = Netlist.topo_comb *)
+  }
+
+  let tag_input = 0
+  let tag_output = 1
+  let tag_gate = 2
+  let tag_seq = 3
+
+  let tag_of_kind = function
+    | Input -> tag_input
+    | Output -> tag_output
+    | Gate _ -> tag_gate
+    | Seq _ -> tag_seq
+
+  let n t = t.n
+  let tag t v = t.tags.(v)
+  let is_gate t v = t.tags.(v) = tag_gate
+  let fanin_lo t v = t.fanin_head.(v)
+  let fanin_hi t v = t.fanin_head.(v + 1)
+  let fanin t i = t.fanin.(i)
+  let fanin_deg t v = t.fanin_head.(v + 1) - t.fanin_head.(v)
+  let fanout_lo t v = t.fanout_head.(v)
+  let fanout_hi t v = t.fanout_head.(v + 1)
+  let fanout t i = t.fanout.(i)
+  let topo t = t.topo
+
+  let build kinds (fanins : int array array) (fanouts : int array array) topo =
+    let n = Array.length kinds in
+    let fanin_head = Array.make (n + 1) 0 in
+    let fanout_head = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      fanin_head.(v + 1) <- fanin_head.(v) + Array.length fanins.(v);
+      fanout_head.(v + 1) <- fanout_head.(v) + Array.length fanouts.(v)
+    done;
+    let m = fanin_head.(n) in
+    let fanin = Array.make (Int.max 1 m) 0 in
+    let fanout = Array.make (Int.max 1 m) 0 in
+    for v = 0 to n - 1 do
+      Array.iteri (fun i u -> fanin.(fanin_head.(v) + i) <- u) fanins.(v);
+      Array.iteri (fun i w -> fanout.(fanout_head.(v) + i) <- w) fanouts.(v)
+    done;
+    { n; tags = Array.map tag_of_kind kinds; fanin_head; fanin; fanout_head;
+      fanout; topo }
+end
+
 type t = {
   name : string;
   kinds : kind array;
@@ -20,6 +79,7 @@ type t = {
   outputs : int array;
   seqs : int array;
   gates : int array; (* topological order *)
+  compact : Compact.t;
 }
 
 let is_comb_kind = function
@@ -146,7 +206,7 @@ let build_frozen net_name kinds names fanins =
         (Seq.filter (fun v -> is_comb_kind kinds.(v)) (Array.to_seq topo))
     in
     { name = net_name; kinds; names; fanins; fanouts; by_name; topo; inputs;
-      outputs; seqs; gates }
+      outputs; seqs; gates; compact = Compact.build kinds fanins fanouts topo }
 
 (* ------------------------------------------------------------------ *)
 (* Builder                                                             *)
@@ -228,6 +288,7 @@ let outputs t = t.outputs
 let seqs t = t.seqs
 let gates t = t.gates
 let topo_comb t = t.topo
+let compact t = t.compact
 let is_comb t v = is_comb_kind t.kinds.(v)
 let is_seq t v = match t.kinds.(v) with Seq _ -> true | _ -> false
 

@@ -24,6 +24,62 @@ type kind =
 
 type t
 
+(** {1 Compact view}
+
+    An immutable int-packed CSR mirror of the graph structure, built
+    once at freeze time and shared by every netlist derived from the
+    same freeze ([with_drive]/[map_gates] rewrite kinds only, never
+    topology). Hot loops in STA, stage classification and W/D use it to
+    walk adjacency through flat int arrays instead of per-node boxed
+    arrays; node ids are identical to the owning netlist's, so the
+    name↔id side table is the netlist itself ({!node_name}/{!find}) and
+    is only consulted off the hot path. *)
+module Compact : sig
+  type t
+
+  val n : t -> int
+  (** Node count; ids are [0 .. n-1], same numbering as the netlist. *)
+
+  val tag : t -> int -> int
+  (** Kind folded to an int: {!tag_input}, {!tag_output}, {!tag_gate}
+      or {!tag_seq}. Gate fn/drive stay on the owning netlist. *)
+
+  val tag_input : int
+  val tag_output : int
+  val tag_gate : int
+  val tag_seq : int
+
+  val is_gate : t -> int -> bool
+
+  val fanin_lo : t -> int -> int
+  val fanin_hi : t -> int -> int
+  (** Pin positions of node [v] are [fanin_lo v .. fanin_hi v - 1] in
+      the flat fanin array; position order is pin order. The positions
+      are globally unique, so per-pin side arrays (STA arc tables) can
+      be indexed by them directly. *)
+
+  val fanin : t -> int -> int
+  (** [fanin t p] is the driver id at flat pin position [p]. *)
+
+  val fanin_deg : t -> int -> int
+
+  val fanout_lo : t -> int -> int
+  val fanout_hi : t -> int -> int
+  val fanout : t -> int -> int
+  (** Fanout ids at flat positions, same order (and multiplicity: once
+      per connected pin) as {!fanouts}. *)
+
+  val topo : t -> int array
+  (** The owning netlist's {!topo_comb}, shared (do not mutate). *)
+
+  val build :
+    kind array -> int array array -> int array array -> int array -> t
+  (** Exposed for tests; normal code gets the view via [compact]. *)
+end
+
+val compact : t -> Compact.t
+(** The compact view (shared, never rebuilt after freeze). *)
+
 (** {1 Construction} *)
 
 module Builder : sig

@@ -55,6 +55,8 @@ let add c n =
 
 let incr c = add c 1
 
+let set c n = if Atomic.get armed then Atomic.set c.cell n
+
 let set_max c n =
   if Atomic.get armed then begin
     let rec go () =
@@ -107,3 +109,26 @@ let () =
          add pool_tasks n_tasks;
          set_max pool_queue_max occupancy;
          Trace.span_fn "pool/batch"))
+
+(* Self-sizing decisions (PR 6): the last dispatch's effective size
+   plus one fallback counter per reason, so a run's metrics show both
+   what the pool resolved to and why batches stayed sequential. *)
+let pool_jobs_requested = gauge "pool_jobs_requested"
+let pool_jobs_effective = gauge "pool_jobs_effective"
+let pool_seq_nested = gauge "pool_seq_fallback_nested"
+let pool_seq_single = gauge "pool_seq_fallback_single_chunk"
+let pool_seq_host = gauge "pool_seq_fallback_host_clamp"
+let pool_seq_ratio = gauge "pool_seq_fallback_task_ratio"
+
+let () =
+  Pool.set_decision_hook
+    (Some
+       (fun ~requested ~effective ~n_tasks:_ ~reason ->
+         set pool_jobs_requested requested;
+         set pool_jobs_effective effective;
+         match reason with
+         | "nested" -> add pool_seq_nested 1
+         | "single_chunk" -> add pool_seq_single 1
+         | "host_clamp" when effective = 1 -> add pool_seq_host 1
+         | "task_ratio" -> add pool_seq_ratio 1
+         | _ -> ()))

@@ -13,7 +13,9 @@
     on scheduling).
 
     {b Gauges} are scheduling-dependent observations — [pool_batches],
-    [pool_tasks], [pool_queue_max] — and carry no cross-[RAR_JOBS]
+    [pool_tasks], [pool_queue_max], the self-sizing decisions
+    [pool_jobs_requested]/[pool_jobs_effective] and the
+    [pool_seq_fallback_*] reason counts — and carry no cross-[RAR_JOBS]
     determinism contract (a 1-job run never touches the pool at
     all). *)
 
@@ -39,6 +41,10 @@ val add : t -> int -> unit
 (** [add c n] atomically adds [n]; a no-op when disarmed or [n = 0]. *)
 
 val incr : t -> unit
+
+val set : t -> int -> unit
+(** [set c n] stores [n] (last write wins); a no-op when disarmed. For
+    decision gauges like [pool_jobs_effective]. *)
 
 val set_max : t -> int -> unit
 (** [set_max c n] raises the cell to [n] if below it (CAS loop); a

@@ -12,7 +12,8 @@
     Span taxonomy (DESIGN.md §10): [engine/*] (one per
     {!Rar_engine.run} / prepare), [difflp/solve], [solver/*]
     (network-simplex, ssp, spfa, closure), [sta/*] (analyse,
-    backward_all), [wd/build], [pool/batch]. *)
+    backward_all), [wd/build], [classic/*] (of_netlist, feas,
+    realize), [pool/batch]. *)
 
 type phase = Begin | End
 

@@ -36,6 +36,7 @@ type graph = {
 let node_count g = g.n
 
 let of_netlist ?(host_registers = 0) ~lib net =
+  Rar_obs.Trace.span "classic/of_netlist" @@ fun () ->
   Array.iter
     (fun v ->
       match Netlist.kind net v with
@@ -118,22 +119,35 @@ let of_netlist ?(host_registers = 0) ~lib net =
       if c.w = 0 && c.src <> c.dst then
         zero_adj.(c.src) <- c.dst :: zero_adj.(c.src))
     !conns;
+  (* Iterative DFS — recursion would blow the stack on million-gate
+     chains. *)
   let color = Array.make n 0 in
-  let rec dfs v =
-    color.(v) <- 1;
-    List.iter
-      (fun u ->
-        if color.(u) = 1 then
-          invalid_arg
-            "Classic.of_netlist: zero-weight cycle (a combinational \
-             input-to-output path closes it through the host; see \
-             ~host_registers)"
-        else if color.(u) = 0 then dfs u)
-      zero_adj.(v);
-    color.(v) <- 2
-  in
-  for v = 0 to n - 1 do
-    if color.(v) = 0 then dfs v
+  let stack = ref [] in
+  for root = 0 to n - 1 do
+    if color.(root) = 0 then begin
+      stack := [ (root, zero_adj.(root)) ];
+      color.(root) <- 1;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, succs) :: rest -> (
+          match succs with
+          | [] ->
+            color.(v) <- 2;
+            stack := rest
+          | u :: more ->
+            stack := (v, more) :: rest;
+            if color.(u) = 1 then
+              invalid_arg
+                "Classic.of_netlist: zero-weight cycle (a combinational \
+                 input-to-output path closes it through the host; see \
+                 ~host_registers)"
+            else if color.(u) = 0 then begin
+              color.(u) <- 1;
+              stack := (u, zero_adj.(u)) :: !stack
+            end)
+      done
+    end
   done;
   let registers_before =
     Array.fold_left
@@ -173,20 +187,47 @@ let wd_matrices g = Wd.to_dense (wd g)
 let wd_matrices_dense g =
   Wd.floyd_warshall ~n:g.n ~delays:g.delays ~edges:(wd_edges g)
 
-let period_of g = Wd.max_zero_weight_delay (wd g)
+(* The current period is the worst zero-register path delay. When the
+   W/D kernel is already memoised, read it straight off the matrices;
+   otherwise run the O(V + E) zero-weight DP instead of paying for an
+   all-pairs build whose only consumer would be this one scalar (the
+   post-[realize] period measurement in {!retime} hits this path, and
+   at 10^6 gates the all-pairs build is not an option). Both compute
+   the max over the same set of left-accumulated path-delay sums, so
+   the float is bitwise identical. *)
+let period_of g =
+  match g.wd_cache with
+  | Some t ->
+    Rar_obs.Metrics.incr m_wd_hits;
+    Wd.max_zero_weight_delay t
+  | None ->
+    Wd.max_zero_weight_delay_edges ~n:g.n ~delays:g.delays
+      ~edges:(wd_edges g)
 
 (* The arc array of Eq. 3 at [period]: the fan-out arcs first, then
    the period constraints, emitted in the dense double-scan order so
-   the downstream solvers see byte-identical input. *)
+   the downstream solvers see byte-identical input. Two passes — count,
+   then fill backwards — reproduce exactly the array the old
+   cons-then-[Array.of_list] construction produced (i.e. the reverse of
+   the emission order) without the intermediate list. *)
 let constraint_arcs g ~period =
   let t = wd g in
-  let arcs = ref [] in
+  let k = ref 0 in
+  List.iter (fun c -> if c.src <> c.dst then incr k) g.conns;
+  Wd.iter_over_period t ~period (fun _ _ _ -> incr k);
+  let arcs = Array.make !k (0, 0, 0) in
+  let pos = ref (!k - 1) in
   List.iter
     (fun c ->
-      if c.src <> c.dst then arcs := (c.src, c.dst, c.w) :: !arcs)
+      if c.src <> c.dst then begin
+        arcs.(!pos) <- (c.src, c.dst, c.w);
+        decr pos
+      end)
     g.conns;
-  Wd.iter_over_period t ~period (fun u v w -> arcs := (u, v, w - 1) :: !arcs);
-  Array.of_list !arcs
+  Wd.iter_over_period t ~period (fun u v w ->
+      arcs.(!pos) <- (u, v, w - 1);
+      decr pos);
+  arcs
 
 (* [init] warm-starts the feasibility SPFA: potentials from a probe at
    a larger period satisfy every arc that probe already had, and
@@ -235,6 +276,7 @@ type outcome = {
 }
 
 let realize g r =
+  Rar_obs.Trace.span "classic/realize" @@ fun () ->
   let net = g.net in
   let nn = Netlist.node_count net in
   let w_r c = c.w + r.(c.dst) - r.(c.src) in
@@ -335,6 +377,202 @@ let realize g r =
       B.connect b id ~fanins)
     !deferred;
   B.freeze b
+
+(* ------------------------------------------------------------------ *)
+(* FEAS: min-period retiming without the all-pairs W/D matrices        *)
+(* ------------------------------------------------------------------ *)
+
+(* Leiserson–Saxe Algorithm FEAS. The W/D route above is exact and
+   yields min-area solutions, but its all-pairs matrices are
+   Theta(n^2) space — a non-starter at 10^6 gates. FEAS needs only the
+   connection graph: per iteration it computes the clock period of
+   [G_r] (a Kahn longest-path pass over the zero-weight retimed edges,
+   O(V + E)) and increments [r(v)] for every vertex whose arrival
+   exceeds the target. After at most |V| - 1 iterations the target is
+   met iff it is feasible.
+
+   Legality invariant: an edge [v -> y] with retimed weight 0 out of
+   an over-period vertex [v] has [delta(y) >= delta(v) > P] (vertex
+   delays are non-negative), so [y] is incremented in the same sweep
+   and no weight ever goes negative. The host can be incremented like
+   any vertex; retimings are invariant under a constant shift, so the
+   result is renormalised to [r(host) = 0] at the end. *)
+
+(* The connection graph flattened to parallel edge arrays plus a CSR
+   index by source — the FEAS inner loop re-reads it every iteration
+   and must not chase list cells. Self-loops carry no retiming freedom
+   and are skipped. *)
+let conn_csr g =
+  let m = List.fold_left (fun a c -> if c.src <> c.dst then a + 1 else a) 0 g.conns in
+  let esrc = Array.make (Int.max 1 m) 0
+  and edst = Array.make (Int.max 1 m) 0
+  and ew = Array.make (Int.max 1 m) 0 in
+  let i = ref 0 in
+  List.iter
+    (fun c ->
+      if c.src <> c.dst then begin
+        esrc.(!i) <- c.src;
+        edst.(!i) <- c.dst;
+        ew.(!i) <- c.w;
+        incr i
+      end)
+    g.conns;
+  let head = Array.make (g.n + 1) 0 in
+  for e = 0 to m - 1 do
+    head.(esrc.(e) + 1) <- head.(esrc.(e) + 1) + 1
+  done;
+  for v = 0 to g.n - 1 do
+    head.(v + 1) <- head.(v + 1) + head.(v)
+  done;
+  let eidx = Array.make (Int.max 1 m) 0 in
+  let fill = Array.copy head in
+  for e = 0 to m - 1 do
+    eidx.(fill.(esrc.(e))) <- e;
+    fill.(esrc.(e)) <- fill.(esrc.(e)) + 1
+  done;
+  (m, esrc, edst, ew, head, eidx)
+
+let feas ?deadline ?init ?max_iters ?(patience = 100) g ~period =
+  Rar_obs.Trace.span "classic/feas" @@ fun () ->
+  let n = g.n and delays = g.delays in
+  let m, esrc, edst, ew, head, eidx = conn_csr g in
+  let r =
+    match init with
+    | Some r0 ->
+      if Array.length r0 <> n then
+        invalid_arg "Classic.feas: init length mismatch";
+      Array.copy r0
+    | None -> Array.make n 0
+  in
+  let delta = Array.make n 0. in
+  let indeg = Array.make n 0 in
+  let queue = Array.make n 0 in
+  let limit = match max_iters with Some k -> k | None -> Int.max 1 (n - 1) in
+  (* Clock-period pass: fills [delta], returns the worst arrival. *)
+  let cp () =
+    Array.fill indeg 0 n 0;
+    for e = 0 to m - 1 do
+      if ew.(e) + r.(edst.(e)) - r.(esrc.(e)) = 0 then
+        indeg.(edst.(e)) <- indeg.(edst.(e)) + 1
+    done;
+    for v = 0 to n - 1 do
+      delta.(v) <- delays.(v)
+    done;
+    let tail = ref 0 in
+    for v = 0 to n - 1 do
+      if indeg.(v) = 0 then begin
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done;
+    let hd = ref 0 in
+    while !hd < !tail do
+      let x = queue.(!hd) in
+      incr hd;
+      for i = head.(x) to head.(x + 1) - 1 do
+        let e = eidx.(i) in
+        if ew.(e) + r.(edst.(e)) - r.(x) = 0 then begin
+          let y = edst.(e) in
+          let nd = delta.(x) +. delays.(y) in
+          if nd > delta.(y) then delta.(y) <- nd;
+          indeg.(y) <- indeg.(y) - 1;
+          if indeg.(y) = 0 then begin
+            queue.(!tail) <- y;
+            incr tail
+          end
+        end
+      done
+    done;
+    if !hd < n then
+      invalid_arg "Classic.feas: zero-weight cycle under retiming";
+    let worst = ref 0. in
+    for v = 0 to n - 1 do
+      if delta.(v) > !worst then worst := delta.(v)
+    done;
+    !worst
+  in
+  (* [since] counts iterations without improving the best worst-arrival
+     seen: a probe that stalls for [patience] rounds is declared
+     infeasible without burning the full |V|-1 theory bound. The exit
+     is heuristic (a true-feasible period can be given up on) but
+     one-sided — every Some is genuinely feasible — so the callers'
+     bisection still returns a legal, merely possibly non-minimal,
+     retiming. *)
+  let rec loop it best since =
+    (match deadline with
+    | Some d -> Rar_util.Deadline.force_check d ~phase:"feas"
+    | None -> ());
+    let worst = cp () in
+    if worst <= period +. 1e-9 then begin
+      let r0 = r.(0) in
+      if r0 <> 0 then
+        for v = 0 to n - 1 do
+          r.(v) <- r.(v) - r0
+        done;
+      Some (r, worst)
+    end
+    else if it >= limit then None
+    else begin
+      let best, since =
+        if worst < best -. 1e-12 then (worst, 0) else (best, since + 1)
+      in
+      if since >= patience then None
+      else begin
+        for v = 0 to n - 1 do
+          if delta.(v) > period +. 1e-9 then r.(v) <- r.(v) + 1
+        done;
+        loop (it + 1) best since
+      end
+    end
+  in
+  loop 0 infinity 0
+
+let min_period_feas ?deadline ?(probes = 24) ?max_iters ?patience g =
+  let hi = ref (period_of g) in
+  (* No retiming beats the heaviest single vertex. *)
+  let lo = ref (Array.fold_left (fun a d -> Float.max a d) 0. g.delays) in
+  let best_r = ref (Array.make g.n 0) and best_p = ref !hi in
+  let k = ref 0 in
+  while !k < probes && !hi -. !lo > 1e-9 *. Float.max 1. !hi do
+    incr k;
+    let mid = 0.5 *. (!lo +. !hi) in
+    (* Warm start: [!best_r] is legal (it is feasible at [!best_p]),
+       and FEAS only ever pushes registers backwards from it, so each
+       probe pays for the increments beyond the last success instead of
+       re-deriving them from r = 0. *)
+    match feas ?deadline ?max_iters ?patience ~init:!best_r g ~period:mid with
+    | Some (r, achieved) ->
+      best_r := r;
+      best_p := achieved;
+      (* [achieved] can undershoot the probe; tighten to it. *)
+      hi := achieved
+    | None -> lo := mid
+  done;
+  (!best_r, !best_p)
+
+let retime_feas ?deadline ?probes ?max_iters ?patience g =
+  try
+    let r, _ = min_period_feas ?deadline ?probes ?max_iters ?patience g in
+    let retimed = realize g r in
+    let registers_after =
+      Array.fold_left
+        (fun acc v ->
+          match Netlist.kind retimed v with
+          | Netlist.Seq Netlist.Flop -> acc + 1
+          | _ -> acc)
+        0 (Netlist.seqs retimed)
+    in
+    let g' = of_netlist ~host_registers:g.host_registers ~lib:g.lib retimed in
+    Ok
+      {
+        r;
+        registers_before = g.registers_before;
+        registers_after;
+        achieved_period = period_of g';
+        retimed;
+      }
+  with Rar_util.Deadline.Expired { elapsed; phase } ->
+    Error (Error.Timeout { elapsed; phase })
 
 let retime ?deadline ?on_fallback ?(engine = Difflp.Network_simplex) g
     ~period =

@@ -14,7 +14,10 @@
       warm-started from the previous feasible probe's potentials;
     - {!retime} — min-area retiming at a chosen period (Eq. 3 with the
       fanout-sharing breadths), solved by min-cost flow, realised back
-      into a netlist with shared register chains. *)
+      into a netlist with shared register chains;
+    - {!retime_feas} — the matrix-free FEAS route for million-gate
+      graphs, where the Theta(n^2) all-pairs W/D tables of the exact
+      route cannot even be stored. *)
 
 module Netlist = Rar_netlist.Netlist
 module Liberty = Rar_liberty.Liberty
@@ -90,3 +93,52 @@ val retime :
     network simplex; the closure engine is rejected (solutions are not
     binary). [?deadline] and [?on_fallback] behave as in
     {!Rgraph.solve}. *)
+
+val feas :
+  ?deadline:Rar_util.Deadline.t ->
+  ?init:int array ->
+  ?max_iters:int ->
+  ?patience:int ->
+  graph -> period:float -> (int array * float) option
+(** Leiserson–Saxe Algorithm FEAS: a legal retiming meeting [period],
+    or [None] if none was reached. Each sweep is an O(V + E)
+    clock-period pass over the retimed zero-weight subgraph followed
+    by [r(v) <- r(v) + 1] on every over-period vertex; [max_iters]
+    defaults to the |V| - 1 theory bound, but a probe that fails to
+    improve its worst arrival for [patience] consecutive sweeps
+    (default 100) is abandoned early, so [None] is a heuristic — not
+    proven — infeasibility verdict unless [patience] is raised above
+    [max_iters]. Every [Some] is genuinely feasible. [init] warm-starts
+    from a known-legal retiming (non-negative retimed weights; raises
+    [Invalid_argument] on a length mismatch) instead of r = 0.
+    Returns [(r, achieved)] with [r] normalised to [r(host) = 0] and
+    [achieved] the clock period of the retimed graph (can undershoot
+    [period]). Needs no W/D matrices — O(V) memory beyond the graph.
+    [?deadline] phase is ["feas"]. *)
+
+val min_period_feas :
+  ?deadline:Rar_util.Deadline.t ->
+  ?probes:int ->
+  ?max_iters:int ->
+  ?patience:int ->
+  graph -> int array * float
+(** Bisect the period between the heaviest single vertex and the
+    current period with {!feas} ([probes] halvings, default 24 —
+    enough to exhaust double precision on any real delay range) and
+    return the best retiming found with its achieved period. Probes
+    warm-start from the best feasible retiming so far, so successive
+    successes pay only for their extra register moves. Because the
+    per-probe infeasibility exit is heuristic (see {!feas}), the
+    result can sit above the true optimum; it is always a legal
+    retiming no worse than the input. *)
+
+val retime_feas :
+  ?deadline:Rar_util.Deadline.t ->
+  ?probes:int ->
+  ?max_iters:int ->
+  ?patience:int ->
+  graph -> (outcome, Error.t) result
+(** {!min_period_feas} followed by netlist realisation: the scalable end-to-end
+    min-period path (no min-area objective — FEAS moves registers
+    wherever feasibility demands). Deadline expiry surfaces as
+    [Error.Timeout] with phase ["feas"]. *)

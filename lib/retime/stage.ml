@@ -48,7 +48,7 @@ let classify t s =
 
 let illegal_edges t = t.illegal
 
-let db_of_sink t s = Sta.backward t.sta ~sink:s
+let db_of_sink t s = Sta.backward_packed t.sta ~sink:s
 
 let a_value t ~db ~u ~v =
   Sta.arrival_with_slave_after t.sta ~clocking:t.clocking
@@ -164,19 +164,18 @@ type classified = {
 let classify_sink ~sta_an ~clocking ~latch net s =
   let period = Clocking.period clocking in
   let limit = Clocking.max_delay clocking in
+  let cv = Netlist.compact net in
   let cone, db = Sta.backward_cone sta_an ~sink:s in
-  let in_cone v =
-    db.(v).Liberty.rise > neg_infinity || db.(v).Liberty.fall > neg_infinity
-  in
+  let dbr = db.Sta.rise and dbf = db.Sta.fall in
+  let in_cone v = dbr.(v) > neg_infinity || dbf.(v) > neg_infinity in
   let cone_asc = Array.copy cone in
-  Array.sort compare cone_asc;
+  Array.sort (fun (a : int) b -> compare a b) cone_asc;
   (* Longest pure combinational path into s, polarity-paired. *)
   let max_path = ref neg_infinity in
   Array.iter
     (fun v ->
-      let a = Sta.arrival_arc sta_an v in
-      let thru_rise = a.Liberty.rise +. db.(v).Liberty.rise in
-      let thru_fall = a.Liberty.fall +. db.(v).Liberty.fall in
+      let thru_rise = Sta.arrival_rise sta_an v +. dbr.(v) in
+      let thru_fall = Sta.arrival_fall sta_an v +. dbf.(v) in
       if thru_rise > !max_path then max_path := thru_rise;
       if thru_fall > !max_path then max_path := thru_fall)
     cone_asc;
@@ -191,48 +190,55 @@ let classify_sink ~sta_an ~clocking ~latch net s =
   let can_launch u = Sta.df sta_an u <= close_limit +. eps in
   (* One pass over every cone position: record per-edge (7) violations,
      the window edges, the worst legal A, and the good-edge predicate
-     for the path DP below. *)
+     for the path DP below. Edges are keyed as [u * n + v] in an int
+     table — the cone loops walk the compact CSR view, allocating
+     nothing per position. *)
+  let n_nodes = Netlist.node_count net in
   let a_max_legal = ref neg_infinity in
   let good = Hashtbl.create 64 in
+  let good_edge u v = Hashtbl.mem good ((u * n_nodes) + v) in
   let illegal = ref [] in
   let window = ref [] in
   Array.iter
     (fun v ->
-      match Netlist.kind net v with
-      | Netlist.Input -> ()
-      | Netlist.Gate _ | Netlist.Output ->
-        Array.iter
-          (fun u ->
-            let a = a_of ~u ~v in
-            if a > limit +. eps then illegal := (u, v) :: !illegal
-            else if a > period +. eps then window := (u, v) :: !window;
-            if can_launch u && a <= limit +. eps then begin
-              if a > !a_max_legal then a_max_legal := a;
-              if a <= period +. eps then Hashtbl.replace good (u, v) ()
-            end)
-          (Netlist.fanins net v)
-      | Netlist.Seq _ -> assert false)
+      let tg = Netlist.Compact.tag cv v in
+      if tg <> Netlist.Compact.tag_input then begin
+        assert (tg <> Netlist.Compact.tag_seq);
+        let hi = Netlist.Compact.fanin_hi cv v in
+        for p = Netlist.Compact.fanin_lo cv v to hi - 1 do
+          let u = Netlist.Compact.fanin cv p in
+          let a = a_of ~u ~v in
+          if a > limit +. eps then illegal := (u, v) :: !illegal
+          else if a > period +. eps then window := (u, v) :: !window;
+          if can_launch u && a <= limit +. eps then begin
+            if a > !a_max_legal then a_max_legal := a;
+            if a <= period +. eps then
+              Hashtbl.replace good ((u * n_nodes) + v) ()
+          end
+        done
+      end)
     cone_asc;
   let ill = List.rev !illegal in
   (* Path DP: [bad v] = some source-to-v path passed no good position.
      The sink can be made non-error-detecting iff no bad path reaches
      it. [cone] reversed is a forward topological order of the cone. *)
-  let bad = Hashtbl.create 64 in
+  let bad = Array.make n_nodes false in
   for i = Array.length cone - 1 downto 0 do
     let v = cone.(i) in
-    match Netlist.kind net v with
-    | Netlist.Input -> Hashtbl.replace bad v ()
-    | Netlist.Gate _ | Netlist.Output ->
+    let tg = Netlist.Compact.tag cv v in
+    if tg = Netlist.Compact.tag_input then bad.(v) <- true
+    else begin
+      assert (tg <> Netlist.Compact.tag_seq);
       let b = ref false in
-      Array.iter
-        (fun u ->
-          if in_cone u && Hashtbl.mem bad u && not (Hashtbl.mem good (u, v))
-          then b := true)
-        (Netlist.fanins net v);
-      if !b then Hashtbl.replace bad v ()
-    | Netlist.Seq _ -> assert false
+      let hi = Netlist.Compact.fanin_hi cv v in
+      for p = Netlist.Compact.fanin_lo cv v to hi - 1 do
+        let u = Netlist.Compact.fanin cv p in
+        if in_cone u && bad.(u) && not (good_edge u v) then b := true
+      done;
+      if !b then bad.(v) <- true
+    end
   done;
-  if Hashtbl.mem bad s then
+  if bad.(s) then
     { cls = Always_ed; mp = !max_path; ill; win = []; empty_cut = false }
   else if !a_max_legal <= period +. eps then
     { cls = Never_ed; mp = !max_path; ill; win = []; empty_cut = false }
@@ -242,33 +248,33 @@ let classify_sink ~sta_an ~clocking ~latch net s =
     let cut = ref [] in
     Array.iter
       (fun v ->
+        let tg = Netlist.Compact.tag cv v in
         let can_hold_latch =
-          match Netlist.kind net v with
-          | Netlist.Input | Netlist.Gate _ -> true
-          | Netlist.Output | Netlist.Seq _ -> false
+          tg = Netlist.Compact.tag_input || tg = Netlist.Compact.tag_gate
         in
         if can_hold_latch then begin
           let ok_after = ref false in
-          Array.iter
-            (fun n_ ->
-              if in_cone n_ && Hashtbl.mem good (v, n_) then ok_after := true)
-            (Netlist.fanouts net v);
+          let fo_hi = Netlist.Compact.fanout_hi cv v in
+          for p = Netlist.Compact.fanout_lo cv v to fo_hi - 1 do
+            let n_ = Netlist.Compact.fanout cv p in
+            if in_cone n_ && good_edge v n_ then ok_after := true
+          done;
           if !ok_after then begin
             let bad_before = ref false in
-            (match Netlist.kind net v with
-            | Netlist.Input ->
-              Array.iter
-                (fun n_ ->
-                  if in_cone n_ && a_of ~u:v ~v:n_ > period +. eps then
-                    bad_before := true)
-                (Netlist.fanouts net v)
-            | Netlist.Gate _ ->
-              Array.iter
-                (fun k ->
-                  if (not !bad_before) && a_of ~u:k ~v > period +. eps then
-                    bad_before := true)
-                (Netlist.fanins net v)
-            | Netlist.Output | Netlist.Seq _ -> assert false);
+            if tg = Netlist.Compact.tag_input then
+              for p = Netlist.Compact.fanout_lo cv v to fo_hi - 1 do
+                let n_ = Netlist.Compact.fanout cv p in
+                if in_cone n_ && a_of ~u:v ~v:n_ > period +. eps then
+                  bad_before := true
+              done
+            else begin
+              let fi_hi = Netlist.Compact.fanin_hi cv v in
+              for p = Netlist.Compact.fanin_lo cv v to fi_hi - 1 do
+                let k = Netlist.Compact.fanin cv p in
+                if (not !bad_before) && a_of ~u:k ~v > period +. eps then
+                  bad_before := true
+              done
+            end;
             if !bad_before then cut := v :: !cut
           end
         end)

@@ -70,10 +70,10 @@ val illegal_edges : t -> (int * int) list
     positions. Sources whose initial (host-edge) position covers an
     illegal edge are promoted to [V_m]. *)
 
-val db_of_sink : t -> int -> Liberty.arc array
+val db_of_sink : t -> int -> Sta.db
 (** Backward delays to one sink (uncached; computed on demand). *)
 
-val a_value : t -> db:Liberty.arc array -> u:int -> v:int -> float
+val a_value : t -> db:Sta.db -> u:int -> v:int -> float
 (** Eq. 5 [A(u,v,t)] for a slave on edge [(u,v)], for the sink whose
     backward delays are [db]. When [u] is a source, the host-edge
     position (slave at the source output) is the [u]=source case

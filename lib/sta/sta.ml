@@ -1,4 +1,5 @@
 module Netlist = Rar_netlist.Netlist
+module Compact = Rar_netlist.Netlist.Compact
 module Liberty = Rar_liberty.Liberty
 module Cell_kind = Rar_netlist.Cell_kind
 module Transform = Rar_netlist.Transform
@@ -9,70 +10,40 @@ let model_name = function
   | Gate_based -> "gate-based"
   | Path_based -> "path-based"
 
+type db = { rise : float array; fall : float array }
+
+(* Per-pin propagation codes. The model and the pin's unateness are
+   folded into one int at [analyse] time so the sweep loops dispatch on
+   a flat int array instead of re-matching variants per pin. *)
+let un_pos = 0 (* path-based, positive unate *)
+let un_neg = 1 (* path-based, negative unate *)
+let un_non = 2 (* path-based, non-unate *)
+let un_scalar = 3 (* gate-based: pa_rise = pa_fall = worst cell delay *)
+
 type t = {
   net : Netlist.t;
+  cv : Compact.t;
   lib : Liberty.t;
   mdl : model;
   launch_time : float;
-  pin_arcs : Liberty.arc array array; (* per node, per pin: pin-to-pin arc *)
-  delay_max : float array;            (* gate-based d(v); 0 for ports *)
-  arr : Liberty.arc array;            (* arrival at node output *)
+  (* Pin-to-pin arcs, flattened over the compact view's global pin
+     positions: pin [pin] of node [v] lives at [fanin_lo v + pin].
+     Ports (non-gate pins) hold zeros and are never read. *)
+  pa_rise : float array;
+  pa_fall : float array;
+  unate : int array;
+  (* Arrival arena: rise/fall per node, filled by the forward sweep. *)
+  arr_rise : float array;
+  arr_fall : float array;
   mutable back_all_cache : float array option;
 }
 
 let neg_inf_arc = Liberty.{ rise = neg_infinity; fall = neg_infinity }
-let zero_arc = Liberty.{ rise = 0.; fall = 0. }
-
-let arc_max2 (a : Liberty.arc) (b : Liberty.arc) =
-  Liberty.{ rise = Float.max a.rise b.rise; fall = Float.max a.fall b.fall }
 
 let netlist t = t.net
 let library t = t.lib
 let model t = t.mdl
 let launch t = t.launch_time
-
-(* Propagate an input arc through one pin of a gate. [pa] is the pin's
-   pin-to-pin arc (output-transition indexed), [un] the pin's
-   unateness. Under the gate-based model the caller passes the scalar
-   worst delay via [pa] with rise = fall = d and [un = Non_unate],
-   which collapses to "max input + d". *)
-let through_pin mdl un (pa : Liberty.arc) (input : Liberty.arc) : Liberty.arc =
-  match mdl with
-  | Gate_based ->
-    let d = Liberty.arc_max pa in
-    let worst = Float.max input.Liberty.rise input.Liberty.fall in
-    { rise = worst +. d; fall = worst +. d }
-  | Path_based -> (
-    match un with
-    | Cell_kind.Positive ->
-      { rise = input.rise +. pa.Liberty.rise; fall = input.fall +. pa.fall }
-    | Cell_kind.Negative ->
-      { rise = input.fall +. pa.Liberty.rise; fall = input.rise +. pa.fall }
-    | Cell_kind.Non_unate ->
-      let worst = Float.max input.Liberty.rise input.Liberty.fall in
-      { rise = worst +. pa.Liberty.rise; fall = worst +. pa.fall })
-
-(* Backward counterpart: given the worst remaining delay [db] indexed by
-   the transition at the gate's *output*, the worst remaining delay
-   indexed by the transition at the given input pin. *)
-let back_pin mdl un (pa : Liberty.arc) (db : Liberty.arc) : Liberty.arc =
-  match mdl with
-  | Gate_based ->
-    let d = Liberty.arc_max pa in
-    let worst = Float.max db.Liberty.rise db.Liberty.fall in
-    { rise = d +. worst; fall = d +. worst }
-  | Path_based -> (
-    match un with
-    | Cell_kind.Positive ->
-      { rise = pa.Liberty.rise +. db.Liberty.rise; fall = pa.fall +. db.fall }
-    | Cell_kind.Negative ->
-      (* input rise -> output fall *)
-      { rise = pa.Liberty.fall +. db.Liberty.fall; fall = pa.rise +. db.rise }
-    | Cell_kind.Non_unate ->
-      let via_rise = pa.Liberty.rise +. db.Liberty.rise in
-      let via_fall = pa.Liberty.fall +. db.Liberty.fall in
-      let worst = Float.max via_rise via_fall in
-      { rise = worst; fall = worst })
 
 (* One pin propagation of the forward pass = one "relaxation" of the
    timing DP: the per-analysis total is structural (pins in the
@@ -90,94 +61,167 @@ let analyse ?launch lib mdl net =
   let launch_time =
     match launch with Some l -> l | None -> (Liberty.latch lib).Liberty.ck_to_q
   in
-  let n = Netlist.node_count net in
-  let pin_arcs = Array.make n [||] in
-  let delay_max = Array.make n 0. in
+  let cv = Netlist.compact net in
+  let n = Compact.n cv in
+  let n_pins_total = Compact.fanin_lo cv n in
+  let pa_rise = Array.make (Int.max 1 n_pins_total) 0. in
+  let pa_fall = Array.make (Int.max 1 n_pins_total) 0. in
+  let unate = Array.make (Int.max 1 n_pins_total) un_non in
   for v = 0 to n - 1 do
     match Netlist.kind net v with
     | Netlist.Gate { fn; drive } ->
       let cell = Liberty.comb_cell lib fn ~drive in
       let load = Liberty.gate_load lib net v in
-      let n_pins = Array.length (Netlist.fanins net v) in
-      pin_arcs.(v) <-
-        Array.init n_pins (fun pin -> Liberty.pin_arc cell ~pin ~load);
-      delay_max.(v) <- Liberty.cell_delay_max cell ~n_pins ~load
+      let lo = Compact.fanin_lo cv v in
+      let n_pins = Compact.fanin_hi cv v - lo in
+      for pin = 0 to n_pins - 1 do
+        let pa = Liberty.pin_arc cell ~pin ~load in
+        (match mdl with
+        | Gate_based ->
+          let d = Liberty.arc_max pa in
+          pa_rise.(lo + pin) <- d;
+          pa_fall.(lo + pin) <- d;
+          unate.(lo + pin) <- un_scalar
+        | Path_based ->
+          pa_rise.(lo + pin) <- pa.Liberty.rise;
+          pa_fall.(lo + pin) <- pa.Liberty.fall;
+          unate.(lo + pin) <-
+            (match Cell_kind.unateness fn pin with
+            | Cell_kind.Positive -> un_pos
+            | Cell_kind.Negative -> un_neg
+            | Cell_kind.Non_unate -> un_non))
+      done
     | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()
   done;
-  let arr = Array.make n neg_inf_arc in
+  let arr_rise = Array.make n neg_infinity in
+  let arr_fall = Array.make n neg_infinity in
+  let topo = Compact.topo cv in
   let pins = ref 0 in
-  Array.iter
-    (fun v ->
-      match Netlist.kind net v with
-      | Netlist.Input ->
-        arr.(v) <- { rise = launch_time; fall = launch_time }
-      | Netlist.Output -> arr.(v) <- arr.((Netlist.fanins net v).(0))
-      | Netlist.Gate { fn; _ } ->
-        let best = ref neg_inf_arc in
-        Array.iteri
-          (fun pin u ->
-            incr pins;
-            let out =
-              through_pin mdl (Cell_kind.unateness fn pin) pin_arcs.(v).(pin)
-                arr.(u)
-            in
-            best := arc_max2 !best out)
-          (Netlist.fanins net v);
-        arr.(v) <- !best
-      | Netlist.Seq _ -> assert false)
-    (Netlist.topo_comb net);
+  for i = 0 to n - 1 do
+    let v = topo.(i) in
+    let tg = Compact.tag cv v in
+    if tg = Compact.tag_input then begin
+      arr_rise.(v) <- launch_time;
+      arr_fall.(v) <- launch_time
+    end
+    else if tg = Compact.tag_output then begin
+      let u = Compact.fanin cv (Compact.fanin_lo cv v) in
+      arr_rise.(v) <- arr_rise.(u);
+      arr_fall.(v) <- arr_fall.(u)
+    end
+    else begin
+      (* gate: sequential nodes were rejected above *)
+      let best_r = ref neg_infinity and best_f = ref neg_infinity in
+      let hi = Compact.fanin_hi cv v in
+      for p = Compact.fanin_lo cv v to hi - 1 do
+        incr pins;
+        let u = Compact.fanin cv p in
+        let in_r = arr_rise.(u) and in_f = arr_fall.(u) in
+        let code = unate.(p) in
+        let out_r, out_f =
+          if code = un_pos then (in_r +. pa_rise.(p), in_f +. pa_fall.(p))
+          else if code = un_neg then (in_f +. pa_rise.(p), in_r +. pa_fall.(p))
+          else if code = un_non then begin
+            let worst = Float.max in_r in_f in
+            (worst +. pa_rise.(p), worst +. pa_fall.(p))
+          end
+          else begin
+            let worst = Float.max in_r in_f in
+            let d = pa_rise.(p) in
+            (worst +. d, worst +. d)
+          end
+        in
+        if out_r > !best_r then best_r := out_r;
+        if out_f > !best_f then best_f := out_f
+      done;
+      arr_rise.(v) <- !best_r;
+      arr_fall.(v) <- !best_f
+    end
+  done;
   Rar_obs.Metrics.add m_pin_relax !pins;
-  { net; lib; mdl; launch_time; pin_arcs; delay_max; arr; back_all_cache = None }
+  { net; cv; lib; mdl; launch_time; pa_rise; pa_fall; unate; arr_rise;
+    arr_fall; back_all_cache = None }
 
-let arrival_arc t v = t.arr.(v)
-let df t v = Liberty.arc_max t.arr.(v)
+let arrival_arc t v = Liberty.{ rise = t.arr_rise.(v); fall = t.arr_fall.(v) }
+let arrival_rise t v = t.arr_rise.(v)
+let arrival_fall t v = t.arr_fall.(v)
+let df t v = Float.max t.arr_rise.(v) t.arr_fall.(v)
 let arrival_at_sink t v = df t v
 
-(* Relax one node of the backward DP: push [db.(w)] into the backward
-   arcs of w's fanins. *)
-let relax_back t db w =
-  match Netlist.kind t.net w with
-  | Netlist.Input -> ()
-  | Netlist.Output ->
-    let u = (Netlist.fanins t.net w).(0) in
-    db.(u) <- arc_max2 db.(u) db.(w)
-  | Netlist.Gate { fn; _ } ->
-    Array.iteri
-      (fun pin u ->
-        let contrib =
-          back_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(w).(pin)
-            db.(w)
-        in
-        db.(u) <- arc_max2 db.(u) contrib)
-      (Netlist.fanins t.net w)
-  | Netlist.Seq _ -> assert false
+(* Relax one node of the backward DP: push [dbr/dbf .(w)] into the
+   backward times of w's fanins. Pure float-array arithmetic: the old
+   per-pin [Liberty.arc] allocations were the dominant cost of cone
+   classification. *)
+let relax_back t dbr dbf w =
+  let cv = t.cv in
+  let tg = Compact.tag cv w in
+  if tg = Compact.tag_input then ()
+  else if tg = Compact.tag_output then begin
+    let u = Compact.fanin cv (Compact.fanin_lo cv w) in
+    if dbr.(w) > dbr.(u) then dbr.(u) <- dbr.(w);
+    if dbf.(w) > dbf.(u) then dbf.(u) <- dbf.(w)
+  end
+  else begin
+    let r = dbr.(w) and f = dbf.(w) in
+    let hi = Compact.fanin_hi cv w in
+    for p = Compact.fanin_lo cv w to hi - 1 do
+      let u = Compact.fanin cv p in
+      let code = t.unate.(p) in
+      let c_r, c_f =
+        if code = un_pos then (t.pa_rise.(p) +. r, t.pa_fall.(p) +. f)
+        else if code = un_neg then (t.pa_fall.(p) +. f, t.pa_rise.(p) +. r)
+        else if code = un_non then begin
+          let via_rise = t.pa_rise.(p) +. r in
+          let via_fall = t.pa_fall.(p) +. f in
+          let worst = Float.max via_rise via_fall in
+          (worst, worst)
+        end
+        else begin
+          let d = t.pa_rise.(p) in
+          let worst = Float.max r f in
+          (d +. worst, d +. worst)
+        end
+      in
+      if c_r > dbr.(u) then dbr.(u) <- c_r;
+      if c_f > dbf.(u) then dbf.(u) <- c_f
+    done
+  end
 
-(* Shared backward DP: [init] marks the starting arcs per node. *)
+(* Shared backward DP: [init] seeds the starting times. *)
 let backward_from t init =
-  let n = Netlist.node_count t.net in
-  let db = Array.make n neg_inf_arc in
-  Array.iteri (fun v a -> db.(v) <- a) init;
-  let topo = Netlist.topo_comb t.net in
+  let n = Compact.n t.cv in
+  let dbr = Array.make n neg_infinity in
+  let dbf = Array.make n neg_infinity in
+  init dbr dbf;
+  let topo = Compact.topo t.cv in
   for i = n - 1 downto 0 do
     let w = topo.(i) in
-    if db.(w).Liberty.rise > neg_infinity || db.(w).Liberty.fall > neg_infinity
-    then relax_back t db w
+    if dbr.(w) > neg_infinity || dbf.(w) > neg_infinity then
+      relax_back t dbr dbf w
   done;
-  db
+  { rise = dbr; fall = dbf }
+
+let check_sink fn_name t sink =
+  match Netlist.kind t.net sink with
+  | Netlist.Output -> ()
+  | _ -> invalid_arg (fn_name ^ ": sink must be an Output node")
+
+let backward_packed t ~sink =
+  check_sink "Sta.backward" t sink;
+  backward_from t (fun dbr dbf ->
+      dbr.(sink) <- 0.;
+      dbf.(sink) <- 0.)
 
 let backward t ~sink =
-  (match Netlist.kind t.net sink with
-  | Netlist.Output -> ()
-  | _ -> invalid_arg "Sta.backward: sink must be an Output node");
-  let init = Array.make (Netlist.node_count t.net) neg_inf_arc in
-  init.(sink) <- zero_arc;
-  backward_from t init
+  let { rise; fall } = backward_packed t ~sink in
+  Array.init (Array.length rise) (fun v ->
+      if rise.(v) = neg_infinity && fall.(v) = neg_infinity then neg_inf_arc
+      else Liberty.{ rise = rise.(v); fall = fall.(v) })
 
 let backward_cone t ~sink =
-  (match Netlist.kind t.net sink with
-  | Netlist.Output -> ()
-  | _ -> invalid_arg "Sta.backward_cone: sink must be an Output node");
-  let n = Netlist.node_count t.net in
+  check_sink "Sta.backward_cone" t sink;
+  let cv = t.cv in
+  let n = Compact.n cv in
   (* Iterative DFS from the sink along fanin edges; the reverse
      postorder puts every cone node before its fanins (sink first),
      exactly the processing order the backward DP needs, so the DP
@@ -192,9 +236,10 @@ let backward_cone t ~sink =
      match !stack with
      | [] -> continue_ := false
      | (v, next_pin) :: rest ->
-       let fi = Netlist.fanins t.net v in
-       if !next_pin < Array.length fi then begin
-         let u = fi.(!next_pin) in
+       let lo = Compact.fanin_lo cv v in
+       let deg = Compact.fanin_hi cv v - lo in
+       if !next_pin < deg then begin
+         let u = Compact.fanin cv (lo + !next_pin) in
          incr next_pin;
          if not seen.(u) then begin
            seen.(u) <- true;
@@ -209,100 +254,158 @@ let backward_cone t ~sink =
    done);
   let cone = Array.make !n_cone sink in
   List.iteri (fun i v -> cone.(i) <- v) !post;
-  let db = Array.make n neg_inf_arc in
-  db.(sink) <- zero_arc;
-  Array.iter (fun w -> relax_back t db w) cone;
-  (cone, db)
+  let dbr = Array.make n neg_infinity in
+  let dbf = Array.make n neg_infinity in
+  dbr.(sink) <- 0.;
+  dbf.(sink) <- 0.;
+  Array.iter (fun w -> relax_back t dbr dbf w) cone;
+  (cone, { rise = dbr; fall = dbf })
 
 let backward_scalar t ~sink =
-  Array.map Liberty.arc_max (backward t ~sink)
+  let { rise; fall } = backward_packed t ~sink in
+  Array.init (Array.length rise) (fun v -> Float.max rise.(v) fall.(v))
 
 let backward_all t =
   match t.back_all_cache with
   | Some r -> r
   | None ->
     Rar_obs.Trace.span "sta/backward_all" @@ fun () ->
-    let init = Array.make (Netlist.node_count t.net) neg_inf_arc in
-    Array.iter (fun s -> init.(s) <- zero_arc) (Netlist.outputs t.net);
-    let r = Array.map Liberty.arc_max (backward_from t init) in
+    let { rise; fall } =
+      backward_from t (fun dbr dbf ->
+          Array.iter
+            (fun s ->
+              dbr.(s) <- 0.;
+              dbf.(s) <- 0.)
+            (Netlist.outputs t.net))
+    in
+    let r =
+      Array.init (Array.length rise) (fun v -> Float.max rise.(v) fall.(v))
+    in
     t.back_all_cache <- Some r;
     r
 
-let through t ~driver ~via arc =
-  match Netlist.kind t.net via with
-  | Netlist.Output ->
-    if (Netlist.fanins t.net via).(0) <> driver then
+(* Worst arc at the output of [via] when the pin(s) driven by [driver]
+   switch at (in_r, in_f); raises like the old record-based [through]
+   when [driver] does not feed [via]. *)
+let through_rf t ~driver ~via in_r in_f =
+  let cv = t.cv in
+  let tg = Compact.tag cv via in
+  if tg = Compact.tag_output then begin
+    if Compact.fanin cv (Compact.fanin_lo cv via) <> driver then
       invalid_arg "Sta.through: driver does not feed via";
-    arc
-  | Netlist.Gate { fn; _ } ->
-    let best = ref neg_inf_arc in
-    Array.iteri
-      (fun pin u ->
-        if u = driver then
-          best :=
-            arc_max2 !best
-              (through_pin t.mdl (Cell_kind.unateness fn pin)
-                 t.pin_arcs.(via).(pin) arc))
-      (Netlist.fanins t.net via);
-    if !best.Liberty.rise = neg_infinity && !best.Liberty.fall = neg_infinity
-    then invalid_arg "Sta.through: driver does not feed via";
-    !best
-  | Netlist.Input | Netlist.Seq _ ->
-    invalid_arg "Sta.through: via must be a gate or sink"
+    (in_r, in_f)
+  end
+  else if tg = Compact.tag_gate then begin
+    let best_r = ref neg_infinity and best_f = ref neg_infinity in
+    let hi = Compact.fanin_hi cv via in
+    for p = Compact.fanin_lo cv via to hi - 1 do
+      if Compact.fanin cv p = driver then begin
+        let code = t.unate.(p) in
+        let out_r, out_f =
+          if code = un_pos then (in_r +. t.pa_rise.(p), in_f +. t.pa_fall.(p))
+          else if code = un_neg then
+            (in_f +. t.pa_rise.(p), in_r +. t.pa_fall.(p))
+          else if code = un_non then begin
+            let worst = Float.max in_r in_f in
+            (worst +. t.pa_rise.(p), worst +. t.pa_fall.(p))
+          end
+          else begin
+            let worst = Float.max in_r in_f in
+            let d = t.pa_rise.(p) in
+            (worst +. d, worst +. d)
+          end
+        in
+        if out_r > !best_r then best_r := out_r;
+        if out_f > !best_f then best_f := out_f
+      end
+    done;
+    if !best_r = neg_infinity && !best_f = neg_infinity then
+      invalid_arg "Sta.through: driver does not feed via";
+    (!best_r, !best_f)
+  end
+  else invalid_arg "Sta.through: via must be a gate or sink"
+
+let through t ~driver ~via arc =
+  let r, f = through_rf t ~driver ~via arc.Liberty.rise arc.Liberty.fall in
+  Liberty.{ rise = r; fall = f }
 
 let latch_out t ~clocking ~latch u =
   let open_t = Clocking.slave_open clocking +. latch.Liberty.ck_to_q in
   let d_to_q = latch.Liberty.d_to_q in
-  let a = t.arr.(u) in
   {
-    Liberty.rise = Float.max open_t (a.Liberty.rise +. d_to_q);
-    fall = Float.max open_t (a.Liberty.fall +. d_to_q);
+    Liberty.rise = Float.max open_t (t.arr_rise.(u) +. d_to_q);
+    fall = Float.max open_t (t.arr_fall.(u) +. d_to_q);
   }
 
 let arrival_with_slave_after t ~clocking ~latch ~u ~v ~db =
-  let lo = latch_out t ~clocking ~latch u in
-  let out = through t ~driver:u ~via:v lo in
-  Float.max
-    (out.Liberty.rise +. db.(v).Liberty.rise)
-    (out.Liberty.fall +. db.(v).Liberty.fall)
+  let open_t = Clocking.slave_open clocking +. latch.Liberty.ck_to_q in
+  let d_to_q = latch.Liberty.d_to_q in
+  let lo_r = Float.max open_t (t.arr_rise.(u) +. d_to_q) in
+  let lo_f = Float.max open_t (t.arr_fall.(u) +. d_to_q) in
+  let out_r, out_f = through_rf t ~driver:u ~via:v lo_r lo_f in
+  Float.max (out_r +. db.rise.(v)) (out_f +. db.fall.(v))
 
 let forward_with_latches t ~clocking ~latch ~latched =
   let open_t = Clocking.slave_open clocking +. latch.Liberty.ck_to_q in
   let d_to_q = latch.Liberty.d_to_q in
-  let through_latch (a : Liberty.arc) =
-    {
-      Liberty.rise = Float.max open_t (a.Liberty.rise +. d_to_q);
-      fall = Float.max open_t (a.Liberty.fall +. d_to_q);
-    }
-  in
-  let n = Netlist.node_count t.net in
-  let arr = Array.make n neg_inf_arc in
-  Array.iter
-    (fun v ->
-      match Netlist.kind t.net v with
-      | Netlist.Input ->
-        arr.(v) <- { rise = t.launch_time; fall = t.launch_time }
-      | Netlist.Output ->
-        let u = (Netlist.fanins t.net v).(0) in
-        let a = if latched ~v ~pin:0 then through_latch arr.(u) else arr.(u) in
-        arr.(v) <- a
-      | Netlist.Gate { fn; _ } ->
-        let best = ref neg_inf_arc in
-        Array.iteri
-          (fun pin u ->
-            let input =
-              if latched ~v ~pin then through_latch arr.(u) else arr.(u)
-            in
-            let out =
-              through_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(v).(pin)
-                input
-            in
-            best := arc_max2 !best out)
-          (Netlist.fanins t.net v);
-        arr.(v) <- !best
-      | Netlist.Seq _ -> assert false)
-    (Netlist.topo_comb t.net);
-  arr
+  let cv = t.cv in
+  let n = Compact.n cv in
+  let arr_r = Array.make n neg_infinity in
+  let arr_f = Array.make n neg_infinity in
+  let topo = Compact.topo cv in
+  for i = 0 to n - 1 do
+    let v = topo.(i) in
+    let tg = Compact.tag cv v in
+    if tg = Compact.tag_input then begin
+      arr_r.(v) <- t.launch_time;
+      arr_f.(v) <- t.launch_time
+    end
+    else if tg = Compact.tag_output then begin
+      let u = Compact.fanin cv (Compact.fanin_lo cv v) in
+      if latched ~v ~pin:0 then begin
+        arr_r.(v) <- Float.max open_t (arr_r.(u) +. d_to_q);
+        arr_f.(v) <- Float.max open_t (arr_f.(u) +. d_to_q)
+      end
+      else begin
+        arr_r.(v) <- arr_r.(u);
+        arr_f.(v) <- arr_f.(u)
+      end
+    end
+    else begin
+      let best_r = ref neg_infinity and best_f = ref neg_infinity in
+      let lo = Compact.fanin_lo cv v in
+      let hi = Compact.fanin_hi cv v in
+      for p = lo to hi - 1 do
+        let u = Compact.fanin cv p in
+        let in_r, in_f =
+          if latched ~v ~pin:(p - lo) then
+            ( Float.max open_t (arr_r.(u) +. d_to_q),
+              Float.max open_t (arr_f.(u) +. d_to_q) )
+          else (arr_r.(u), arr_f.(u))
+        in
+        let code = t.unate.(p) in
+        let out_r, out_f =
+          if code = un_pos then (in_r +. t.pa_rise.(p), in_f +. t.pa_fall.(p))
+          else if code = un_neg then
+            (in_f +. t.pa_rise.(p), in_r +. t.pa_fall.(p))
+          else if code = un_non then begin
+            let worst = Float.max in_r in_f in
+            (worst +. t.pa_rise.(p), worst +. t.pa_fall.(p))
+          end
+          else begin
+            let worst = Float.max in_r in_f in
+            let d = t.pa_rise.(p) in
+            (worst +. d, worst +. d)
+          end
+        in
+        if out_r > !best_r then best_r := out_r;
+        if out_f > !best_f then best_f := out_f
+      done;
+      arr_r.(v) <- !best_r;
+      arr_f.(v) <- !best_f
+    end
+  done;
+  Array.init n (fun v -> Liberty.{ rise = arr_r.(v); fall = arr_f.(v) })
 
 let sink_summary t =
   Array.map (fun s -> (s, arrival_at_sink t s)) (Netlist.outputs t.net)
@@ -338,60 +441,65 @@ type path_step = {
   edge : [ `Rise | `Fall ];
 }
 
-let worst_edge (a : Liberty.arc) =
-  if a.Liberty.rise >= a.Liberty.fall then (`Rise, a.Liberty.rise)
-  else (`Fall, a.Liberty.fall)
+let worst_edge_rf r f = if r >= f then (`Rise, r) else (`Fall, f)
 
 let critical_path t ~sink =
-  (match Netlist.kind t.net sink with
-  | Netlist.Output -> ()
-  | _ -> invalid_arg "Sta.critical_path: sink must be an Output node");
+  check_sink "Sta.critical_path" t sink;
+  let cv = t.cv in
   (* Walk back greedily: at each node pick the fanin/pin/edge pairing
      that explains the node's worst arrival. *)
   let rec walk v edge acc =
     let arrival =
-      match edge with
-      | `Rise -> t.arr.(v).Liberty.rise
-      | `Fall -> t.arr.(v).Liberty.fall
+      match edge with `Rise -> t.arr_rise.(v) | `Fall -> t.arr_fall.(v)
     in
     match Netlist.kind t.net v with
     | Netlist.Input -> { node = v; incr = 0.; arrival; edge } :: acc
     | Netlist.Output ->
-      let u = (Netlist.fanins t.net v).(0) in
+      let u = Compact.fanin cv (Compact.fanin_lo cv v) in
       walk u edge ({ node = v; incr = 0.; arrival; edge } :: acc)
     | Netlist.Gate { fn; _ } ->
       (* find the (pin, input edge) whose propagation equals arrival *)
       let best = ref None in
-      Array.iteri
-        (fun pin u ->
-          let out =
-            through_pin t.mdl (Cell_kind.unateness fn pin) t.pin_arcs.(v).(pin)
-              t.arr.(u)
+      let lo = Compact.fanin_lo cv v in
+      let hi = Compact.fanin_hi cv v in
+      for p = lo to hi - 1 do
+        let u = Compact.fanin cv p in
+        let in_r = t.arr_rise.(u) and in_f = t.arr_fall.(u) in
+        let code = t.unate.(p) in
+        let out_r, out_f =
+          if code = un_pos then (in_r +. t.pa_rise.(p), in_f +. t.pa_fall.(p))
+          else if code = un_neg then
+            (in_f +. t.pa_rise.(p), in_r +. t.pa_fall.(p))
+          else if code = un_non then begin
+            let worst = Float.max in_r in_f in
+            (worst +. t.pa_rise.(p), worst +. t.pa_fall.(p))
+          end
+          else begin
+            let worst = Float.max in_r in_f in
+            let d = t.pa_rise.(p) in
+            (worst +. d, worst +. d)
+          end
+        in
+        let v_arr = match edge with `Rise -> out_r | `Fall -> out_f in
+        if Float.abs (v_arr -. arrival) < 1e-9 && !best = None then begin
+          (* reconstruct which input edge produced it *)
+          let in_edge =
+            match (t.mdl, Cell_kind.unateness fn (p - lo), edge) with
+            | Gate_based, _, _ | _, Cell_kind.Non_unate, _ ->
+              if in_r >= in_f then `Rise else `Fall
+            | _, Cell_kind.Positive, e -> e
+            | _, Cell_kind.Negative, `Rise -> `Fall
+            | _, Cell_kind.Negative, `Fall -> `Rise
           in
-          let v_arr = match edge with
-            | `Rise -> out.Liberty.rise
-            | `Fall -> out.Liberty.fall
-          in
-          if Float.abs (v_arr -. arrival) < 1e-9 && !best = None then begin
-            (* reconstruct which input edge produced it *)
-            let in_edge =
-              match (t.mdl, Cell_kind.unateness fn pin, edge) with
-              | Gate_based, _, _ | _, Cell_kind.Non_unate, _ ->
-                let a = t.arr.(u) in
-                if a.Liberty.rise >= a.Liberty.fall then `Rise else `Fall
-              | _, Cell_kind.Positive, e -> e
-              | _, Cell_kind.Negative, `Rise -> `Fall
-              | _, Cell_kind.Negative, `Fall -> `Rise
-            in
-            best := Some (u, in_edge)
-          end)
-        (Netlist.fanins t.net v);
+          best := Some (u, in_edge)
+        end
+      done;
       (match !best with
       | Some (u, in_edge) ->
         let in_arr =
           match in_edge with
-          | `Rise -> t.arr.(u).Liberty.rise
-          | `Fall -> t.arr.(u).Liberty.fall
+          | `Rise -> t.arr_rise.(u)
+          | `Fall -> t.arr_fall.(u)
         in
         walk u in_edge
           ({ node = v; incr = arrival -. in_arr; arrival; edge } :: acc)
@@ -400,7 +508,7 @@ let critical_path t ~sink =
         { node = v; incr = 0.; arrival; edge } :: acc)
     | Netlist.Seq _ -> assert false
   in
-  let e, _ = worst_edge t.arr.(sink) in
+  let e, _ = worst_edge_rf t.arr_rise.(sink) t.arr_fall.(sink) in
   walk sink e []
 
 let report_path t ~clocking ~sink =

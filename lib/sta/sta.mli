@@ -42,6 +42,11 @@ val launch : t -> float
 val arrival_arc : t -> int -> Liberty.arc
 (** Arrival at node output: [rise] = latest output-rising transition. *)
 
+val arrival_rise : t -> int -> float
+val arrival_fall : t -> int -> float
+(** The components of {!arrival_arc} without materialising a record —
+    the form hot per-sink loops (stage classification) read. *)
+
 val df : t -> int -> float
 (** [D^f(v)]: scalar worst arrival at the output of [v] (Eq. 5's
     forward term). For [Output] sink nodes this is the capture-point
@@ -53,6 +58,13 @@ val arrival_at_sink : t -> int -> float
 
 (** {1 Backward delays} *)
 
+type db = { rise : float array; fall : float array }
+(** Backward-delay arena: [rise.(v)]/[fall.(v)] is [D^b(v, t)] indexed
+    by the transition polarity at [v], [neg_infinity] outside the
+    sink's fan-in cone. A plain pair of float arrays (not
+    [Liberty.arc array]) so the per-sink backward DP allocates two flat
+    arenas and nothing per pin. Treat as read-only. *)
+
 val backward : t -> sink:int -> Liberty.arc array
 (** [D^b(v, t)] for every node [v]: worst delay from a transition at
     the {e output} of [v] to the sink [t], excluding [v]'s own delay;
@@ -60,13 +72,17 @@ val backward : t -> sink:int -> Liberty.arc array
     cone of [t] hold [neg_infinity] arcs. [backward t ~sink] of the
     sink itself is the zero arc. *)
 
-val backward_cone : t -> sink:int -> int array * Liberty.arc array
+val backward_packed : t -> sink:int -> db
+(** {!backward} in packed form (the arrays {!backward} materialises
+    its arcs from). *)
+
+val backward_cone : t -> sink:int -> int array * db
 (** Sparse {!backward}: [(cone, db)] where [cone] lists exactly the
     nodes in the fan-in cone of [sink], ordered so every node precedes
-    its fanins (the sink first), and [db] equals [backward t ~sink].
-    The DP walks only the cone instead of scanning all [n] nodes, so
-    the cost is O(|cone|) edge relaxations — the per-sink kernel of
-    {!Rar_retime.Stage} classification. *)
+    its fanins (the sink first), and [db] equals
+    [backward_packed t ~sink]. The DP walks only the cone instead of
+    scanning all [n] nodes, so the cost is O(|cone|) edge relaxations —
+    the per-sink kernel of {!Rar_retime.Stage} classification. *)
 
 val backward_scalar : t -> sink:int -> float array
 (** Max of the {!backward} arcs. *)
@@ -94,9 +110,10 @@ val latch_out :
 
 val arrival_with_slave_after :
   t -> clocking:Clocking.t -> latch:Liberty.seq_cell -> u:int -> v:int ->
-  db:Liberty.arc array -> float
-(** [A(u,v,t)] of Eq. 5: worst arrival at the sink whose {!backward}
-    arcs are [db], through a slave latch on edge [(u,v)]. *)
+  db:db -> float
+(** [A(u,v,t)] of Eq. 5: worst arrival at the sink whose backward
+    times are [db], through a slave latch on edge [(u,v)]. Entirely
+    allocation-free — the inner loop of stage classification. *)
 
 val forward_with_latches :
   t ->

@@ -16,16 +16,52 @@ type pool = {
    sequential evaluation instead of deadlocking the fixed pool. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+let host_cores () = Domain.recommended_domain_count ()
+
 let default_jobs () =
   match Sys.getenv_opt "RAR_JOBS" with
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 1 -> j
     | Some _ | None -> 1)
-  | None -> Int.max 1 (Domain.recommended_domain_count () - 1)
+  | None -> Int.max 1 (host_cores () - 1)
 
 let override : int option ref = ref None
 let jobs () = match !override with Some j -> j | None -> default_jobs ()
+
+(* Self-sizing: the requested job count is a ceiling, not a command.
+   Worker domains beyond the physical core count time-slice against
+   each other (and against the submitting domain) — measured at 0.24x
+   on a 1-core host — so dispatch clamps to the core count; and a
+   batch with fewer than [min_tasks_per_domain] tasks per worker pays
+   more in queue/wake traffic than it can win back, so it runs
+   sequentially. *)
+let min_tasks_per_domain = 2
+
+let effective_jobs () = Int.min (jobs ()) (host_cores ())
+
+(* Optional per-dispatch decision hook (installed by the observability
+   layer, which lives above this module): fired once per [map] call
+   with the sizing decision, [reason] one of "parallel", "requested",
+   "nested", "single_chunk", "host_clamp", "task_ratio". *)
+let decision_hook :
+    (requested:int -> effective:int -> n_tasks:int -> reason:string -> unit)
+    option
+    ref =
+  ref None
+
+let set_decision_hook h = decision_hook := h
+
+let decide ~n_tasks ~nested =
+  let requested = jobs () in
+  let clamped = Int.min requested (host_cores ()) in
+  if nested then (requested, 1, "nested")
+  else if requested <= 1 then (requested, 1, "requested")
+  else if n_tasks <= 1 then (requested, 1, "single_chunk")
+  else if clamped <= 1 then (requested, 1, "host_clamp")
+  else if n_tasks < min_tasks_per_domain * clamped then
+    (requested, 1, "task_ratio")
+  else (requested, clamped, if clamped < requested then "host_clamp" else "parallel")
 
 let worker p () =
   Domain.DLS.set in_worker true;
@@ -82,7 +118,7 @@ let set_jobs j =
   let j = Int.max 1 j in
   override := Some j;
   match !current with
-  | Some p when p.size <> j -> shutdown ()
+  | Some p when p.size <> Int.min j (host_cores ()) -> shutdown ()
   | Some _ | None -> ()
 
 (* Optional per-element hook, run just before each element is
@@ -114,14 +150,18 @@ let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
         f x
   in
   let n = Array.length xs in
-  let size = jobs () in
   let chunk = Int.max 1 min_chunk in
   let n_tasks = (n + chunk - 1) / chunk in
   (* A single chunk means the pool could only serialise the work with
-     extra dispatch overhead: take the plain sequential path (this is
-     the small-input threshold that keeps tiny fan-outs off the
-     pool). *)
-  if size <= 1 || n_tasks <= 1 || Domain.DLS.get in_worker then Array.map f xs
+     extra dispatch overhead; likewise a sub-threshold task-per-domain
+     ratio or a host with fewer cores than requested domains: all
+     those take the plain sequential path (identical results — pool
+     size never changes outputs, only wall clock). *)
+  let requested, size, reason = decide ~n_tasks ~nested:(Domain.DLS.get in_worker) in
+  (match !decision_hook with
+  | Some hook -> hook ~requested ~effective:size ~n_tasks ~reason
+  | None -> ());
+  if size <= 1 then Array.map f xs
   else begin
     let p = get_pool size in
     let results : ('b, exn * Printexc.raw_backtrace) result option array =

@@ -8,19 +8,37 @@
     + the [RAR_JOBS] environment variable;
     + [Domain.recommended_domain_count () - 1], but at least 1.
 
-    With a pool size of 1 every call degrades to plain sequential
-    evaluation in the calling domain — no domains are spawned, so the
-    single-job path is byte-for-byte the old sequential behaviour.
-    Calls made {e from inside} a worker task also run sequentially
-    (nested parallelism would deadlock a fixed pool), which makes
-    [Pool.map] safe to use at every layer of the evaluation stack.
+    The requested size is a ceiling, not a command: each {!map}
+    dispatch is self-sizing. The count is clamped to the physical
+    core count ([Domain.recommended_domain_count ()] — oversubscribed
+    domains time-slice against the submitter and each other), and a
+    batch with fewer than two tasks per worker runs sequentially
+    (dispatch overhead would dominate). Pool size never changes
+    results, only wall clock, so the clamp is invisible except in
+    timing and the {!set_decision_hook} observability seam.
+
+    With an effective size of 1 every call degrades to plain
+    sequential evaluation in the calling domain — no domains are
+    spawned, so that path is byte-for-byte the old sequential
+    behaviour. Calls made {e from inside} a worker task also run
+    sequentially (nested parallelism would deadlock a fixed pool),
+    which makes [Pool.map] safe to use at every layer of the
+    evaluation stack.
 
     Exceptions raised by tasks are captured per task and re-raised at
     the join, lowest task index first, with their original backtrace,
     so [Error]/[Failure] plumbing behaves as in sequential code. *)
 
 val jobs : unit -> int
-(** Effective pool size (≥ 1). *)
+(** Requested pool size (≥ 1), before host clamping. *)
+
+val host_cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val effective_jobs : unit -> int
+(** [min (jobs ()) (host_cores ())]: the upper bound on worker domains
+    any dispatch will actually use (a specific batch may still fall
+    back to sequential on the task-ratio threshold). *)
 
 val set_jobs : int -> unit
 (** Override the pool size (values < 1 are clamped to 1). If a pool of
@@ -62,3 +80,14 @@ val set_batch_hook : (n_tasks:int -> occupancy:int -> (unit -> unit)) option -> 
     the batch's lifetime. This is the seam [Rar_obs] uses for pool
     gauges and [pool/batch] spans; with no hook installed the code
     path is unchanged. *)
+
+val set_decision_hook :
+  (requested:int -> effective:int -> n_tasks:int -> reason:string -> unit)
+  option ->
+  unit
+(** Install (or clear) a hook fired once per {!map} call — sequential
+    paths included — with the sizing decision: the requested job
+    count, the effective count used ([1] = sequential), the task
+    count, and the reason ("parallel", "requested", "nested",
+    "single_chunk", "host_clamp", "task_ratio"). The seam [Rar_obs]
+    uses for the [pool_jobs_effective] / fallback gauges. *)

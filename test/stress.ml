@@ -18,7 +18,8 @@ let () =
       { Spec.name = "stress"; n_flops = 10 + (seed mod 25);
         n_pi = 3 + (seed mod 7); n_po = 2 + (seed mod 5);
         n_gates = 150 + (11 * (seed mod 31)); depth = 6 + (seed mod 9);
-        nce_target = 2 + (seed mod 8); seed = Printf.sprintf "stress%d" seed }
+        nce_target = 2 + (seed mod 8); seed = Printf.sprintf "stress%d" seed;
+        src_bias_pct = 55 }
     in
     let p = Suite.prepare (Generator.generate spec) in
     match Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc with

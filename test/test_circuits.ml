@@ -158,6 +158,7 @@ let prop_generated_bench_roundtrip =
           depth = 6;
           nce_target = 2;
           seed = Printf.sprintf "rt%d" seed;
+          src_bias_pct = 55;
         }
       in
       let net = Generator.generate spec in
@@ -169,6 +170,58 @@ let prop_generated_bench_roundtrip =
         && a.Stats.n_flops = b.Stats.n_flops
         && a.Stats.n_inputs = b.Stats.n_inputs
         && a.Stats.depth = b.Stats.depth)
+
+(* Whole-netlist digest of a prepared suite circuit (names, kinds,
+   drives, fanin wiring of the two-phase form). Pinning the hex values
+   freezes the generator's RNG streams and the latch transform: any
+   change that perturbs a single node or edge of these circuits —
+   however well-intentioned — must show up here and bump the pins
+   deliberately. *)
+let suite_digest name =
+  match Suite.load name with
+  | Error e -> Alcotest.failf "%s: %s" name e
+  | Ok c ->
+    let n = c.Suite.two_phase in
+    let kind_tag = function
+      | Netlist.Input -> "I"
+      | Netlist.Output -> "O"
+      | Netlist.Gate { fn; drive } ->
+        Printf.sprintf "G%s/%d" (Rar_netlist.Cell_kind.name fn) drive
+      | Netlist.Seq Netlist.Flop -> "F"
+      | Netlist.Seq Netlist.Master -> "M"
+      | Netlist.Seq Netlist.Slave -> "S"
+    in
+    let b = Buffer.create (1 lsl 16) in
+    let nn = Netlist.node_count n in
+    Buffer.add_string b (string_of_int nn);
+    for v = 0 to nn - 1 do
+      Buffer.add_string b (Netlist.node_name n v);
+      Buffer.add_string b (kind_tag (Netlist.kind n v));
+      Array.iter
+        (fun u -> Buffer.add_string b (string_of_int u ^ ","))
+        (Netlist.fanins n v);
+      Buffer.add_char b ';'
+    done;
+    Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
+
+let check_digests pairs =
+  List.iter
+    (fun (name, hex) ->
+      Alcotest.(check string) (name ^ " two-phase digest") hex
+        (suite_digest name))
+    pairs
+
+let test_suite_digests_small () =
+  check_digests
+    [
+      ("s1196", "aaa7d41b2c8bcc21c792216d0f639998");
+      ("s1238", "b5971a3307897ba22fc24fc81bf790b9");
+      ("s1423", "093761154f413900a53686c41a2c145c");
+      ("s1488", "7fff30ef76b995a9a53e4528178a1e3f");
+    ]
+
+let test_suite_digests_large () =
+  check_digests [ ("s5378", "b474786924a1e211f18de0fe0bf8eeeb") ]
 
 let suite =
   [
@@ -186,4 +239,8 @@ let suite =
     Alcotest.test_case "unknown benchmark rejected" `Quick
       test_suite_load_unknown;
     Alcotest.test_case "fig4 interface" `Quick test_fig4_registered;
+    Alcotest.test_case "suite digests pinned (small)" `Quick
+      test_suite_digests_small;
+    Alcotest.test_case "suite digests pinned (s5378)" `Quick
+      test_suite_digests_large;
   ]

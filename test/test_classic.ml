@@ -121,6 +121,72 @@ let test_generated_circuit () =
       (Netlist.validate o.Classic.retimed = Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Matrix-free FEAS route                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_feas_correlator () =
+  let g = graph () in
+  (match Classic.feas g ~period:13. with
+  | None -> Alcotest.fail "13 must be FEAS-feasible"
+  | Some (r, achieved) ->
+    Alcotest.(check bool) "achieved <= 13" true (achieved <= 13. +. 1e-9);
+    Alcotest.(check int) "host normalised" 0 r.(0));
+  (* |V| is small, so the |V|-1 bound binds before the patience window
+     and None is a proof — it must agree with [feasible] *)
+  Alcotest.(check bool) "12.9 infeasible" true
+    (Classic.feas g ~period:12.9 = None)
+
+let test_min_period_feas_correlator () =
+  let g = graph () in
+  let _, p = Classic.min_period_feas g in
+  Alcotest.(check (float 1e-9)) "FEAS min period 13" 13. p;
+  match Classic.retime_feas g with
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
+  | Ok o ->
+    Alcotest.(check bool) "achieves 13" true
+      (o.Classic.achieved_period <= 13. +. 1e-9);
+    Alcotest.(check int) "original registers" 3 o.Classic.registers_before;
+    Alcotest.(check bool) "netlist valid" true
+      (Netlist.validate o.Classic.retimed = Ok ())
+
+let test_feas_generated () =
+  let spec =
+    { (Option.get (Spec.find "s1196")) with Spec.n_gates = 150; depth = 8 }
+  in
+  let net = Generator.generate spec in
+  let lib = Liberty.default () in
+  let g = Classic.of_netlist ~host_registers:1 ~lib net in
+  let p0 = Classic.period_of g in
+  let pmin = Classic.min_period g in
+  let r, p_feas = Classic.min_period_feas g in
+  (* FEAS cannot beat the W/D-exact optimum and never loses to the
+     unretimed graph *)
+  Alcotest.(check bool)
+    (Printf.sprintf "min %.3f <= feas %.3f <= original %.3f" pmin p_feas p0)
+    true
+    (p_feas >= pmin -. 1e-9 && p_feas <= p0 +. 1e-9);
+  Alcotest.(check int) "host normalised" 0 r.(0);
+  (* warm-starting from the result must confirm its own period *)
+  (match Classic.feas ~init:r g ~period:p_feas with
+  | None -> Alcotest.fail "own period must be feasible from warm start"
+  | Some (_, achieved) ->
+    Alcotest.(check bool) "no worse from warm start" true
+      (achieved <= p_feas +. 1e-9));
+  match Classic.retime_feas g with
+  | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
+  | Ok o ->
+    Alcotest.(check bool) "retimed netlist valid" true
+      (Netlist.validate o.Classic.retimed = Ok ());
+    Alcotest.(check bool) "register count positive" true
+      (o.Classic.registers_after > 0)
+
+let test_feas_init_length_mismatch () =
+  let g = graph () in
+  match Classic.feas ~init:[| 0 |] g ~period:13. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on init length mismatch"
+
+(* ------------------------------------------------------------------ *)
 (* Sparse W/D kernel vs the retained dense Floyd–Warshall reference    *)
 (* ------------------------------------------------------------------ *)
 
@@ -157,6 +223,16 @@ let prop_wd_sparse_matches_dense =
       let w_s, d_s = Wd.to_dense t in
       let w_d, d_d = Wd.floyd_warshall ~n ~delays ~edges in
       w_s = w_d && d_s = d_d)
+
+let prop_period_edges_matches_matrix =
+  QCheck.Test.make
+    ~name:"clock period from edges = clock period from W/D tables" ~count:500
+    QCheck.small_int
+    (fun seed ->
+      let n, delays, edges = random_wd_graph seed in
+      let t = Wd.build ~n ~delays ~edges in
+      Wd.max_zero_weight_delay_edges ~n ~delays ~edges
+      = Wd.max_zero_weight_delay t)
 
 let prop_wd_constraints_match_dense_scan =
   QCheck.Test.make
@@ -357,6 +433,14 @@ let suite =
       test_zero_cycle_rejected;
     Alcotest.test_case "generated circuit min-period" `Quick
       test_generated_circuit;
+    Alcotest.test_case "FEAS on the correlator" `Quick test_feas_correlator;
+    Alcotest.test_case "FEAS min period = 13 on the correlator" `Quick
+      test_min_period_feas_correlator;
+    Alcotest.test_case "FEAS brackets [min_period, period_of]" `Quick
+      test_feas_generated;
+    Alcotest.test_case "FEAS rejects a mismatched warm start" `Quick
+      test_feas_init_length_mismatch;
+    QCheck_alcotest.to_alcotest prop_period_edges_matches_matrix;
     QCheck_alcotest.to_alcotest prop_wd_sparse_matches_dense;
     QCheck_alcotest.to_alcotest prop_wd_constraints_match_dense_scan;
     Alcotest.test_case "sparse = dense on correlator" `Quick

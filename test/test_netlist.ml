@@ -202,7 +202,7 @@ let prop_staged_extract_roundtrip =
       let spec =
         { Rar_circuits.Spec.name = "rt2"; n_flops = 6 + seed; n_pi = 3;
           n_po = 2; n_gates = 80 + (4 * seed); depth = 6; nce_target = 2;
-          seed = Printf.sprintf "rt2-%d" seed }
+          seed = Printf.sprintf "rt2-%d" seed; src_bias_pct = 55 }
       in
       let net = Rar_circuits.Generator.generate spec in
       let cc = Transform.extract_comb (Transform.to_two_phase net) in

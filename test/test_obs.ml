@@ -28,6 +28,7 @@ let small_spec seed =
     depth = 7 + (seed mod 6);
     nce_target = 3 + (seed mod 6);
     seed = Printf.sprintf "obs%d" seed;
+    src_bias_pct = 55;
   }
 
 let cached_prepared =
@@ -242,6 +243,62 @@ let test_check_balanced_detects () =
   Trace.clear ();
   check_balanced_ok "after clear"
 
+(* --- pool self-sizing observability -------------------------------- *)
+
+(* The decision hook wired at Metrics load time must expose every
+   dispatch's sizing through the gauges, on any host. A single-element
+   batch is refused before the host clamp is even consulted, so that
+   branch is host-agnostic; the oversubscription clamp is pinned to
+   [host_cores ()], whatever it is. *)
+let test_pool_decision_gauges () =
+  with_obs @@ fun () ->
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) @@ fun () ->
+  let requested = Metrics.gauge "pool_jobs_requested" in
+  let effective = Metrics.gauge "pool_jobs_effective" in
+  let single = Metrics.gauge "pool_seq_fallback_single_chunk" in
+  let host_clamp = Metrics.gauge "pool_seq_fallback_host_clamp" in
+  Pool.set_jobs 2;
+  let r = Pool.map [| 41 |] succ in
+  Alcotest.(check (array int)) "map result" [| 42 |] r;
+  Alcotest.(check int) "single-element batch counted" 1 (Metrics.value single);
+  Alcotest.(check int) "single-element batch ran sequentially" 1
+    (Metrics.value effective);
+  let wild = Pool.host_cores () + 7 in
+  Pool.set_jobs wild;
+  let xs = Array.init 1024 Fun.id in
+  let r = Pool.map xs (fun x -> x * 2) in
+  Alcotest.(check (array int)) "clamped map result"
+    (Array.map (fun x -> x * 2) xs) r;
+  Alcotest.(check int) "requested gauge = ceiling" wild
+    (Metrics.value requested);
+  Alcotest.(check int) "effective gauge clamped to host"
+    (Pool.host_cores ()) (Metrics.value effective);
+  if Pool.host_cores () = 1 then
+    Alcotest.(check bool) "1-core host counts a host_clamp fallback" true
+      (Metrics.value host_clamp > 0)
+
+(* rar-run/1 output (wall-clock zeroed) must be byte-identical however
+   the pool is sized — the scheduling of parallel batches must never
+   leak into results. *)
+let test_run_json_identical_across_jobs () =
+  with_clean_faults @@ fun () ->
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) @@ fun () ->
+  let p = cached_prepared 5 in
+  let cfg = Engine.config ~c:1.0 ~movable_moves:2 Engine.Grar in
+  let at_jobs j =
+    Pool.set_jobs j;
+    match Engine.run_prepared cfg p with
+    | Ok r -> render cfg r
+    | Error e -> Alcotest.failf "run failed at jobs=%d: %s" j (Error.to_string e)
+  in
+  let ref_out = at_jobs 1 in
+  List.iter
+    (fun j ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d byte-identical to jobs=1" j)
+        ref_out (at_jobs j))
+    [ 2; 4; Pool.host_cores () + 3 ]
+
 (* --- metrics primitives --------------------------------------------- *)
 
 let test_metrics_guard_and_max () =
@@ -286,4 +343,8 @@ let suite =
       test_check_balanced_detects;
     Alcotest.test_case "metrics guard, set_max and snapshot" `Quick
       test_metrics_guard_and_max;
+    Alcotest.test_case "pool sizing decisions exposed via gauges" `Quick
+      test_pool_decision_gauges;
+    Alcotest.test_case "rar-run/1 byte-identical across pool sizes" `Quick
+      test_run_json_identical_across_jobs;
   ]

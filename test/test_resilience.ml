@@ -171,6 +171,7 @@ let prepared_lazy =
             depth = 7;
             nce_target = 4;
             seed = "resil1";
+            src_bias_pct = 55;
           }))
 
 let prepared () = without_faults (fun () -> Lazy.force prepared_lazy)

@@ -69,7 +69,7 @@ let prop_equivalent =
       let spec =
         { Spec.name = "rs"; n_flops = 8 + seed; n_pi = 4; n_po = 3;
           n_gates = 120 + (5 * seed); depth = 7; nce_target = 3;
-          seed = Printf.sprintf "rs%d" seed }
+          seed = Printf.sprintf "rs%d" seed; src_bias_pct = 55 }
       in
       let net = Generator.generate spec in
       let net', _ = Resynth.optimize ~lib:(Liberty.default ()) net in

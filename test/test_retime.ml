@@ -28,6 +28,7 @@ let small_spec seed =
     depth = 7 + (seed mod 6);
     nce_target = 3 + (seed mod 6);
     seed = Printf.sprintf "prop%d" seed;
+    src_bias_pct = 55;
   }
 
 let stage_of_spec spec =

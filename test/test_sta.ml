@@ -157,6 +157,50 @@ let test_through_matches_arrival () =
       | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ())
     (Netlist.gates comb)
 
+(* Equivalence pin for the compact-core forward sweep: the levelized
+   arena arrivals must satisfy the per-edge [through] recurrence at
+   every gate, under both delay models, on randomly generated
+   circuits — i.e. the CSR sweep computes exactly what per-pin
+   propagation would. *)
+let prop_arrival_recurrence =
+  QCheck.Test.make
+    ~name:"levelized arrivals = per-edge recurrence (both models)" ~count:10
+    QCheck.(int_bound 20)
+    (fun seed ->
+      let lib = Liberty.default () in
+      let spec =
+        { (Option.get (Spec.find "s1196")) with
+          Spec.n_gates = 200; depth = 8;
+          seed = Printf.sprintf "arr%d" seed }
+      in
+      let net = Generator.generate spec in
+      let comb =
+        (Transform.extract_comb (Transform.to_two_phase net)).Transform.comb
+      in
+      List.for_all
+        (fun model ->
+          let sta = Sta.analyse lib model comb in
+          Array.for_all
+            (fun v ->
+              match Netlist.kind comb v with
+              | Netlist.Gate _ ->
+                let best =
+                  ref Liberty.{ rise = neg_infinity; fall = neg_infinity }
+                in
+                Array.iter
+                  (fun u ->
+                    best :=
+                      Liberty.arc_map2 Float.max !best
+                        (Sta.through sta ~driver:u ~via:v
+                           (Sta.arrival_arc sta u)))
+                  (Netlist.fanins comb v);
+                let a = Sta.arrival_arc sta v in
+                Float.abs (a.Liberty.rise -. !best.Liberty.rise) < 1e-9
+                && Float.abs (a.Liberty.fall -. !best.Liberty.fall) < 1e-9
+              | Netlist.Input | Netlist.Output | Netlist.Seq _ -> true)
+            (Netlist.gates comb))
+        [ Sta.Gate_based; Sta.Path_based ])
+
 let prop_backward_cone_matches_backward =
   QCheck.Test.make ~name:"backward_cone = backward on every node" ~count:10
     QCheck.(int_bound 20)
@@ -187,7 +231,12 @@ let prop_backward_cone_matches_backward =
              outside it both sides hold neg_infinity arcs. *)
           let values_match =
             Array.for_all Fun.id
-              (Array.init n (fun v -> arc_eq dense.(v) sparse.(v)))
+              (Array.init n (fun v ->
+                   arc_eq dense.(v)
+                     {
+                       Liberty.rise = sparse.Sta.rise.(v);
+                       fall = sparse.Sta.fall.(v);
+                     }))
           in
           (* The cone is exactly the reachable set, sink first, with
              every node listed before its fanins. *)

@@ -85,6 +85,21 @@ let test_pool_map_ordering () =
             (Pool.run [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ])))
     [ 1; 4 ]
 
+let test_pool_self_sizing () =
+  (* [jobs] reports the requested ceiling; [effective_jobs] is what a
+     dispatch can actually use after the host clamp — and either way a
+     map is still exactly Array.map. *)
+  Alcotest.(check bool) "host_cores >= 1" true (Pool.host_cores () >= 1);
+  with_jobs 5 (fun () ->
+      Alcotest.(check int) "jobs () is the request" 5 (Pool.jobs ());
+      Alcotest.(check int) "effective_jobs clamps to host"
+        (Int.min 5 (Pool.host_cores ()))
+        (Pool.effective_jobs ());
+      let xs = Array.init 257 Fun.id in
+      Alcotest.(check (array int)) "map = Array.map under oversubscription"
+        (Array.map succ xs)
+        (Pool.map xs succ))
+
 exception Boom of int
 
 let test_pool_exception_propagation () =
@@ -183,6 +198,8 @@ let suite =
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng named streams" `Quick test_rng_of_string_stable;
     Alcotest.test_case "pool preserves order" `Quick test_pool_map_ordering;
+    Alcotest.test_case "pool self-sizing clamps to host" `Quick
+      test_pool_self_sizing;
     Alcotest.test_case "pool propagates exceptions" `Quick
       test_pool_exception_propagation;
     Alcotest.test_case "pool workers survive raising tasks" `Quick
