@@ -624,6 +624,204 @@ let classic_cmd =
           With $(b,--feas), the matrix-free million-gate route.")
     Term.(ret (const run $ verbose_arg $ name_arg $ bench_arg $ feas_arg))
 
+(* --- rar eco --------------------------------------------------------- *)
+
+let eco_cmd =
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT"
+          ~doc:"Benchmark name (omit when $(b,--bench) is given).")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "Run the ECO session on a \".bench\" netlist read from FILE \
+             instead of a suite benchmark.")
+  in
+  let edits_arg =
+    Arg.(
+      required & opt (some file) None
+      & info [ "edits" ] ~docv:"SCRIPT"
+          ~doc:
+            "Edit script: one edit per line — $(b,resize NODE DRIVE), \
+             $(b,rewire NODE PIN DRIVER), $(b,annotate NODE EXTRA), \
+             $(b,c VALUE) — with $(b,commit) lines closing a batch; each \
+             batch is resolved incrementally and streams one rar-run/1 \
+             record.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-cold" ]
+          ~doc:
+            "After each incremental resolve, re-run the engine cold on the \
+             cumulatively edited netlist and fail unless the results are \
+             identical (modulo wall-clock and solver-fallback events).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Embed the cumulative counter/gauge snapshot (including \
+             $(b,sta_incremental_pins), $(b,wd_patch_hits), \
+             $(b,wd_patch_rebuilds), $(b,spfa_warm_starts) and \
+             $(b,difflp_cache_hits)) as a $(b,metrics) object in every \
+             streamed record.")
+  in
+  (* Stripped comparison documents for --verify-cold: wall clocks
+     always differ and an LP cache hit legitimately drops fallback
+     events, so those two fields are outside the identity contract. *)
+  let strip = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) -> k <> "wall_s" && k <> "solver_events")
+           fields)
+    | j -> j
+  in
+  let run verbose jobs name bench edits approach model c deadline metrics
+      verify =
+    setup verbose jobs;
+    if metrics then begin
+      Rar_obs.Metrics.reset ();
+      Rar_obs.Metrics.arm ()
+    end;
+    let loaded =
+      match (bench, name) with
+      | Some file, _ -> (
+        match Bench_io.parse_file_diag file with
+        | Error d -> Error (Rar_util.Diag.to_string d)
+        | Ok net -> Ok (file, Suite.prepare net))
+      | None, Some name -> (
+        match Suite.load name with
+        | Error e -> Error e
+        | Ok p -> Ok (name, p))
+      | None, None -> Error "give a CIRCUIT name or --bench FILE"
+    in
+    match loaded with
+    | Error e -> `Error (false, e)
+    | Ok (name, p) -> (
+      match Transform.Edit.parse_script (In_channel.with_open_text edits In_channel.input_all) with
+      | Error e -> `Error (false, e)
+      | Ok batches -> (
+        let cfg = Engine.config ~model ~c approach in
+        match
+          Stage.make ~model ~source:p.Suite.two_phase ~lib:p.Suite.lib
+            ~clocking:p.Suite.clocking p.Suite.cc
+        with
+        | Error err -> `Error (false, Error.to_string err)
+        | Ok stage0 -> (
+          match Engine.open_session cfg stage0 with
+          | exception Invalid_argument e -> `Error (false, e)
+          | session ->
+            let deadline = make_deadline deadline in
+            let cold_net = ref (Stage.comb stage0) in
+            let cold_annot = ref None in
+            let cold_cfg = ref cfg in
+            let failure = ref None in
+            List.iteri
+              (fun i batch ->
+                if !failure = None then begin
+                  match Engine.resolve ?deadline session batch with
+                  | Error err ->
+                    failure :=
+                      Some
+                        (Printf.sprintf "batch %d: %s" i (Error.to_string err))
+                  | Ok r -> (
+                    let cfg_now = Engine.session_config session in
+                    let metrics_json =
+                      if metrics then Some (Rar_obs.Metrics.snapshot_json ())
+                      else None
+                    in
+                    print_endline
+                      (Json.to_string
+                         (Engine.result_json ~circuit:name ?metrics:metrics_json
+                            cfg_now r));
+                    if not verify then begin
+                      (* track the cumulative netlist anyway: later
+                         batches parse against the session state only *)
+                      let applied =
+                        Transform.Edit.apply ?annot:!cold_annot !cold_net batch
+                      in
+                      cold_net := applied.Transform.Edit.net;
+                      cold_annot := Some applied.Transform.Edit.annot
+                    end
+                    else begin
+                      let applied =
+                        Transform.Edit.apply ?annot:!cold_annot !cold_net batch
+                      in
+                      let cfg' =
+                        match applied.Transform.Edit.c with
+                        | None -> !cold_cfg
+                        | Some c -> { !cold_cfg with Engine.c }
+                      in
+                      match
+                        Stage.make ~model ~source:p.Suite.two_phase
+                          ~annot:applied.Transform.Edit.annot ~lib:p.Suite.lib
+                          ~clocking:p.Suite.clocking
+                          { p.Suite.cc with
+                            Transform.comb = applied.Transform.Edit.net }
+                      with
+                      | Error err ->
+                        failure :=
+                          Some
+                            (Printf.sprintf "batch %d: cold re-analysis: %s" i
+                               (Error.to_string err))
+                      | Ok cold_stage -> (
+                        match Engine.run ?deadline cfg' cold_stage with
+                        | Error err ->
+                          failure :=
+                            Some
+                              (Printf.sprintf "batch %d: cold re-solve: %s" i
+                                 (Error.to_string err))
+                        | Ok rc ->
+                          let a =
+                            Json.to_string
+                              (strip (Engine.result_json ~circuit:name cfg_now r))
+                          in
+                          let b =
+                            Json.to_string
+                              (strip
+                                 (Engine.result_json ~circuit:name cfg' rc))
+                          in
+                          if a <> b then
+                            failure :=
+                              Some
+                                (Printf.sprintf
+                                   "batch %d: incremental result diverges \
+                                    from the cold re-solve"
+                                   i)
+                          else begin
+                            cold_net := applied.Transform.Edit.net;
+                            cold_annot := Some applied.Transform.Edit.annot;
+                            cold_cfg := cfg'
+                          end)
+                    end)
+                end)
+              batches;
+            (match !failure with
+            | Some e -> `Error (false, e)
+            | None -> `Ok ()))))
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Incremental (ECO) retiming: open a session on a benchmark, apply \
+          batches of local edits from a script and re-solve each batch \
+          incrementally — cone-limited STA, patched W/D memos and \
+          warm-started solvers — streaming one rar-run/1 JSON record per \
+          batch. Results are identical to cold re-solves on the edited \
+          netlist ($(b,--verify-cold) checks).")
+    Term.(
+      ret
+        (const run $ verbose_arg $ jobs_arg $ name_arg $ bench_arg $ edits_arg
+        $ approach_arg $ model_arg $ c_arg $ deadline_arg $ metrics_arg
+        $ verify_arg))
+
 (* --- rar generate ---------------------------------------------------- *)
 
 let generate_cmd =
@@ -893,6 +1091,7 @@ let main =
          "Retiming of two-phase latch-based resilient circuits — \
           reproduction of Cheng et al. (DAC 2017 / journal extension).")
     [ table_cmd; all_cmd; info_cmd; run_cmd; bench_cmd; dot_cmd; period_cmd;
-      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd; generate_cmd ]
+      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd; generate_cmd;
+      eco_cmd ]
 
 let () = exit (Cmd.eval main)

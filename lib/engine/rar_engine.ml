@@ -144,7 +144,7 @@ let effective_deadline deadline =
     | Some budget_s -> Some (Deadline.make ~budget_s)
     | None -> None)
 
-let run ?deadline (cfg : config) stage =
+let run ?deadline ?solve_cache (cfg : config) stage =
   (* The span sits inside [guard] below via Fun.protect semantics:
      Trace.span records its End event before the exception reaches the
      guard, so traces stay balanced across Timeout / Worker_crashed. *)
@@ -172,7 +172,8 @@ let run ?deadline (cfg : config) stage =
     finish Initial outcome stage No_extras
   | Base -> (
     match
-      Base_retiming.run_on_stage ?deadline ~on_fallback ?engine ~c:cfg.c stage
+      Base_retiming.run_on_stage ?deadline ~on_fallback ?engine ?solve_cache
+        ~c:cfg.c stage
     with
     | Error _ as e -> e
     | Ok r ->
@@ -184,7 +185,10 @@ let run ?deadline (cfg : config) stage =
              modelled_non_ed = [];
            }))
   | Grar -> (
-    match Grar.run_on_stage ?deadline ~on_fallback ?engine ~c:cfg.c stage with
+    match
+      Grar.run_on_stage ?deadline ~on_fallback ?engine ?solve_cache ~c:cfg.c
+        stage
+    with
     | Error _ as e -> e
     | Ok r ->
       finish Grar r.Grar.outcome r.Grar.stage
@@ -196,8 +200,8 @@ let run ?deadline (cfg : config) stage =
            }))
   | Vl variant -> (
     match
-      Vl.run_on_stage ?deadline ~on_fallback ?engine ~post_swap:cfg.post_swap
-        ~c:cfg.c variant stage
+      Vl.run_on_stage ?deadline ~on_fallback ?engine ?solve_cache
+        ~post_swap:cfg.post_swap ~c:cfg.c variant stage
     with
     | Error _ as e -> e
     | Ok r ->
@@ -246,6 +250,83 @@ let load_and_run ?deadline cfg circuit =
   match Suite.load circuit with
   | Error _ -> Error (Error.Unknown_circuit circuit)
   | Ok p -> run_prepared ?deadline cfg p
+
+(* ------------------------------------------------------------------ *)
+(* ECO sessions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A session owns the warm state of a resolve loop: the incrementally
+   patched stage (always the *pre-sizing* analysis, so it stays
+   byte-identical to [Stage.make] on the cumulatively edited netlist),
+   the current EDL overhead (updated by [Set_c] edits) and the LP solve
+   cache shared across resolves. Failed resolves leave all of it
+   untouched. Single-owner: not thread-safe. *)
+type session = {
+  mutable s_cfg : config;
+  mutable s_stage : Stage.t;
+  solve_cache : Difflp.cache;
+}
+
+let open_session (cfg : config) stage =
+  (match cfg.spec with
+  | Movable ->
+    invalid_arg
+      "Rar_engine.open_session: the movable engine rebuilds the two-phase \
+       netlist per move and cannot resolve incrementally"
+  | Initial | Base | Grar | Vl _ -> ());
+  { s_cfg = cfg; s_stage = stage; solve_cache = Difflp.create_cache () }
+
+let session_config s = s.s_cfg
+let session_stage s = s.s_stage
+
+let resolve ?deadline (s : session) edits =
+  Rar_obs.Trace.span "engine/resolve" @@ fun () ->
+  guard @@ fun () ->
+  let stage = s.s_stage in
+  match
+    (* [Edit.apply] validates against the frozen netlist and raises;
+       the session boundary turns that into a typed error. Resized
+       drives are additionally checked against the stage's library —
+       the netlist layer accepts any drive >= 1, but an unavailable
+       cell would only surface as an exception deep inside the
+       incremental STA. *)
+    (try
+       let net = Stage.comb stage in
+       List.iter
+         (function
+           | Transform.Edit.Resize { node; drive } -> (
+             match Netlist.find net node with
+             | None -> () (* Edit.apply reports the unknown name *)
+             | Some id -> (
+               match Netlist.kind net id with
+               | Netlist.Gate { fn; _ } ->
+                 ignore (Liberty.comb_cell (Stage.lib stage) fn ~drive)
+               | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()))
+           | Transform.Edit.Rewire _ | Transform.Edit.Annotate _
+           | Transform.Edit.Set_c _ -> ())
+         edits;
+       Ok (Transform.Edit.apply ?annot:(Stage.annot stage) net edits)
+     with Invalid_argument detail -> Error (Error.Invalid_input detail))
+  with
+  | Error _ as e -> e
+  | Ok applied -> (
+    let cfg =
+      match applied.Transform.Edit.c with
+      | None -> s.s_cfg
+      | Some c -> { s.s_cfg with c }
+    in
+    match Stage.patch stage applied with
+    | Error _ as e -> e
+    | Ok stage' -> (
+      match run ?deadline ~solve_cache:s.solve_cache cfg stage' with
+      | Error _ as e -> e
+      | Ok _ as ok ->
+        (* Commit only on success; keep the pre-sizing stage so the
+           next edit patches the same analysis a cold [Stage.make]
+           would produce. *)
+        s.s_cfg <- cfg;
+        s.s_stage <- stage';
+        ok))
 
 let sink_names stage sinks =
   Json.List

@@ -120,6 +120,7 @@ val config_json : config -> Json.t
 
 val run :
   ?deadline:Rar_util.Deadline.t ->
+  ?solve_cache:Difflp.cache ->
   config -> Stage.t -> (result, Error.t) Stdlib.result
 (** Run the configured engine on a prepared stage. The [Movable]
     engine perturbs the full two-phase netlist, so its stage must
@@ -133,7 +134,12 @@ val run :
     one. Certificate-failed or injected-faulty solves retry on the
     alternate flow solver; each successful retry is recorded in the
     result's [events]. An injected pool-task kill surfaces as
-    [Error (Worker_crashed _)]. *)
+    [Error (Worker_crashed _)].
+
+    [?solve_cache] replays previously solved identical LP instances
+    without running a solver (ECO sessions thread their cache here);
+    a cache hit skips fault injection and produces no fallback events,
+    but the returned solution is byte-identical. *)
 
 val run_prepared :
   ?deadline:Rar_util.Deadline.t ->
@@ -147,6 +153,40 @@ val load_and_run :
   config -> string -> (result, Error.t) Stdlib.result
 (** [load_and_run cfg name] loads the named benchmark and runs;
     unknown names yield [Unknown_circuit]. *)
+
+(** {1 ECO sessions} *)
+
+type session
+(** Warm state for an edit-and-resolve loop: the incrementally patched
+    stage analysis, the current config (updated by [Set_c] edits) and
+    an LP solve cache shared across resolves. Single-owner — a session
+    must not be shared between domains (the caches it feeds, the W/D
+    memo and the Difflp cache, are themselves lock-guarded). *)
+
+val open_session : config -> Stage.t -> session
+(** Open an ECO session over a prepared stage. Raises
+    [Invalid_argument] for the [Movable] spec, which rebuilds the
+    two-phase netlist per move and cannot resolve incrementally. *)
+
+val session_config : session -> config
+(** Current config ([c] reflects any applied [Set_c] edits). *)
+
+val session_stage : session -> Stage.t
+(** The session's current (pre-sizing) stage analysis — byte-identical
+    to [Stage.make] on the cumulatively edited netlist. *)
+
+val resolve :
+  ?deadline:Rar_util.Deadline.t ->
+  session ->
+  Rar_netlist.Transform.Edit.t list -> (result, Error.t) Stdlib.result
+(** Apply a batch of edits to the session netlist, repropagate timing
+    through the edit cones only ({!Stage.patch}), and re-run the
+    configured engine with the session's warm solver state. The result
+    is identical to a cold {!run} of the session config on the edited
+    netlist — bitwise, except that [wall_s] differs and LP cache hits
+    report no [events]. Ill-formed edits surface as
+    [Error (Invalid_input _)]; on any error the session state is
+    unchanged (the failed batch can be corrected and resubmitted). *)
 
 (** {1 Structured output} *)
 

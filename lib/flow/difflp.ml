@@ -189,27 +189,84 @@ let solve_closure t ~reference =
     | Ok o ->
       Ok (Array.init t.n (fun v -> if o.Closure.selected.(v) then -1 else 0)))
 
-let solve ?deadline ?on_fallback ?verify ?(engine = Network_simplex) t
+(* Session-scoped solve cache for ECO delta solves. Keyed by the full
+   structural signature of the instance (variables, every constraint in
+   emission order, objective, reference, engine) — the digest only
+   buckets the table; a hit compares the complete marshalled signature,
+   so a digest collision can never smuggle in a wrong solution. All
+   engines here are deterministic, so an identical instance would
+   re-derive the identical solution; returning the stored one is
+   byte-safe. *)
+type cache = {
+  tbl : (string, string * int array) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create_cache () = { tbl = Hashtbl.create 16; lock = Mutex.create () }
+
+let m_cache_hits = Rar_obs.Metrics.counter "difflp_cache_hits"
+
+let signature t ~reference ~engine =
+  let cons = ref [] in
+  Vec.iter (fun c -> cons := c :: !cons) t.cons;
+  Marshal.to_string (t.n, !cons, t.coeff, reference, engine) []
+
+let cache_find cache key =
+  Mutex.lock cache.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache.lock) @@ fun () ->
+  match Hashtbl.find_opt cache.tbl (Digest.string key) with
+  | Some (stored, r) when String.equal stored key -> Some (Array.copy r)
+  | Some _ | None -> None
+
+let cache_store cache key r =
+  Mutex.lock cache.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache.lock) @@ fun () ->
+  Hashtbl.replace cache.tbl (Digest.string key) (key, Array.copy r)
+
+let solve ?deadline ?on_fallback ?verify ?(engine = Network_simplex) ?cache t
     ~reference =
   Rar_obs.Trace.span "difflp/solve" @@ fun () ->
   check_var t reference "solve";
-  let result =
-    match engine with
-    | Network_simplex ->
-      solve_flow ?deadline ?on_fallback ?verify t ~reference ~use_simplex:true
-    | Ssp ->
-      solve_flow ?deadline ?on_fallback ?verify t ~reference ~use_simplex:false
-    | Closure -> Rar_obs.Trace.span "solver/closure" (fun () -> solve_closure t ~reference)
+  let key =
+    match cache with
+    | None -> None
+    | Some _ -> Some (signature t ~reference ~engine)
   in
-  match result with
-  | Error _ as e -> e
-  | Ok r -> (
-    match check t r with
-    | Ok () -> Ok r
-    | Error msg ->
-      Error
-        (Printf.sprintf "Difflp.solve (%s): internal error, %s"
-           (engine_name engine) msg))
+  let cached =
+    match (cache, key) with
+    | Some c, Some k -> cache_find c k
+    | _ -> None
+  in
+  match cached with
+  | Some r ->
+    Rar_obs.Metrics.incr m_cache_hits;
+    Ok r
+  | None -> (
+    let result =
+      match engine with
+      | Network_simplex ->
+        solve_flow ?deadline ?on_fallback ?verify t ~reference
+          ~use_simplex:true
+      | Ssp ->
+        solve_flow ?deadline ?on_fallback ?verify t ~reference
+          ~use_simplex:false
+      | Closure ->
+        Rar_obs.Trace.span "solver/closure" (fun () ->
+            solve_closure t ~reference)
+    in
+    match result with
+    | Error _ as e -> e
+    | Ok r -> (
+      match check t r with
+      | Ok () ->
+        (match (cache, key) with
+        | Some c, Some k -> cache_store c k r
+        | _ -> ());
+        Ok r
+      | Error msg ->
+        Error
+          (Printf.sprintf "Difflp.solve (%s): internal error, %s"
+             (engine_name engine) msg)))
 
 let solve_brute t ~lo ~hi ~reference =
   check_var t reference "solve_brute";

@@ -40,11 +40,22 @@ type fallback_event = { failed : engine; retried : engine; reason : string }
     [?on_fallback] only when the retry {e succeeds}; a doubly-failed
     solve reports a combined [Error] instead. *)
 
+type cache
+(** A solve cache for ECO sessions: maps complete LP instances
+    (variables, constraints in emission order, objective, reference,
+    engine) to their solutions. Hits compare the full structural
+    signature — never just a hash — so collisions cannot produce wrong
+    answers; and because every engine is deterministic, replaying a
+    stored solution is byte-identical to re-solving. Thread-safe. *)
+
+val create_cache : unit -> cache
+
 val solve :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(fallback_event -> unit) ->
   ?verify:bool ->
-  ?engine:engine -> t -> reference:int -> (int array, string) result
+  ?engine:engine ->
+  ?cache:cache -> t -> reference:int -> (int array, string) result
 (** Optimal [r] with [r(reference) = 0]. Default engine is
     [Network_simplex]. The [Closure] engine additionally requires that
     every feasible normalised solution lies in [{-1, 0}] — the caller's
@@ -58,7 +69,12 @@ val solve :
     before an error is reported, and a successful retry is announced
     via [?on_fallback]. [?deadline] is threaded into both solvers and
     expiry raises [Rar_util.Deadline.Expired] (it is {e not} caught by
-    the fallback chain — a budget overrun aborts the whole solve). *)
+    the fallback chain — a budget overrun aborts the whole solve).
+
+    With [?cache], an instance identical to a previously solved one
+    returns the stored solution without running a solver (no pivots, no
+    fault injection, no fallback events — counted in the
+    [difflp_cache_hits] metric); only successful solves are stored. *)
 
 val solve_brute :
   t -> lo:int -> hi:int -> reference:int -> (int array * float) option

@@ -142,8 +142,11 @@ let run ?deadline ~n ~arcs ~init () =
 let from_virtual_root ?deadline ~n ~arcs () =
   run ?deadline ~n ~arcs ~init:(Array.make n 0) ()
 
+let m_warm = Rar_obs.Metrics.counter "spfa_warm_starts"
+
 let from_init ?deadline ~n ~arcs ~init () =
   if Array.length init <> n then invalid_arg "Spfa.from_init: init length";
+  Rar_obs.Metrics.incr m_warm;
   run ?deadline ~n ~arcs ~init ()
 
 let from_root ?deadline ~n ~arcs ~root () =

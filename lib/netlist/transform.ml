@@ -107,6 +107,228 @@ let extract_comb net =
     gate_of;
   }
 
+module Edit = struct
+  type t =
+    | Resize of { node : string; drive : int }
+    | Rewire of { node : string; pin : int; driver : string }
+    | Annotate of { node : string; extra : float }
+    | Set_c of float
+
+  type applied = {
+    net : Netlist.t;
+    annot : float array;
+    c : float option;
+    dirty_arcs : int list;
+    seeds : int list;
+  }
+
+  let pp ppf = function
+    | Resize { node; drive } -> Format.fprintf ppf "resize %s %d" node drive
+    | Rewire { node; pin; driver } ->
+      Format.fprintf ppf "rewire %s %d %s" node pin driver
+    | Annotate { node; extra } ->
+      Format.fprintf ppf "annotate %s %.17g" node extra
+    | Set_c c -> Format.fprintf ppf "c %.17g" c
+
+  (* Replace the driver of pin [pin] of node [v] by [b]. Nodes are
+     recreated in id order, so ids, names and pin layout are identical
+     to [net]'s — downstream index-keyed caches stay valid. *)
+  let rewire net v pin b =
+    let n = Netlist.node_count net in
+    let bld = B.create ~name:(Netlist.name net) () in
+    let deferred = ref [] in
+    for x = 0 to n - 1 do
+      let name = Netlist.node_name net x in
+      match Netlist.kind net x with
+      | Netlist.Input -> ignore (B.add_input bld name)
+      | Netlist.Gate { fn; drive } ->
+        ignore (B.add_gate_deferred bld name ~fn ~drive ());
+        deferred := x :: !deferred
+      | Netlist.Output ->
+        ignore (B.add_output_deferred bld name);
+        deferred := x :: !deferred
+      | Netlist.Seq role ->
+        ignore (B.add_seq_deferred bld name ~role);
+        deferred := x :: !deferred
+    done;
+    List.iter
+      (fun x ->
+        let fi = Array.copy (Netlist.fanins net x) in
+        if x = v then fi.(pin) <- b;
+        B.connect bld x ~fanins:(Array.to_list fi))
+      (List.rev !deferred);
+    B.freeze bld
+
+  let apply ?annot net edits =
+    let n = Netlist.node_count net in
+    let annot =
+      match annot with
+      | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Transform.Edit.apply: annot length mismatch";
+        Array.copy a
+      | None -> Array.make n 0.
+    in
+    let net = ref net in
+    let c = ref None in
+    let dirty = Hashtbl.create 16 and seeds = Hashtbl.create 16 in
+    let is_gate v =
+      match Netlist.kind !net v with Netlist.Gate _ -> true | _ -> false
+    in
+    let mark tbl v = Hashtbl.replace tbl v () in
+    let find what name =
+      match Netlist.find !net name with
+      | Some v -> v
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Transform.Edit.apply: unknown %s %S" what name)
+    in
+    let mark_load_dirty v =
+      (* [v]'s input capacitance feeds its drivers' loads, so their
+         timing arcs change along with [v]'s own. *)
+      mark dirty v;
+      Array.iter (fun u -> if is_gate u then mark dirty u) (Netlist.fanins !net v)
+    in
+    List.iter
+      (fun e ->
+        match e with
+        | Resize { node; drive } ->
+          let v = find "gate" node in
+          (match Netlist.kind !net v with
+          | Netlist.Gate { drive = d0; _ } ->
+            if drive < 1 then
+              invalid_arg "Transform.Edit.apply: drive must be >= 1";
+            if d0 <> drive then begin
+              mark_load_dirty v;
+              net := Netlist.with_drive !net v drive
+            end
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Transform.Edit.apply: %S is not a gate" node))
+        | Rewire { node; pin; driver } ->
+          let v = find "node" node and b = find "driver" driver in
+          (match Netlist.kind !net v with
+          | Netlist.Gate _ | Netlist.Output -> ()
+          | _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Transform.Edit.apply: %S is not a gate or output" node));
+          let fi = Netlist.fanins !net v in
+          if pin < 0 || pin >= Array.length fi then
+            invalid_arg
+              (Printf.sprintf "Transform.Edit.apply: pin %d of %S out of range"
+                 pin node);
+          if fi.(pin) <> b then begin
+            (match Netlist.kind !net b with
+            | Netlist.Output ->
+              invalid_arg
+                (Printf.sprintf
+                   "Transform.Edit.apply: output %S cannot drive" driver)
+            | _ -> ());
+            if (Netlist.fanout_cone !net v).(b) then
+              invalid_arg
+                (Printf.sprintf
+                   "Transform.Edit.apply: rewiring pin %d of %S to %S creates \
+                    a combinational cycle"
+                   pin node driver);
+            let old = fi.(pin) in
+            (* Fanout counts of both drivers change, hence their loads. *)
+            if is_gate old then mark dirty old;
+            if is_gate b then mark dirty b;
+            mark seeds v;
+            net := rewire !net v pin b
+          end
+        | Annotate { node; extra } ->
+          let v = find "gate" node in
+          if not (is_gate v) then
+            invalid_arg
+              (Printf.sprintf "Transform.Edit.apply: %S is not a gate" node);
+          if extra <> 0. then begin
+            if annot.(v) +. extra < 0. then
+              invalid_arg
+                (Printf.sprintf
+                   "Transform.Edit.apply: cumulative annotation on %S is \
+                    negative"
+                   node);
+            annot.(v) <- annot.(v) +. extra;
+            mark dirty v
+          end
+        | Set_c x ->
+          if x < 0. then invalid_arg "Transform.Edit.apply: c must be >= 0";
+          c := Some x)
+      edits;
+    let sorted tbl =
+      List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+    in
+    { net = !net; annot; c = !c; dirty_arcs = sorted dirty; seeds = sorted seeds }
+
+  let parse_error lineno msg =
+    Error (Printf.sprintf "edit script line %d: %s" lineno msg)
+
+  let parse_script text =
+    let lines = String.split_on_char '\n' text in
+    let batches = ref [] and current = ref [] in
+    let commit () =
+      if !current <> [] then begin
+        batches := List.rev !current :: !batches;
+        current := []
+      end
+    in
+    let rec go lineno = function
+      | [] ->
+        commit ();
+        Ok (List.rev !batches)
+      | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let toks =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "" && s <> "\r")
+        in
+        let int_of what s =
+          match int_of_string_opt s with
+          | Some i -> Ok i
+          | None -> parse_error lineno (Printf.sprintf "bad %s %S" what s)
+        in
+        let float_of what s =
+          match float_of_string_opt s with
+          | Some f -> Ok f
+          | None -> parse_error lineno (Printf.sprintf "bad %s %S" what s)
+        in
+        let push e =
+          current := e :: !current;
+          go (lineno + 1) rest
+        in
+        match toks with
+        | [] -> go (lineno + 1) rest
+        | [ "commit" ] ->
+          commit ();
+          go (lineno + 1) rest
+        | [ "resize"; node; d ] -> (
+          match int_of "drive" d with
+          | Ok drive -> push (Resize { node; drive })
+          | Error _ as e -> e)
+        | [ "rewire"; node; pin; driver ] -> (
+          match int_of "pin" pin with
+          | Ok pin -> push (Rewire { node; pin; driver })
+          | Error _ as e -> e)
+        | [ "annotate"; node; x ] -> (
+          match float_of "delay" x with
+          | Ok extra -> push (Annotate { node; extra })
+          | Error _ as e -> e)
+        | [ "c"; x ] -> (
+          match float_of "c value" x with
+          | Ok v -> push (Set_c v)
+          | Error _ as e -> e)
+        | tok :: _ -> parse_error lineno (Printf.sprintf "unknown edit %S" tok))
+    in
+    go 1 lines
+end
+
 type placement = { after : int; latched : (int * int) list }
 
 let count_slaves placements = List.length placements

@@ -38,6 +38,65 @@ val extract_comb : Netlist.t -> comb_circuit
     nodes are bypassed: their position is an input to retiming, not
     part of the extracted topology. *)
 
+(** {1 ECO edits}
+
+    First-class local edits for incremental (ECO) flows: applied to a
+    frozen netlist, producing a new netlist plus the set of nodes whose
+    timing is affected — the contract the incremental STA/stage layers
+    build on. *)
+module Edit : sig
+  type t =
+    | Resize of { node : string; drive : int }
+        (** change a gate's drive strength *)
+    | Rewire of { node : string; pin : int; driver : string }
+        (** reconnect one input pin of a gate or output to a new driver *)
+    | Annotate of { node : string; extra : float }
+        (** add [extra] (may be negative, cumulative sum must stay
+            >= 0) to every timing arc of a gate — an ECO delay
+            annotation, e.g. modelling rerouted wires *)
+    | Set_c of float  (** change the resilience-overhead c value *)
+
+  type applied = {
+    net : Netlist.t;
+      (** the edited netlist. Node ids, names and pin positions are
+          identical to the input's ([Resize] shares its compact view;
+          [Rewire] rebuilds in id order with unchanged arities), so
+          index-keyed caches remain addressable. *)
+    annot : float array;
+      (** cumulative per-node extra delay (input annot + edits) *)
+    c : float option;  (** last [Set_c], if any *)
+    dirty_arcs : int list;
+      (** gates whose timing arcs changed: resized/annotated gates,
+          drivers of resized gates (their load includes the resized
+          gate's input capacitance) and both old and new drivers of
+          rewired pins (their fanout count, hence load, changed).
+          Sorted ascending. *)
+    seeds : int list;
+      (** nodes whose arrival inputs changed without their own arcs
+          changing (rewired nodes). Sorted ascending. *)
+  }
+
+  val apply : ?annot:float array -> Netlist.t -> t list -> applied
+  (** Apply edits left to right. [annot] seeds the cumulative
+      annotations (defaults to all-zero; copied, never mutated).
+      Raises [Invalid_argument] on an ill-formed edit: unknown names,
+      non-gate resize/annotate targets, out-of-range pins, drives < 1,
+      rewires that create a combinational cycle or use an [Output] as
+      driver, negative cumulative annotations, negative c. Edits that
+      change nothing (same drive, same driver, zero extra) are
+      accepted and dirty nothing. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints in the {!parse_script} grammar. *)
+
+  val parse_script : string -> (t list list, string) result
+  (** Parse an edit script into batches. One edit per line —
+      [resize NODE DRIVE], [rewire NODE PIN DRIVER],
+      [annotate NODE EXTRA], [c VALUE] — with [commit] lines closing a
+      batch (a trailing partial batch is closed implicitly). [#]
+      starts a comment; blank lines are skipped. *)
+end
+
 type placement = {
   after : int;                (** comb node id the slave is placed after *)
   latched : (int * int) list; (** (fanout node, pin) pairs fed through the slave *)

@@ -12,10 +12,10 @@ type t = {
   runtime_s : float;
 }
 
-let run_on_stage ?deadline ?on_fallback ?engine ~c stage =
+let run_on_stage ?deadline ?on_fallback ?engine ?solve_cache ~c stage =
   let t0 = Rar_util.Clock.now_s () in
   let g = Rgraph.build ~bias_early:true stage in
-  match Rgraph.solve ?deadline ?on_fallback ?engine g with
+  match Rgraph.solve ?deadline ?on_fallback ?engine ?cache:solve_cache g with
   | Error _ as e -> e
   | Ok r -> (
     let placements = Rgraph.placements_of g r in
@@ -40,12 +40,13 @@ let run_on_stage ?deadline ?on_fallback ?engine ~c stage =
             { outcome; stage = stage'; r; lp_latches;
               runtime_s = Rar_util.Clock.now_s () -. t0 }))
 
-let run ?deadline ?on_fallback ?engine ?(model = Sta.Path_based) ~lib
-    ~clocking ~c cc =
+let run ?deadline ?on_fallback ?engine ?solve_cache ?(model = Sta.Path_based)
+    ~lib ~clocking ~c cc =
   let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
   | Error _ as e -> e
   | Ok stage -> (
-    match run_on_stage ?deadline ?on_fallback ?engine ~c stage with
+    match run_on_stage ?deadline ?on_fallback ?engine ?solve_cache ~c stage
+    with
     | Error _ as e -> e
     | Ok r -> Ok { r with runtime_s = Rar_util.Clock.now_s () -. t0 })

@@ -25,6 +25,7 @@ val run :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
+  ?solve_cache:Difflp.cache ->
   ?model:Sta.model ->
   lib:Liberty.t ->
   clocking:Clocking.t ->
@@ -32,10 +33,12 @@ val run :
   Transform.comb_circuit ->
   (t, Error.t) result
 (** [c] only affects the area accounting of the after-the-fact EDL
-    assignment, never the optimisation. [?deadline] and [?on_fallback]
-    are threaded into the LP solve (see {!Rgraph.solve}). *)
+    assignment, never the optimisation. [?deadline], [?on_fallback]
+    and [?solve_cache] are threaded into the LP solve (see
+    {!Rgraph.solve}). *)
 
 val run_on_stage :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
-  ?engine:Difflp.engine -> c:float -> Stage.t -> (t, Error.t) result
+  ?engine:Difflp.engine ->
+  ?solve_cache:Difflp.cache -> c:float -> Stage.t -> (t, Error.t) result

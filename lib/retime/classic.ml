@@ -30,7 +30,13 @@ type graph = {
   registers_before : int;
   mutable wd_cache : Wd.t option;
       (* memoised sparse W/D kernel; everything else in the record is
-         immutable, so the cache is keyed on the graph value itself *)
+         immutable, so the cache is keyed on the graph value itself.
+         Guarded by [wd_lock]: concurrent solves on one graph value
+         (e.g. eco sessions sharing a pool) must neither duplicate the
+         all-pairs build nor observe a partially published one, so
+         every access goes through the lock (reads included — plain
+         OCaml 5 accesses give no publication ordering). *)
+  wd_lock : Mutex.t;
 }
 
 let node_count g = g.n
@@ -159,7 +165,7 @@ let of_netlist ?(host_registers = 0) ~lib net =
   in
   { net; lib; host_registers; n; vertex_of_gate; gate_of_vertex; delays;
     conns = !conns; self_loop_regs = !self_loop_regs; registers_before;
-    wd_cache = None }
+    wd_cache = None; wd_lock = Mutex.create () }
 
 (* ------------------------------------------------------------------ *)
 (* W / D matrices (Eq. 1-2): sparse kernel, memoised per graph         *)
@@ -171,7 +177,17 @@ let wd_edges g =
 let m_wd_hits = Rar_obs.Metrics.counter "wd_memo_hits"
 let m_wd_misses = Rar_obs.Metrics.counter "wd_memo_misses"
 
+let with_wd_lock g f =
+  Mutex.lock g.wd_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock g.wd_lock) f
+
+(* Read or seed the memo under the lock. The build itself also runs
+   under the lock: it fans out on the domain pool, which is safe (pool
+   tasks never touch graph memos), and serialising it is the point —
+   two racing solvers must not both pay for (or tear) the all-pairs
+   kernel. *)
 let wd g =
+  with_wd_lock g @@ fun () ->
   match g.wd_cache with
   | Some t ->
     Rar_obs.Metrics.incr m_wd_hits;
@@ -181,6 +197,8 @@ let wd g =
     let t = Wd.build ~n:g.n ~delays:g.delays ~edges:(wd_edges g) in
     g.wd_cache <- Some t;
     t
+
+let seed_wd g t = with_wd_lock g (fun () -> g.wd_cache <- Some t)
 
 let wd_matrices g = Wd.to_dense (wd g)
 
@@ -196,7 +214,8 @@ let wd_matrices_dense g =
    the max over the same set of left-accumulated path-delay sums, so
    the float is bitwise identical. *)
 let period_of g =
-  match g.wd_cache with
+  let cached = with_wd_lock g (fun () -> g.wd_cache) in
+  match cached with
   | Some t ->
     Rar_obs.Metrics.incr m_wd_hits;
     Wd.max_zero_weight_delay t
@@ -245,23 +264,32 @@ let feasible ?deadline g ~period =
   | Ok _ -> true
   | Error _ -> false
 
-let min_period ?deadline g =
+let min_period_warm ?deadline ?init g =
   let arr = Wd.distinct_d_values (wd g) in
   let lo = ref 0 and hi = ref (Array.length arr - 1) in
-  let warm = ref None in
+  let warm = ref init in
   (* the largest D is always feasible (no constraints) *)
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    let init =
-      match !warm with Some pi -> pi | None -> Array.make g.n 0
+    let result =
+      match !warm with
+      | Some pi -> feasible_from ?deadline g ~period:arr.(mid) ~init:pi
+      | None ->
+        (* Cold first probe: the all-zero virtual-root start — the
+           same fixpoint the old all-zero [from_init] computed, but
+           not counted as a warm start. *)
+        Spfa.from_virtual_root ?deadline ~n:g.n
+          ~arcs:(constraint_arcs g ~period:arr.(mid)) ()
     in
-    match feasible_from ?deadline g ~period:arr.(mid) ~init with
+    match result with
     | Ok pi ->
       warm := Some pi;
       hi := mid
     | Error _ -> lo := mid + 1
   done;
-  arr.(!lo)
+  (arr.(!lo), !warm)
+
+let min_period ?deadline g = fst (min_period_warm ?deadline g)
 
 (* ------------------------------------------------------------------ *)
 (* Min-area retiming at a period                                       *)
@@ -640,3 +668,84 @@ let retime ?deadline ?on_fallback ?(engine = Difflp.Network_simplex) g
           retimed;
         }
   end
+
+(* ------------------------------------------------------------------ *)
+(* ECO sessions: warm state across repeated solves on an edited graph  *)
+(* ------------------------------------------------------------------ *)
+
+module Eco = struct
+  module Transform = Rar_netlist.Transform
+
+  type session = {
+    lib : Liberty.t;
+    host_registers : int;
+    mutable graph : graph;
+    mutable potentials : int array option;
+        (* last feasible SPFA potentials; valid warm init for any
+           period probe on any graph (outcome is init-independent) *)
+    mutable last_r : int array option;
+        (* last feasible retiming; a legal FEAS warm start only while
+           the edge topology (hence the retimed weights) is unchanged *)
+  }
+
+  let of_graph (g : graph) =
+    { lib = g.lib; host_registers = g.host_registers; graph = g;
+      potentials = None; last_r = None }
+
+  let open_session ?(host_registers = 0) ~lib net =
+    of_graph (of_netlist ~host_registers ~lib net)
+
+  let graph t = t.graph
+
+  let conn_equal a b =
+    a.src = b.src && a.dst = b.dst && a.w = b.w && a.phys_src = b.phys_src
+    && a.sink_node = b.sink_node && a.pin = b.pin
+
+  let same_topology a b =
+    a.n = b.n && List.equal conn_equal a.conns b.conns
+
+  let apply t edits =
+    List.iter
+      (fun e ->
+        match e with
+        | Transform.Edit.Annotate _ | Transform.Edit.Set_c _ ->
+          invalid_arg
+            "Classic.Eco.apply: only resize/rewire edits apply to classic \
+             retiming"
+        | Transform.Edit.Resize _ | Transform.Edit.Rewire _ -> ())
+      edits;
+    let applied = Transform.Edit.apply t.graph.net edits in
+    let g' =
+      of_netlist ~host_registers:t.host_registers ~lib:t.lib
+        applied.Transform.Edit.net
+    in
+    let old = t.graph in
+    if same_topology old g' then begin
+      (* Delay-only change: patch the memoised W/D rows instead of a
+         cold all-pairs build, and keep the FEAS warm start (retimed
+         weights are untouched). *)
+      (match with_wd_lock old (fun () -> old.wd_cache) with
+      | Some wd_old ->
+        seed_wd g' (Wd.patch wd_old ~delays:g'.delays ~edges:(wd_edges g'))
+      | None -> ())
+    end
+    else begin
+      t.potentials <- None;
+      t.last_r <- None
+    end;
+    t.graph <- g'
+
+  let min_period ?deadline t =
+    let p, pi = min_period_warm ?deadline ?init:t.potentials t.graph in
+    (match pi with Some pi -> t.potentials <- Some pi | None -> ());
+    p
+
+  let feas ?deadline ?max_iters ?patience t ~period =
+    match
+      feas ?deadline ?init:t.last_r ?max_iters ?patience t.graph ~period
+    with
+    | Some (r, _) as result ->
+      t.last_r <- Some (Array.copy r);
+      result
+    | None -> None
+end

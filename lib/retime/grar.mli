@@ -26,6 +26,7 @@ val run :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
+  ?solve_cache:Difflp.cache ->
   ?model:Sta.model ->
   lib:Liberty.t ->
   clocking:Clocking.t ->
@@ -42,6 +43,7 @@ val run_on_stage :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
+  ?solve_cache:Difflp.cache ->
   c:float ->
   Stage.t ->
   (t, Error.t) result

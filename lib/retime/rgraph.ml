@@ -136,8 +136,10 @@ let build ?edl_overhead ?(forbidden_edges = []) ?(bias_early = false) stage =
   end;
   { stage; lp; host; var_of; p_sinks; constant = !constant; edges = !edges }
 
-let solve ?deadline ?on_fallback ?engine t =
-  match Difflp.solve ?deadline ?on_fallback ?engine t.lp ~reference:t.host with
+let solve ?deadline ?on_fallback ?engine ?cache t =
+  match
+    Difflp.solve ?deadline ?on_fallback ?engine ?cache t.lp ~reference:t.host
+  with
   | Ok r -> Ok r
   | Error detail -> Error (Error.Infeasible_lp { detail })
 

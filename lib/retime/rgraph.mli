@@ -62,12 +62,15 @@ val modelled_latch_count : t -> int array -> float
 val solve :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
-  ?engine:Difflp.engine -> t -> (int array, Error.t) result
+  ?engine:Difflp.engine ->
+  ?cache:Difflp.cache -> t -> (int array, Error.t) result
 (** Solve and return the full variable assignment (normalised to
     [r(host) = 0]). [?deadline] and [?on_fallback] are passed to
     {!Difflp.solve}: deadline expiry raises [Rar_util.Deadline.Expired]
     (converted to {!Error.Timeout} at the engine boundary), and a
-    successful alternate-solver retry is reported via [?on_fallback]. *)
+    successful alternate-solver retry is reported via [?on_fallback].
+    [?cache] is the ECO solve cache ({!Difflp.cache}): identical LP
+    instances replay their stored solution without touching a solver. *)
 
 val r_of_node : t -> int array -> int -> int
 (** Retiming value of a comb node under a solution. *)

@@ -85,7 +85,7 @@ let fix ?(max_rounds = 12) ~deadlines stage placements =
           let cc' = { cc with Transform.comb = net' } in
           match
             Stage.make ~model:(Stage.model stage)
-              ?source:(Stage.source stage) ~lib
+              ?source:(Stage.source stage) ?annot:(Stage.annot stage) ~lib
               ~clocking:(Stage.clocking stage) cc'
           with
           | Error _ as e -> e

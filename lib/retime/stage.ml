@@ -15,12 +15,25 @@ type sink_class =
   | Always_ed
   | Target of { cut : int list }
 
+(* Result of classifying one sink. The per-sink edge lists are
+   returned (not pushed into shared tables) so classification can run
+   on the domain pool; {!make} merges them sequentially after the
+   join. *)
+type classified = {
+  cls : sink_class;
+  mp : float;                  (* longest pure combinational path *)
+  ill : (int * int) list;      (* per-edge Constraint (7) violations *)
+  win : (int * int) list;      (* window edges (Target sinks only) *)
+  empty_cut : bool;            (* Always_ed via an empty g(t): warn *)
+}
+
 type t = {
   cc : Transform.comb_circuit;
   source : Netlist.t option; (* two-phase netlist the cc came from *)
   lib : Liberty.t;
   clocking : Clocking.t;
   sta : Sta.t;
+  annot : float array option; (* ECO delay annotations baked into sta *)
   regions : region array;
   classes : (int * sink_class) list; (* per sink node id *)
   initial_arr : Liberty.arc array;   (* un-retimed arrivals *)
@@ -28,10 +41,14 @@ type t = {
   illegal : (int * int) list;        (* edges that can never hold a slave *)
   window : (int, (int * int) list) Hashtbl.t;
     (* per Target sink: edges whose A exceeds the period *)
+  per_sink : (int * classified) array;
+    (* raw classification results, in sink order — the cache
+       {!patch} reuses for sinks outside an edit's affected cone *)
 }
 
 let cc t = t.cc
 let source t = t.source
+let annot t = t.annot
 let comb t = t.cc.Transform.comb
 let sta t = t.sta
 let lib t = t.lib
@@ -140,18 +157,6 @@ let compute_regions ~sta_an ~lib ~clocking net =
   match !conflict with
   | Some name -> Error (Error.Illegal_stage { node = name })
   | None -> Ok regions
-
-(* Result of classifying one sink. The per-sink edge lists are
-   returned (not pushed into shared tables) so classification can run
-   on the domain pool; {!make} merges them sequentially after the
-   join. *)
-type classified = {
-  cls : sink_class;
-  mp : float;                  (* longest pure combinational path *)
-  ill : (int * int) list;      (* per-edge Constraint (7) violations *)
-  win : (int * int) list;      (* window edges (Target sinks only) *)
-  empty_cut : bool;            (* Always_ed via an empty g(t): warn *)
-}
 
 (* Classification of one sink (paper §IV-A). While scanning every
    latch position in the cone we also record the positions that violate
@@ -286,87 +291,149 @@ let classify_sink ~sta_an ~clocking ~latch net s =
         win = !window; empty_cut = false }
   end
 
-let make ?(model = Sta.Path_based) ?source ~lib ~clocking cc =
+(* Shared back half of {!make} and {!patch}: reject untimeable sinks,
+   merge per-sink classification results sequentially in sink order
+   (so the resulting tables and lists are identical for every pool
+   size — and identical between a cold make and a patch), promote
+   illegal-edge sources and compute the initial arrivals. *)
+let finish ~cc ~source ~lib ~clocking ~sta_an ~annot ~latch ~regions
+    ~classified =
   let net = cc.Transform.comb in
-  let sta_an = Sta.analyse lib model net in
+  let limit = Clocking.max_delay clocking in
+  let too_long =
+    Array.fold_left
+      (fun acc s ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if Sta.arrival_at_sink sta_an s > limit +. eps then Some s else None)
+      None (Netlist.outputs net)
+  in
+  match too_long with
+  | Some s ->
+    Error (Error.Untimeable_sink { sink = Netlist.node_name net s; limit })
+  | None ->
+    let max_paths = Hashtbl.create 64 in
+    let illegal_tbl = Hashtbl.create 64 in
+    let window_tbl = Hashtbl.create 64 in
+    let classes =
+      Array.to_list
+        (Array.map
+           (fun (s, r) ->
+             Hashtbl.replace max_paths s r.mp;
+             List.iter (fun e -> Hashtbl.replace illegal_tbl e ()) r.ill;
+             (match r.cls with
+             | Target _ -> Hashtbl.replace window_tbl s r.win
+             | Never_ed | Always_ed -> ());
+             if r.empty_cut then
+               Log.warn (fun m ->
+                   m "sink %s: retiming-dependent but empty g(t); treating \
+                      as always error-detecting"
+                     (Netlist.node_name net s));
+             (s, r.cls))
+           classified)
+    in
+    let illegal = Hashtbl.fold (fun e () acc -> e :: acc) illegal_tbl [] in
+    (* A source whose shared initial position covers an illegal edge
+       must clear its host latch: promote to V_m. *)
+    List.iter
+      (fun (u, _) ->
+        if Netlist.kind net u = Netlist.Input && regions.(u) = Rr then
+          regions.(u) <- Rm)
+      illegal;
+    let initial_arr =
+      Sta.forward_with_latches sta_an ~clocking ~latch
+        ~latched:(fun ~v ~pin ->
+          let u = (Netlist.fanins net v).(pin) in
+          Netlist.kind net u = Netlist.Input)
+    in
+    Ok { cc; source; lib; clocking; sta = sta_an; annot; regions; classes;
+         initial_arr; max_paths; illegal; window = window_tbl;
+         per_sink = classified }
+
+let make ?(model = Sta.Path_based) ?source ?annot ~lib ~clocking cc =
+  let net = cc.Transform.comb in
+  let sta_an = Sta.analyse ?annot lib model net in
   let latch = Liberty.latch lib in
   match compute_regions ~sta_an ~lib ~clocking net with
   | Error _ as e -> e
   | Ok regions ->
-    (* Reject stages whose critical path cannot meet max_delay even
-       before placing any slave. *)
-    let limit = Clocking.max_delay clocking in
-    let too_long =
-      Array.fold_left
-        (fun acc s ->
-          match acc with
-          | Some _ -> acc
-          | None ->
-            if Sta.arrival_at_sink sta_an s > limit +. eps then Some s
-            else None)
-        None (Netlist.outputs net)
+    (* Per-sink classification is independent (each sink scans its
+       own fan-in cone against the shared read-only STA), so it fans
+       out across the domain pool. [backward_all]'s memo is already
+       forced by [compute_regions] above; force it regardless so the
+       shared [Sta.t] stays read-only inside the workers. *)
+    ignore (Sta.backward_all sta_an : float array);
+    (* Chunked dispatch with a deliberately coarse grain: a sink
+       classifies in well under a millisecond, so anything smaller
+       than a few hundred sinks is cheaper to scan in place than to
+       ship through the pool (waking a domain costs milliseconds on
+       a contended host — the BENCH_eval stage_make regression).
+       ISCAS-scale circuits (<= ~250 sinks) therefore stay on the
+       sequential path; only multi-thousand-sink designs fan out,
+       in ~50 ms tasks. *)
+    let classified =
+      Rar_util.Pool.map ~min_chunk:256 (Netlist.outputs net) (fun s ->
+          (s, classify_sink ~sta_an ~clocking ~latch net s))
     in
-    (match too_long with
-    | Some s ->
-      Error
-        (Error.Untimeable_sink { sink = Netlist.node_name net s; limit })
-    | None ->
-      let max_paths = Hashtbl.create 64 in
-      let illegal_tbl = Hashtbl.create 64 in
-      let window_tbl = Hashtbl.create 64 in
-      (* Per-sink classification is independent (each sink scans its
-         own fan-in cone against the shared read-only STA), so it fans
-         out across the domain pool. [backward_all]'s memo is already
-         forced by [compute_regions] above; force it regardless so the
-         shared [Sta.t] stays read-only inside the workers. *)
-      ignore (Sta.backward_all sta_an : float array);
-      (* Chunked dispatch with a deliberately coarse grain: a sink
-         classifies in well under a millisecond, so anything smaller
-         than a few hundred sinks is cheaper to scan in place than to
-         ship through the pool (waking a domain costs milliseconds on
-         a contended host — the BENCH_eval stage_make regression).
-         ISCAS-scale circuits (<= ~250 sinks) therefore stay on the
-         sequential path; only multi-thousand-sink designs fan out,
-         in ~50 ms tasks. *)
-      let classified =
-        Rar_util.Pool.map ~min_chunk:256 (Netlist.outputs net) (fun s ->
-            (s, classify_sink ~sta_an ~clocking ~latch net s))
-      in
-      (* Sequential merge, in sink order, so the resulting tables and
-         lists are identical for every pool size. *)
-      let classes =
-        Array.to_list
-          (Array.map
-             (fun (s, r) ->
-               Hashtbl.replace max_paths s r.mp;
-               List.iter (fun e -> Hashtbl.replace illegal_tbl e ()) r.ill;
-               (match r.cls with
-               | Target _ -> Hashtbl.replace window_tbl s r.win
-               | Never_ed | Always_ed -> ());
-               if r.empty_cut then
-                 Log.warn (fun m ->
-                     m "sink %s: retiming-dependent but empty g(t); treating \
-                        as always error-detecting"
-                       (Netlist.node_name net s));
-               (s, r.cls))
-             classified)
-      in
-      let illegal = Hashtbl.fold (fun e () acc -> e :: acc) illegal_tbl [] in
-      (* A source whose shared initial position covers an illegal edge
-         must clear its host latch: promote to V_m. *)
-      List.iter
-        (fun (u, _) ->
-          if Netlist.kind net u = Netlist.Input && regions.(u) = Rr then
-            regions.(u) <- Rm)
-        illegal;
-      let initial_arr =
-        Sta.forward_with_latches sta_an ~clocking ~latch
-          ~latched:(fun ~v ~pin ->
-            let u = (Netlist.fanins net v).(pin) in
-            Netlist.kind net u = Netlist.Input)
-      in
-      Ok { cc; source; lib; clocking; sta = sta_an; regions; classes;
-           initial_arr; max_paths; illegal; window = window_tbl })
+    finish ~cc ~source ~lib ~clocking ~sta_an ~annot ~latch ~regions
+      ~classified
+
+let patch t (applied : Transform.Edit.applied) =
+  Rar_obs.Trace.span "stage/patch" @@ fun () ->
+  let net = applied.Transform.Edit.net in
+  let annot = Some applied.Transform.Edit.annot in
+  let cc = { t.cc with Transform.comb = net } in
+  let lib = t.lib and clocking = t.clocking in
+  let latch = Liberty.latch lib in
+  let sta_an, changed =
+    Sta.patch t.sta ~net ?annot
+      ~dirty_arcs:applied.Transform.Edit.dirty_arcs
+      ~seeds:applied.Transform.Edit.seeds ()
+  in
+  match compute_regions ~sta_an ~lib ~clocking net with
+  | Error _ as e -> e
+  | Ok regions ->
+    (* Affected sinks: everything forward-reachable (over the edited
+       netlist) from a node whose arcs, fanins or arrival changed.
+       Every other sink's fan-in cone has identical structure and
+       timing, so its cached classification is still exact. *)
+    let cv = Netlist.compact net in
+    let n = Netlist.Compact.n cv in
+    let reach = Array.copy changed in
+    let topo = Netlist.Compact.topo cv in
+    for i = 0 to n - 1 do
+      let v = topo.(i) in
+      if reach.(v) then begin
+        let hi = Netlist.Compact.fanout_hi cv v in
+        for p = Netlist.Compact.fanout_lo cv v to hi - 1 do
+          reach.(Netlist.Compact.fanout cv p) <- true
+        done
+      end
+    done;
+    let affected =
+      Array.of_list
+        (Array.fold_right
+           (fun (s, _) acc -> if reach.(s) then s :: acc else acc)
+           t.per_sink [])
+    in
+    ignore (Sta.backward_all sta_an : float array);
+    let reclassified =
+      Rar_util.Pool.map ~min_chunk:256 affected (fun s ->
+          (s, classify_sink ~sta_an ~clocking ~latch net s))
+    in
+    let fresh = Hashtbl.create (Array.length reclassified * 2) in
+    Array.iter (fun (s, r) -> Hashtbl.replace fresh s r) reclassified;
+    let classified =
+      Array.map
+        (fun (s, old) ->
+          match Hashtbl.find_opt fresh s with
+          | Some r -> (s, r)
+          | None -> (s, old))
+        t.per_sink
+    in
+    finish ~cc ~source:t.source ~lib ~clocking ~sta_an ~annot ~latch
+      ~regions ~classified
 
 let pp_summary ppf t =
   let net = comb t in

@@ -30,6 +30,7 @@ type t
 val make :
   ?model:Sta.model ->
   ?source:Netlist.t ->
+  ?annot:float array ->
   lib:Liberty.t ->
   clocking:Clocking.t ->
   Transform.comb_circuit ->
@@ -42,7 +43,26 @@ val make :
     [source] optionally records the two-phase netlist the
     [comb_circuit] was extracted from; engines that perturb the full
     netlist (the movable-master search) require it, everything else
-    ignores it. Derived stages (e.g. after sizing) inherit it. *)
+    ignores it. Derived stages (e.g. after sizing) inherit it.
+
+    [annot] is a per-node ECO delay annotation forwarded to
+    {!Sta.analyse} and recorded in the stage ({!annot}); derived stages
+    must carry it forward. *)
+
+val patch : t -> Transform.Edit.applied -> (t, Error.t) result
+(** Incremental re-analysis after a {!Transform.Edit.apply}: runs
+    {!Sta.patch} over the edit's dirty set, recomputes the (cheap)
+    region and initial-arrival passes, and re-classifies only sinks
+    forward-reachable from a changed node, reusing the cached
+    classification of every other sink. The result is identical —
+    bitwise, including table iteration orders — to
+    [make ~model ~annot:applied.annot] on the edited circuit, at a
+    cost proportional to the affected cones. The input stage must be
+    the one the edit was applied against (same netlist, same
+    cumulative annotations). *)
+
+val annot : t -> float array option
+(** The ECO delay annotations this stage was analysed under. *)
 
 val cc : t -> Transform.comb_circuit
 val source : t -> Netlist.t option

@@ -226,6 +226,65 @@ let build ~n ~delays ~edges =
     d = Array.map (fun (_, _, d) -> d) rows;
   }
 
+let m_patch_hits = Rar_obs.Metrics.counter "wd_patch_hits"
+let m_patch_rebuilds = Rar_obs.Metrics.counter "wd_patch_rebuilds"
+
+let patch t ~delays ~edges =
+  Rar_obs.Trace.span "wd/patch" @@ fun () ->
+  let n = t.n in
+  if Array.length delays <> n then invalid_arg "Wd.patch: delays length";
+  let changed = Array.make n false in
+  let any = ref false in
+  for v = 0 to n - 1 do
+    if Int64.bits_of_float delays.(v) <> Int64.bits_of_float t.delays.(v)
+    then begin
+      changed.(v) <- true;
+      any := true
+    end
+  done;
+  if not !any then begin
+    Rar_obs.Metrics.add m_patch_hits n;
+    { t with delays }
+  end
+  else begin
+    (* A source row's W entries depend only on the (unchanged) edge
+       weights; its D entries accumulate delays of vertices inside its
+       reach set. A row whose reach touches no changed vertex is
+       therefore bitwise what [build] would produce; every other row is
+       recomputed with the shared per-source kernel. *)
+    let adj = csr ~n edges in
+    let rank = zero_rank ~n adj in
+    let dirty = ref [] in
+    for u = n - 1 downto 0 do
+      let row = t.reach.(u) in
+      let k = Array.length row in
+      let hit = ref false in
+      let i = ref 0 in
+      while (not !hit) && !i < k do
+        if changed.(row.(!i)) then hit := true;
+        incr i
+      done;
+      if !hit then dirty := u :: !dirty
+    done;
+    let dirty = Array.of_list !dirty in
+    let rows =
+      Pool.map ~min_chunk:32 dirty (from_source ~n ~delays ~rank adj)
+    in
+    let reach = Array.copy t.reach in
+    let w = Array.copy t.w in
+    let d = Array.copy t.d in
+    Array.iteri
+      (fun k u ->
+        let r, wr, dr = rows.(k) in
+        reach.(u) <- r;
+        w.(u) <- wr;
+        d.(u) <- dr)
+      dirty;
+    Rar_obs.Metrics.add m_patch_rebuilds (Array.length dirty);
+    Rar_obs.Metrics.add m_patch_hits (n - Array.length dirty);
+    { n; delays; reach; w; d }
+  end
+
 let to_dense t =
   let w = Array.make_matrix t.n t.n big in
   let d = Array.make_matrix t.n t.n neg_infinity in

@@ -25,6 +25,17 @@ val build : n:int -> delays:float array -> edges:(int * int * int) list -> t
     the million-gate target, and weights are register counts bounded by
     the node count). *)
 
+val patch : t -> delays:float array -> edges:(int * int * int) list -> t
+(** Delta rebuild after a delay-only change (the ECO resize /
+    annotation case): keeps every per-source row whose reach set
+    contains no vertex with a bitwise-changed delay, and recomputes the
+    others with the shared per-source kernel. [edges] {e must} be the
+    edge set [t] was built from (edit layers guarantee this by
+    comparing topology before patching; a changed topology requires a
+    cold {!build}). The result is bitwise-identical to
+    [build ~n ~delays ~edges]. Kept and rebuilt row counts are
+    published as the [wd_patch_hits] / [wd_patch_rebuilds] metrics. *)
+
 val node_count : t -> int
 
 val big : int

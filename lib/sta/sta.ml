@@ -50,14 +50,83 @@ let launch t = t.launch_time
    combinational fan-in), so the counter is deterministic under any
    pool size. *)
 let m_pin_relax = Rar_obs.Metrics.counter "sta_pin_relaxations"
+let m_incr_pins = Rar_obs.Metrics.counter "sta_incremental_pins"
 
-let analyse ?launch lib mdl net =
+(* Fill the timing arcs of gate [v] from the library. [extra] is the
+   node's ECO delay annotation, added to every arc; guarded so the
+   un-annotated path stays bitwise what it always was. Shared by
+   [analyse] and [patch] — patched arcs must be bitwise-identical to a
+   cold analysis of the edited netlist. *)
+let fill_gate_arcs lib mdl net cv extra pa_rise pa_fall unate v =
+  match Netlist.kind net v with
+  | Netlist.Gate { fn; drive } ->
+    let cell = Liberty.comb_cell lib fn ~drive in
+    let load = Liberty.gate_load lib net v in
+    let lo = Compact.fanin_lo cv v in
+    let n_pins = Compact.fanin_hi cv v - lo in
+    let adj x = if extra = 0. then x else x +. extra in
+    for pin = 0 to n_pins - 1 do
+      let pa = Liberty.pin_arc cell ~pin ~load in
+      match mdl with
+      | Gate_based ->
+        let d = adj (Liberty.arc_max pa) in
+        pa_rise.(lo + pin) <- d;
+        pa_fall.(lo + pin) <- d;
+        unate.(lo + pin) <- un_scalar
+      | Path_based ->
+        pa_rise.(lo + pin) <- adj pa.Liberty.rise;
+        pa_fall.(lo + pin) <- adj pa.Liberty.fall;
+        unate.(lo + pin) <-
+          (match Cell_kind.unateness fn pin with
+          | Cell_kind.Positive -> un_pos
+          | Cell_kind.Negative -> un_neg
+          | Cell_kind.Non_unate -> un_non)
+    done
+  | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()
+
+(* Worst (rise, fall) at the output of gate [v] given current arrivals;
+   counts one relaxation per pin into [pins]. *)
+let gate_arrival cv unate pa_rise pa_fall arr_rise arr_fall pins v =
+  let best_r = ref neg_infinity and best_f = ref neg_infinity in
+  let hi = Compact.fanin_hi cv v in
+  for p = Compact.fanin_lo cv v to hi - 1 do
+    incr pins;
+    let u = Compact.fanin cv p in
+    let in_r = arr_rise.(u) and in_f = arr_fall.(u) in
+    let code = unate.(p) in
+    let out_r, out_f =
+      if code = un_pos then (in_r +. pa_rise.(p), in_f +. pa_fall.(p))
+      else if code = un_neg then (in_f +. pa_rise.(p), in_r +. pa_fall.(p))
+      else if code = un_non then begin
+        let worst = Float.max in_r in_f in
+        (worst +. pa_rise.(p), worst +. pa_fall.(p))
+      end
+      else begin
+        let worst = Float.max in_r in_f in
+        let d = pa_rise.(p) in
+        (worst +. d, worst +. d)
+      end
+    in
+    if out_r > !best_r then best_r := out_r;
+    if out_f > !best_f then best_f := out_f
+  done;
+  (!best_r, !best_f)
+
+let check_annot fn_name net = function
+  | None -> fun (_ : int) -> 0.
+  | Some a ->
+    if Array.length a <> Netlist.node_count net then
+      invalid_arg (fn_name ^ ": annot length mismatch");
+    fun v -> a.(v)
+
+let analyse ?launch ?annot lib mdl net =
   Rar_obs.Trace.span "sta/analyse" @@ fun () ->
   Array.iter
     (fun v ->
       if Netlist.is_seq net v then
         invalid_arg "Sta.analyse: netlist contains sequential nodes")
     (Netlist.seqs net);
+  let extra_of = check_annot "Sta.analyse" net annot in
   let launch_time =
     match launch with Some l -> l | None -> (Liberty.latch lib).Liberty.ck_to_q
   in
@@ -68,30 +137,7 @@ let analyse ?launch lib mdl net =
   let pa_fall = Array.make (Int.max 1 n_pins_total) 0. in
   let unate = Array.make (Int.max 1 n_pins_total) un_non in
   for v = 0 to n - 1 do
-    match Netlist.kind net v with
-    | Netlist.Gate { fn; drive } ->
-      let cell = Liberty.comb_cell lib fn ~drive in
-      let load = Liberty.gate_load lib net v in
-      let lo = Compact.fanin_lo cv v in
-      let n_pins = Compact.fanin_hi cv v - lo in
-      for pin = 0 to n_pins - 1 do
-        let pa = Liberty.pin_arc cell ~pin ~load in
-        (match mdl with
-        | Gate_based ->
-          let d = Liberty.arc_max pa in
-          pa_rise.(lo + pin) <- d;
-          pa_fall.(lo + pin) <- d;
-          unate.(lo + pin) <- un_scalar
-        | Path_based ->
-          pa_rise.(lo + pin) <- pa.Liberty.rise;
-          pa_fall.(lo + pin) <- pa.Liberty.fall;
-          unate.(lo + pin) <-
-            (match Cell_kind.unateness fn pin with
-            | Cell_kind.Positive -> un_pos
-            | Cell_kind.Negative -> un_neg
-            | Cell_kind.Non_unate -> un_non))
-      done
-    | Netlist.Input | Netlist.Output | Netlist.Seq _ -> ()
+    fill_gate_arcs lib mdl net cv (extra_of v) pa_rise pa_fall unate v
   done;
   let arr_rise = Array.make n neg_infinity in
   let arr_fall = Array.make n neg_infinity in
@@ -111,36 +157,87 @@ let analyse ?launch lib mdl net =
     end
     else begin
       (* gate: sequential nodes were rejected above *)
-      let best_r = ref neg_infinity and best_f = ref neg_infinity in
-      let hi = Compact.fanin_hi cv v in
-      for p = Compact.fanin_lo cv v to hi - 1 do
-        incr pins;
-        let u = Compact.fanin cv p in
-        let in_r = arr_rise.(u) and in_f = arr_fall.(u) in
-        let code = unate.(p) in
-        let out_r, out_f =
-          if code = un_pos then (in_r +. pa_rise.(p), in_f +. pa_fall.(p))
-          else if code = un_neg then (in_f +. pa_rise.(p), in_r +. pa_fall.(p))
-          else if code = un_non then begin
-            let worst = Float.max in_r in_f in
-            (worst +. pa_rise.(p), worst +. pa_fall.(p))
-          end
-          else begin
-            let worst = Float.max in_r in_f in
-            let d = pa_rise.(p) in
-            (worst +. d, worst +. d)
-          end
-        in
-        if out_r > !best_r then best_r := out_r;
-        if out_f > !best_f then best_f := out_f
-      done;
-      arr_rise.(v) <- !best_r;
-      arr_fall.(v) <- !best_f
+      let r, f = gate_arrival cv unate pa_rise pa_fall arr_rise arr_fall pins v in
+      arr_rise.(v) <- r;
+      arr_fall.(v) <- f
     end
   done;
   Rar_obs.Metrics.add m_pin_relax !pins;
   { net; cv; lib; mdl; launch_time; pa_rise; pa_fall; unate; arr_rise;
     arr_fall; back_all_cache = None }
+
+let patch t ~net ?annot ~dirty_arcs ~seeds () =
+  Rar_obs.Trace.span "sta/patch" @@ fun () ->
+  let extra_of = check_annot "Sta.patch" net annot in
+  let cv = Netlist.compact net in
+  let n = Compact.n cv in
+  if n <> Compact.n t.cv then invalid_arg "Sta.patch: node count changed";
+  for v = 0 to n - 1 do
+    if Compact.fanin_lo cv v <> Compact.fanin_lo t.cv v then
+      invalid_arg "Sta.patch: pin layout changed"
+  done;
+  let pa_rise = Array.copy t.pa_rise in
+  let pa_fall = Array.copy t.pa_fall in
+  let unate = Array.copy t.unate in
+  let pins = ref 0 in
+  List.iter
+    (fun v ->
+      fill_gate_arcs t.lib t.mdl net cv (extra_of v) pa_rise pa_fall unate v;
+      pins := !pins + (Compact.fanin_hi cv v - Compact.fanin_lo cv v))
+    dirty_arcs;
+  let need = Array.make n false in
+  let changed = Array.make n false in
+  List.iter (fun v -> need.(v) <- true) dirty_arcs;
+  List.iter (fun v -> need.(v) <- true) seeds;
+  let arr_rise = Array.copy t.arr_rise in
+  let arr_fall = Array.copy t.arr_fall in
+  let topo = Compact.topo cv in
+  for i = 0 to n - 1 do
+    let v = topo.(i) in
+    let tg = Compact.tag cv v in
+    if tg = Compact.tag_input then ()
+      (* launch time never changes *)
+    else begin
+      let lo = Compact.fanin_lo cv v and hi = Compact.fanin_hi cv v in
+      let touched = ref need.(v) in
+      let p = ref lo in
+      while (not !touched) && !p < hi do
+        if changed.(Compact.fanin cv !p) then touched := true;
+        incr p
+      done;
+      if !touched then begin
+        let r, f =
+          if tg = Compact.tag_output then begin
+            let u = Compact.fanin cv lo in
+            incr pins;
+            (arr_rise.(u), arr_fall.(u))
+          end
+          else gate_arrival cv unate pa_rise pa_fall arr_rise arr_fall pins v
+        in
+        (* Bitwise-equal cutoff: propagation stops where the recomputed
+           arrival is exactly the old one (identical float expressions
+           over identical inputs downstream stay identical too). *)
+        if
+          Int64.bits_of_float r <> Int64.bits_of_float arr_rise.(v)
+          || Int64.bits_of_float f <> Int64.bits_of_float arr_fall.(v)
+        then begin
+          arr_rise.(v) <- r;
+          arr_fall.(v) <- f;
+          changed.(v) <- true
+        end
+      end
+    end
+  done;
+  Rar_obs.Metrics.add m_incr_pins !pins;
+  (* Even with unchanged arrivals, nodes with modified arcs (and
+     rewired nodes, whose fanin identity changed) have different
+     edge-propagation behaviour; report them as changed so downstream
+     cone invalidation reclassifies through them. *)
+  List.iter (fun v -> changed.(v) <- true) dirty_arcs;
+  List.iter (fun v -> changed.(v) <- true) seeds;
+  ( { t with net; cv; pa_rise; pa_fall; unate; arr_rise; arr_fall;
+      back_all_cache = None },
+    changed )
 
 let arrival_arc t v = Liberty.{ rise = t.arr_rise.(v); fall = t.arr_fall.(v) }
 let arrival_rise t v = t.arr_rise.(v)

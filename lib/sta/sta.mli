@@ -26,11 +26,39 @@ val model_name : model -> string
 
 type t
 
-val analyse : ?launch:float -> Liberty.t -> model -> Netlist.t -> t
+val analyse :
+  ?launch:float -> ?annot:float array -> Liberty.t -> model -> Netlist.t -> t
 (** Forward-propagate arrivals. [launch] (default: the library latch's
     clock-to-Q) is the arrival time at every [Input] node. Loads are
-    computed from the netlist's current fanouts and drives. Raises
+    computed from the netlist's current fanouts and drives. [annot]
+    adds a per-node extra delay to every timing arc of the node (ECO
+    delay annotations; length must be the node count). Raises
     [Invalid_argument] if the netlist contains sequential nodes. *)
+
+val patch :
+  t ->
+  net:Netlist.t ->
+  ?annot:float array ->
+  dirty_arcs:int list ->
+  seeds:int list ->
+  unit ->
+  t * bool array
+(** Incremental re-analysis after an ECO edit ({!Transform.Edit}).
+    [net] is the edited netlist; it must have the same node count and
+    pin layout as the analysed one (the {!Transform.Edit.applied}
+    contract). [dirty_arcs] are the nodes whose timing arcs changed
+    (their arcs are refilled from the library under [annot]);
+    [seeds] are nodes whose fanin identity changed. Arrivals are
+    re-propagated forward only from those nodes, stopping where the
+    recomputed arrival is bitwise-equal to the cached one, so the
+    result equals [analyse ?annot lib mdl net] {e bitwise} at a cost
+    proportional to the affected cone. [annot] must agree with the
+    analysed state on every node outside [dirty_arcs].
+
+    Returns the patched analysis plus a per-node mask marking every
+    node whose arrival or timing arcs (or fanin identity) changed —
+    the seed set for downstream cone invalidation. Re-relaxed pins are
+    counted in the [sta_incremental_pins] metric. *)
 
 val netlist : t -> Netlist.t
 val library : t -> Liberty.t

@@ -51,8 +51,8 @@ let seed_types stage variant =
   | Nvl -> []
   | Rvl -> Stage.near_critical_initial stage
 
-let run_on_stage ?deadline ?on_fallback ?engine ?(post_swap = true) ~c
-    variant stage =
+let run_on_stage ?deadline ?on_fallback ?engine ?solve_cache
+    ?(post_swap = true) ~c variant stage =
   let t0 = Rar_util.Clock.now_s () in
   let sinks = Array.to_list (Stage.sinks stage) in
   let initial_ed = seed_types stage variant in
@@ -76,7 +76,8 @@ let run_on_stage ?deadline ?on_fallback ?engine ?(post_swap = true) ~c
       let non_ed = List.filter (fun s -> not (List.mem s ed_set)) sinks in
       let forbidden = List.concat_map (forbidden_for stage) non_ed in
       let g = Rgraph.build ~forbidden_edges:forbidden ~bias_early:true stage in
-      match Rgraph.solve ?deadline ?on_fallback ?engine g with
+      match Rgraph.solve ?deadline ?on_fallback ?engine ?cache:solve_cache g
+      with
       | Ok r -> Ok (ed_set, rounds, g, r)
       | Error _ ->
         (* The typed constraints are collectively unsatisfiable: flip
@@ -163,13 +164,13 @@ let run_on_stage ?deadline ?on_fallback ?engine ?(post_swap = true) ~c
               runtime_s = Rar_util.Clock.now_s () -. t0;
             }))
 
-let run ?deadline ?on_fallback ?engine ?(model = Sta.Path_based) ?post_swap
-    ~lib ~clocking ~c variant cc =
+let run ?deadline ?on_fallback ?engine ?solve_cache
+    ?(model = Sta.Path_based) ?post_swap ~lib ~clocking ~c variant cc =
   let t0 = Rar_util.Clock.now_s () in
   match Stage.make ~model ~lib ~clocking cc with
   | Error _ as e -> e
   | Ok stage -> (
-    match run_on_stage ?deadline ?on_fallback ?engine ?post_swap ~c variant
-            stage with
+    match run_on_stage ?deadline ?on_fallback ?engine ?solve_cache ?post_swap
+            ~c variant stage with
     | Error _ as e -> e
     | Ok r -> Ok { r with runtime_s = Rar_util.Clock.now_s () -. t0 })

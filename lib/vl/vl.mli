@@ -50,6 +50,7 @@ val run :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
+  ?solve_cache:Difflp.cache ->
   ?model:Sta.model ->
   ?post_swap:bool ->
   lib:Liberty.t ->
@@ -69,6 +70,7 @@ val run_on_stage :
   ?deadline:Rar_util.Deadline.t ->
   ?on_fallback:(Difflp.fallback_event -> unit) ->
   ?engine:Difflp.engine ->
+  ?solve_cache:Difflp.cache ->
   ?post_swap:bool ->
   c:float ->
   variant ->

@@ -18,4 +18,5 @@ let () =
       ("classic", Test_classic.suite);
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
+      ("eco", Test_eco.suite);
     ]
