@@ -354,13 +354,23 @@ let scale_spec ~gates =
     src_bias_pct = 55;
   }
 
-(* Run [f] under armed tracing; return its result plus the summed
-   inclusive wall seconds per span name — the per-phase breakdown of
-   each scaling row. *)
+(* Run [f] under armed tracing and metrics; return its result plus the
+   summed inclusive wall seconds per span name — the per-phase
+   breakdown of each scaling row — and the counter snapshot (pivot and
+   pruning effort alongside the wall clock). *)
 let span_totals f =
   Rar_obs.Trace.clear ();
   Rar_obs.Trace.arm ();
-  let r = Fun.protect ~finally:Rar_obs.Trace.disarm f in
+  Rar_obs.Metrics.reset ();
+  Rar_obs.Metrics.arm ();
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Rar_obs.Trace.disarm ();
+        Rar_obs.Metrics.disarm ())
+      f
+  in
+  let counters, _gauges = Rar_obs.Metrics.snapshot () in
   let evs = Rar_obs.Trace.events () in
   Rar_obs.Trace.clear ();
   let stacks = Hashtbl.create 8 and totals = Hashtbl.create 8 in
@@ -385,16 +395,41 @@ let span_totals f =
             +. Option.value ~default:0. (Hashtbl.find_opt totals n))
         | _ -> ()))
     evs;
-  (r, List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) totals []))
+  ( r,
+    List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) totals []),
+    counters )
 
-let scale_entry ~name ~gates ~path ~phases ~spans ~stats =
+(* The flow-engine effort counters published in every scaling row:
+   solver work (pivots, the block-pricing hit rate that keeps full
+   sweeps rare), LP-prep pruning, and the parallel-FEAS sweep count.
+   Fixed whitelist so the row shape is stable; absent counters emit 0. *)
+let scale_counter_keys =
+  [
+    "netsimplex_pivots";
+    "netsimplex_block_hits";
+    "netsimplex_cycle_arcs";
+    "netsimplex_shift_nodes";
+    "endpoints_pruned";
+    "feas_parallel_sweeps";
+  ]
+
+let counters_json counters =
+  String.concat ", "
+    (List.map
+       (fun k ->
+         Printf.sprintf "\"%s\": %d" (json_escape k)
+           (Option.value ~default:0 (List.assoc_opt k counters)))
+       scale_counter_keys)
+
+let scale_entry ~name ~gates ~path ~phases ~spans ~counters ~stats =
   let kv (k, v) = Printf.sprintf "\"%s\": %.4f" (json_escape k) v in
   Printf.sprintf
     "{ \"circuit\": \"%s\", \"gates\": %d, \"path\": \"%s\", \"phases\": { \
-     %s }, \"spans\": { %s }%s }"
+     %s }, \"spans\": { %s }, \"counters\": { %s }%s }"
     (json_escape name) gates (json_escape path)
     (String.concat ", " (List.map kv phases))
     (String.concat ", " (List.map kv spans))
+    (counters_json counters)
     (if stats = "" then "" else ", " ^ stats)
 
 (* End-to-end classic min-period retiming through the matrix-free FEAS
@@ -407,7 +442,7 @@ let scale_classic_feas ~gates =
     time_wall (fun () -> Rar_circuits.Generator.generate spec)
   in
   let lib = Rar_liberty.Liberty.default () in
-  let (res, spans), retime_s =
+  let (res, spans, counters), retime_s =
     time_wall (fun () ->
         span_totals (fun () ->
             let g =
@@ -425,7 +460,7 @@ let scale_classic_feas ~gates =
     o.Rar_retime.Classic.registers_after;
   scale_entry ~name:spec.Rar_circuits.Spec.name ~gates ~path:"classic_feas"
     ~phases:[ ("generate_s", generate_s); ("retime_s", retime_s) ]
-    ~spans
+    ~spans ~counters
     ~stats:
       (Printf.sprintf
          "\"period_before_ns\": %.4f, \"period_after_ns\": %.4f, \
@@ -442,7 +477,7 @@ let scale_grar ~gates =
   let net, generate_s =
     time_wall (fun () -> Rar_circuits.Generator.generate spec)
   in
-  let (res, spans), run_s =
+  let (res, spans, counters), run_s =
     time_wall (fun () ->
         span_totals (fun () ->
             let p = Suite.prepare net in
@@ -461,7 +496,7 @@ let scale_grar ~gates =
     gates generate_s run_s p.Suite.p o.Outcome.n_slaves (Outcome.ed_count o);
   scale_entry ~name:spec.Rar_circuits.Spec.name ~gates ~path:"grar"
     ~phases:[ ("generate_s", generate_s); ("run_s", run_s) ]
-    ~spans
+    ~spans ~counters
     ~stats:
       (Printf.sprintf
          "\"p_ns\": %.4f, \"n_slaves\": %d, \"edl_count\": %d, \
@@ -469,14 +504,16 @@ let scale_grar ~gates =
          p.Suite.p o.Outcome.n_slaves (Outcome.ed_count o)
          o.Outcome.total_area)
 
-(* G-RAR stages the whole endpoint set through STA, so it is bounded
-   to the smaller sizes; FEAS covers the full curve. *)
 (* G-RAR stages every endpoint cone through STA and solves the full
-   flow LP, so its cost grows superlinearly: 189 s at 25k gates on the
-   single-core reference container, 50+ min at 100k. The curve keeps a
-   G-RAR point at the largest tractable size and says so when it skips
-   one, rather than silently thinning the curve. *)
-let grar_max_gates = 25_000
+   flow LP, so its cost grows superlinearly. With the O(cycle +
+   min-side) simplex pivot and block pricing it runs in ~36 s at 25k
+   gates (down from ~190 s) and ~4 min at 50k on the single-core
+   reference container; at 100k the simplex pivot count itself turns
+   super-linear (2.6M+ pivots vs 280k at 25k) and the solve does not
+   finish within an hour, so the larger points stay FEAS-only. The
+   curve keeps G-RAR points at the tractable sizes and says so when
+   it skips one, rather than silently thinning the curve. *)
+let grar_max_gates = 50_000
 
 (* Must run on a fresh heap, before the bechamel kernels and the table
    grids: those sections leave a fragmented multi-GB free list behind
@@ -557,6 +594,7 @@ type eco_stats = {
   eco_resolve_s : float list;  (* steady-state edit batches *)
   eco_cold_s : float;  (* cold re-solve of the edited netlist *)
   eco_identical : bool;  (* session result = cold result *)
+  eco_counters : (string * int) list;  (* solver-effort counters *)
 }
 
 (* Cold-open a G-RAR run on a generated [gates]-gate circuit, resolve
@@ -571,6 +609,8 @@ type eco_stats = {
    cold stage + solve pipeline. The first resolve (empty batch) pays
    the one-time cache-priming solve and is reported separately. *)
 let eco_measure ~gates ~n_batches ~edits_per_batch =
+  Rar_obs.Metrics.reset ();
+  Rar_obs.Metrics.arm ();
   let spec = scale_spec ~gates in
   let net = Rar_circuits.Generator.generate spec in
   let p = Suite.prepare net in
@@ -613,6 +653,8 @@ let eco_measure ~gates ~n_batches ~edits_per_batch =
     !last.Engine.outcome = rc.Engine.outcome
     && !last.Engine.extras = rc.Engine.extras
   in
+  let counters, _ = Rar_obs.Metrics.snapshot () in
+  Rar_obs.Metrics.disarm ();
   Printf.printf
     "  eco %7d gates: stage %6.2fs, cold %6.2fs, warm-up %6.2fs, %d batches \
      mean %6.3fs, identical %b\n%!"
@@ -627,6 +669,7 @@ let eco_measure ~gates ~n_batches ~edits_per_batch =
     eco_resolve_s = resolve_s;
     eco_cold_s = cold_s;
     eco_identical = identical;
+    eco_counters = counters;
   }
 
 (* The headline ratio uses the *median* resolve: an edit that does
@@ -645,13 +688,15 @@ let eco_json st =
     "{ \"circuit\": \"%s\", \"gates\": %d, \"engine\": \"grar\", \
      \"stage_make_s\": %.4f, \"cold_solve_s\": %.4f, \"warmup_resolve_s\": \
      %.4f, \"resolve_s\": [%s], \"mean_resolve_s\": %.4f, \
-     \"median_resolve_s\": %.4f, \"speedup\": %.2f, \"identical\": %b }"
+     \"median_resolve_s\": %.4f, \"speedup\": %.2f, \"identical\": %b, \
+     \"counters\": { %s } }"
     (json_escape st.eco_circuit)
     st.eco_gates st.eco_stage_s st.eco_cold_s st.eco_warm_s
     (String.concat ", " (List.map (Printf.sprintf "%.4f") st.eco_resolve_s))
     mean median
     (st.eco_cold_s /. Float.max 1e-9 median)
     st.eco_identical
+    (counters_json st.eco_counters)
 
 let write_bench_eval ~eco ~kernels ~resilience ~par_jobs ~stage_names
     ~table_names ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par
@@ -857,31 +902,48 @@ let run_smoke () =
     ~table_names ~sim_cycles ~stage_seq ~stage_par ~tables_seq ~tables_par
     ~scaling:[] ~jobs_curve
 
-(* RAR_BENCH_SCALE_SMOKE=1: one 10^5-gate classic-FEAS row through the
-   scaling plumbing, written to BENCH_scale.json and gated in CI
-   against the wall-clock floor in bench/smoke_floor.json — so the
-   million-gate path cannot silently regress back to matrix cost. *)
+(* RAR_BENCH_SCALE_SMOKE=1: one 10^5-gate classic-FEAS row plus one
+   gated G-RAR row through the scaling plumbing, written to
+   BENCH_scale.json and gated in CI against the wall-clock ceilings in
+   bench/smoke_floor.json (scale_total_max_s for FEAS,
+   grar_scale_max_s for the G-RAR row) — so neither the million-gate
+   FEAS path nor the flow-engine hot paths (block-priced simplex,
+   pooled LP prep) can silently regress. Schema rar-bench-scale/2:
+   rows carry a "counters" object with the solver-effort counters. *)
 let run_scale_smoke () =
   let gates =
     match Sys.getenv_opt "RAR_BENCH_SCALE" with
     | Some s -> ( match int_of_string_opt s with Some g -> g | None -> 100_000)
     | None -> 100_000
   in
-  Printf.printf "== Scale smoke (%d gates, classic FEAS) ==\n%!" gates;
-  let entry, total_s = time_wall (fun () -> scale_classic_feas ~gates) in
+  let grar_gates =
+    match Sys.getenv_opt "RAR_BENCH_SCALE_GRAR" with
+    | Some s -> ( match int_of_string_opt s with Some g -> g | None -> 25_000)
+    | None -> 25_000
+  in
+  Printf.printf "== Scale smoke (%d gates classic FEAS, %d gates G-RAR) ==\n%!"
+    gates grar_gates;
+  let feas_entry, feas_s = time_wall (fun () -> scale_classic_feas ~gates) in
+  let grar_entry, grar_s =
+    time_wall (fun () -> scale_grar ~gates:grar_gates)
+  in
+  let total_s = feas_s +. grar_s in
   let path = "BENCH_scale.json" in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"rar-bench-scale/1\",\n\
+    \  \"schema\": \"rar-bench-scale/2\",\n\
     \  \"host\": { \"cores\": %d },\n\
     \  \"total_s\": %.4f,\n\
+    \  \"feas_s\": %.4f,\n\
+    \  \"grar_s\": %.4f,\n\
     \  \"curve\": [\n\
+    \    %s,\n\
     \    %s\n\
     \  ]\n\
      }\n"
     (Domain.recommended_domain_count ())
-    total_s entry;
+    total_s feas_s grar_s feas_entry grar_entry;
   close_out oc;
   Printf.printf "\nwrote %s (%.1fs total)\n%!" path total_s
 

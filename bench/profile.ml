@@ -1,51 +1,55 @@
-(* Scratch profiler for the smoke classic pipeline: span totals. *)
+(* Scratch profiler for the G-RAR hot path: per-phase wall clock plus
+   effort counters at a configurable generated-circuit size
+   (RAR_PROFILE_GATES, default 25000). *)
 let ok = function Ok v -> v | Error e -> failwith (Rar_retime.Error.to_string e)
 
-let smoke_net =
-  lazy
-    (let spec =
-       { (Option.get (Rar_circuits.Spec.find "s1196")) with
-         Rar_circuits.Spec.n_gates = 150; depth = 8 }
-     in
-     Rar_circuits.Generator.generate spec)
-
-let smoke_pipeline () =
-  let lib = Rar_liberty.Liberty.default () in
-  let g = Rar_retime.Classic.of_netlist ~host_registers:1 ~lib (Lazy.force smoke_net) in
-  let pmin = Rar_retime.Classic.min_period g in
-  ignore (ok (Rar_retime.Classic.retime g ~period:pmin))
+module Suite = Rar_circuits.Suite
 
 let () =
-  (* warm *)
-  smoke_pipeline ();
-  Rar_obs.Trace.clear (); Rar_obs.Trace.arm ();
-  let t0 = Rar_util.Clock.now_s () in
-  let reps = 20 in
-  for _ = 1 to reps do smoke_pipeline () done;
-  let dt = Rar_util.Clock.now_s () -. t0 in
-  Rar_obs.Trace.disarm ();
-  Printf.printf "total: %.1f ms/run\n" (1000. *. dt /. float_of_int reps);
-  (* aggregate span durations from the trace events *)
-  let evs = Rar_obs.Trace.events () in
-  let stack = Hashtbl.create 16 in
-  let totals = Hashtbl.create 16 in
+  let gates =
+    match Sys.getenv_opt "RAR_PROFILE_GATES" with
+    | Some s -> int_of_string s
+    | None -> 25_000
+  in
+  let flops = max 16 (gates / 25) in
+  let depth =
+    max 8 (int_of_float (Float.round (4. *. log (float_of_int gates))))
+  in
+  let name = Printf.sprintf "gen%dx%d" gates depth in
+  let spec =
+    {
+      Rar_circuits.Spec.name;
+      n_flops = flops;
+      n_pi = max 8 (gates / 200);
+      n_po = max 8 (gates / 200);
+      n_gates = gates;
+      depth;
+      nce_target = max 4 (flops / 8);
+      seed = name;
+      src_bias_pct = 55;
+    }
+  in
+  let time label f =
+    let t0 = Rar_util.Clock.now_s () in
+    let r = f () in
+    Printf.printf "  %-14s %8.2f s\n%!" label (Rar_util.Clock.now_s () -. t0);
+    r
+  in
+  Rar_obs.Metrics.arm ();
+  let net = time "generate" (fun () -> Rar_circuits.Generator.generate spec) in
+  let p = time "prepare" (fun () -> Suite.prepare net) in
+  let st =
+    time "stage" (fun () ->
+        ok
+          (Rar_retime.Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking
+             p.Suite.cc))
+  in
+  let g =
+    time "rgraph.build" (fun () -> Rar_retime.Rgraph.build ~edl_overhead:1.0 st)
+  in
+  let r = time "rgraph.solve" (fun () -> ok (Rar_retime.Rgraph.solve g)) in
+  ignore (time "placements" (fun () -> Rar_retime.Rgraph.placements_of g r));
+  let counters, _ = Rar_obs.Metrics.snapshot () in
   List.iter
-    (fun (e : Rar_obs.Trace.event) ->
-      let key = e.dom in
-      let st = match Hashtbl.find_opt stack key with Some s -> s | None -> let s = ref [] in Hashtbl.add stack key s; s in
-      match e.phase with
-      | Rar_obs.Trace.Begin -> st := (e.name, e.ts_s) :: !st
-      | Rar_obs.Trace.End ->
-        (match !st with
-         | (n, t0) :: rest when n = e.name ->
-           st := rest;
-           (* only top-level-ish accumulation: count self time irrespective *)
-           let d = e.ts_s -. t0 in
-           let cur = Option.value ~default:(0., 0) (Hashtbl.find_opt totals n) in
-           Hashtbl.replace totals n (fst cur +. d, snd cur + 1)
-         | _ -> ()))
-    evs;
-  let l = Hashtbl.fold (fun k (d, c) acc -> (k, d, c) :: acc) totals [] in
-  List.iter
-    (fun (k, d, c) -> Printf.printf "  %-28s %10.1f ms  (%d spans)\n" k (d *. 1000. /. float_of_int reps) c)
-    (List.sort (fun (_, a, _) (_, b, _) -> compare b a) l)
+    (fun (k, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" k v)
+    counters

@@ -112,31 +112,55 @@ let solve_flow ?deadline ?on_fallback ?(verify = true) t ~reference
       end
     in
     (* Faults only ever perturb the primary attempt ([faulty] = true);
-       the fallback runs clean, so a faulted run still converges. *)
+       the fallback runs clean, so a faulted run still converges. A
+       failed attempt also reports whether the verdict is definitive —
+       a typed statement about the instance itself (unbalanced,
+       infeasible, negative cycle) that no other engine could overturn
+       — so infeasible LPs stop paying a doomed fallback solve.
+       Retryable failures (pivot cap, certificate rejection, injected
+       faults) keep the engine-swap behaviour. *)
     let attempt ~faulty eng =
       if faulty && Faults.solver_timeout ~key then
-        Error (Printf.sprintf "%s: injected timeout" (engine_name eng))
+        Error (Printf.sprintf "%s: injected timeout" (engine_name eng), false)
       else
         match eng with
         | Network_simplex -> (
           match Netsimplex.solve ?deadline p with
-          | Ok s ->
-            certify ~faulty eng ~flow:s.Netsimplex.flow
-              ~potentials:s.Netsimplex.potentials
-          | Error e -> Error e)
+          | Ok s -> (
+            match
+              certify ~faulty eng ~flow:s.Netsimplex.flow
+                ~potentials:s.Netsimplex.potentials
+            with
+            | Ok pi -> Ok pi
+            | Error e -> Error (e, false))
+          | Error err ->
+            let definitive =
+              match err with
+              | Netsimplex.Unbalanced | Netsimplex.Infeasible
+              | Netsimplex.Unbounded ->
+                true
+              | Netsimplex.Pivot_limit _ -> false
+            in
+            Error (Netsimplex.error_to_string err, definitive))
         | Ssp -> (
           match Ssp.solve ?deadline p with
-          | Ok s ->
-            certify ~faulty eng ~flow:s.Ssp.flow ~potentials:s.Ssp.potentials
-          | Error e -> Error e)
-        | Closure -> Error "Difflp.solve_flow: closure is not a flow engine"
+          | Ok s -> (
+            match
+              certify ~faulty eng ~flow:s.Ssp.flow ~potentials:s.Ssp.potentials
+            with
+            | Ok pi -> Ok pi
+            | Error e -> Error (e, false))
+          | Error e -> Error (e, false))
+        | Closure -> Error ("Difflp.solve_flow: closure is not a flow engine", true)
     in
     let primary, secondary =
       if use_simplex then (Network_simplex, Ssp) else (Ssp, Network_simplex)
     in
     match attempt ~faulty:true primary with
     | Ok pi -> Ok (from_potentials pi)
-    | Error reason -> (
+    | Error (reason, true) ->
+      Error (Printf.sprintf "%s: %s" (engine_name primary) reason)
+    | Error (reason, false) -> (
       match attempt ~faulty:false secondary with
       | Ok pi ->
         Rar_obs.Metrics.incr m_fallbacks;
@@ -144,7 +168,7 @@ let solve_flow ?deadline ?on_fallback ?(verify = true) t ~reference
         | Some f -> f { failed = primary; retried = secondary; reason }
         | None -> ());
         Ok (from_potentials pi)
-      | Error e2 ->
+      | Error (e2, _) ->
         Error
           (Printf.sprintf "%s: %s; %s fallback: %s" (engine_name primary)
              reason (engine_name secondary) e2))

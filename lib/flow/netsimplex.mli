@@ -7,9 +7,15 @@
     Integer costs give integer node potentials, which are exactly the
     retiming values (up to sign and normalisation).
 
-    Entering-arc selection scans round-robin from a rotating cursor; a
-    generous pivot cap guards against (never yet observed) cycling, and
-    {!Difflp} falls back to {!Ssp} if the cap is hit. *)
+    Entering-arc selection uses block pricing: arcs are partitioned
+    into rotating blocks, a pivot scans only the current block for the
+    most-negative reduced cost (lowest arc index on ties), and only a
+    dry block triggers a full sweep — every block priced, fanned over
+    {!Rar_util.Pool} above a size threshold and merged in block order.
+    The strict most-negative/lowest-index rule makes the pivot
+    sequence (and hence the returned basis) byte-identical at any pool
+    size. A generous pivot cap guards against (never yet observed)
+    cycling, and {!Difflp} falls back to {!Ssp} if the cap is hit. *)
 
 type solution = {
   flow : float array;      (** per problem arc id *)
@@ -18,11 +24,27 @@ type solution = {
   pivots : int;            (** pivot count, for the ablation bench *)
 }
 
+type error =
+  | Unbalanced        (** total demand is not zero: the instance is malformed *)
+  | Unbounded         (** negative cycle: the objective is unbounded below *)
+  | Infeasible        (** artificial arcs kept flow: demands cannot be routed *)
+  | Pivot_limit of int (** the cap that was exceeded; retryable elsewhere *)
+
+val error_to_string : error -> string
+
+type pricing =
+  | Dantzig  (** full most-negative sweep every pivot (reference rule) *)
+  | Block    (** rotating-block candidate scan, full sweep when dry (default) *)
+
 val solve :
   ?deadline:Rar_util.Deadline.t ->
-  ?max_pivots:int -> Problem.t -> (solution, string) result
-(** [max_pivots] defaults to [200 * max 64 (arc count)]. Errors on
-    unbalanced demand, negative cycles / unbounded objective,
-    infeasible demands, or pivot-cap exhaustion. [?deadline] is checked
-    cooperatively once per pivot (phase ["netsimplex"]); expiry raises
-    [Rar_util.Deadline.Expired]. *)
+  ?max_pivots:int ->
+  ?pricing:pricing ->
+  Problem.t ->
+  (solution, error) result
+(** [max_pivots] defaults to [200 * max 64 (arc count)].
+    [Unbalanced]/[Infeasible]/[Unbounded] are definitive statements
+    about the instance; [Pivot_limit] is the one failure another
+    engine (or a higher cap) could still get past. [?deadline] is
+    checked cooperatively once per pivot (phase ["netsimplex"]);
+    expiry raises [Rar_util.Deadline.Expired]. *)

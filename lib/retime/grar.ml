@@ -36,7 +36,9 @@ let run_on_stage ?deadline ?on_fallback ?engine ?solve_cache ~c stage =
       let clocking = Stage.clocking stage in
       let period = Clocking.period clocking in
       let limit = Clocking.max_delay clocking in
-      let deadline s = if List.mem s modelled_non_ed then period else limit in
+      let non_ed_set = Hashtbl.create (1 + List.length modelled_non_ed) in
+      List.iter (fun s -> Hashtbl.replace non_ed_set s ()) modelled_non_ed;
+      let deadline s = if Hashtbl.mem non_ed_set s then period else limit in
       match Sizing.fix ~deadlines:deadline stage placements with
       | Error _ as e -> e
       | Ok stage' ->

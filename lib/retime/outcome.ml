@@ -43,10 +43,12 @@ let assemble ?ed ~c stage placements =
     |> List.filter_map (fun (s, a) -> if a > period +. eps then Some s else None)
   in
   let ed_sinks = match ed with Some e -> e | None -> needs_ed in
+  let ed_set = Hashtbl.create (1 + List.length ed_sinks) in
+  List.iter (fun s -> Hashtbl.replace ed_set s ()) ed_sinks;
   let violations =
     (Array.to_list arrivals
     |> List.filter_map (fun (s, a) -> if a > limit +. eps then Some s else None))
-    @ List.filter (fun s -> not (List.mem s ed_sinks)) needs_ed
+    @ List.filter (fun s -> not (Hashtbl.mem ed_set s)) needs_ed
     |> List.sort_uniq compare
   in
   let lib = Stage.lib stage in

@@ -18,6 +18,8 @@ let var_of_node t v = t.var_of.(v)
 let p_vars t = t.p_sinks
 let latch_constant t = t.constant
 
+let m_endpoints_pruned = Rar_obs.Metrics.counter "endpoints_pruned"
+
 let build ?edl_overhead ?(forbidden_edges = []) ?(bias_early = false) stage =
   let net = Stage.comb stage in
   let n = Netlist.node_count net in
@@ -41,16 +43,38 @@ let build ?edl_overhead ?(forbidden_edges = []) ?(bias_early = false) stage =
            | Stage.Target { cut } -> Some (s, cut)
            | Stage.Never_ed | Stage.Always_ed -> None)
   in
-  let p_sinks =
+  (* Endpoint-domination rule: a Target sink whose cut set g(t) equals
+     an already-emitted p-var's cut set adds no new constraint — its
+     P(t) vertex would sit at exactly max(-1, max over g(t) of r(g)) in
+     any optimum, the same value as the canonical one — so it shares
+     that variable (its EDL reward accumulates on the shared
+     coefficient) and the LP keeps only the sparse endpoint frontier.
+     Scanning targets in sink order keeps the canonical choice (first
+     sink wins) deterministic. *)
+  let p_sinks, canonical_p =
     match edl_overhead with
-    | None -> []
+    | None -> ([], [])
     | Some _ ->
-      List.map
-        (fun (s, _) ->
-          let v = !next in
-          incr next;
-          (s, v))
-        targets
+      let by_cut = Hashtbl.create 64 in
+      let canon = ref [] in
+      let pruned = ref 0 in
+      let ps =
+        List.map
+          (fun (s, cut) ->
+            match Hashtbl.find_opt by_cut cut with
+            | Some v ->
+              incr pruned;
+              (s, v)
+            | None ->
+              let v = !next in
+              incr next;
+              Hashtbl.add by_cut cut v;
+              canon := (v, cut) :: !canon;
+              (s, v))
+          targets
+      in
+      Rar_obs.Metrics.add m_endpoints_pruned !pruned;
+      (ps, List.rev !canon)
   in
   let lp = Difflp.create ~n:!next in
   let constant = ref 0. in
@@ -97,21 +121,27 @@ let build ?edl_overhead ?(forbidden_edges = []) ?(bias_early = false) stage =
     | Stage.Rr -> bound_var var_of.(v)
   done;
   Array.iter (fun (u, _) -> if mirror_of.(u) >= 0 then bound_var mirror_of.(u)) groups;
-  (* Resilient-aware machinery: P(t) vertices, E2 arcs, EDL reward. *)
+  (* Resilient-aware machinery: P(t) vertices, E2 arcs, EDL reward.
+     Bounds and cut constraints are emitted once per canonical P
+     vertex; each sink sharing it still contributes its own reward
+     term, which [Difflp.add_objective] accumulates on the shared
+     coefficient. *)
   (match edl_overhead with
   | None -> ()
   | Some c ->
-    List.iter2
-      (fun (s, cut) (s', pv) ->
-        assert (s = s');
+    List.iter
+      (fun (pv, cut) ->
         bound_var pv;
         List.iter
           (fun g -> Difflp.add_constraint lp ~u:(var_of.(g)) ~v:pv ~bound:0)
-          cut;
+          cut)
+      canonical_p;
+    List.iter
+      (fun (_, pv) ->
         (* objective term -c * (r(h) - r(P)) = c*r(P) - c*r(h) *)
         Difflp.add_objective lp pv c;
         Difflp.add_objective lp host (-.c))
-      targets p_sinks);
+      p_sinks);
   (* No-latch constraints: w + r(v) - r(u) <= 0. A pair (src, src)
      forbids the host-edge position of a source. The stage's per-edge
      Constraint-(7) violations are always included. *)

@@ -48,7 +48,12 @@ val lp : t -> Difflp.t
 val host : t -> int
 val var_of_node : t -> int -> int
 val p_vars : t -> (int * int) list
-(** [(sink, var)] pairs for the resilient pseudo vertices. *)
+(** [(sink, var)] pairs for the resilient pseudo vertices, in sink
+    order. Target sinks with identical cut sets share one canonical
+    variable (the endpoint-domination rule: a subsumed sink adds no
+    new constraint, and the shared [P] takes the same optimal value
+    each private copy would), so the same [var] may appear for several
+    sinks; per-sink reads like [r.(var) = -1] are unaffected. *)
 
 val latch_constant : t -> float
 (** The constant term dropped from the objective ([sum beta * w] over

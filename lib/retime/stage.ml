@@ -36,6 +36,10 @@ type t = {
   annot : float array option; (* ECO delay annotations baked into sta *)
   regions : region array;
   classes : (int * sink_class) list; (* per sink node id *)
+  class_tbl : (int, sink_class) Hashtbl.t;
+    (* same mapping as [classes]; O(1) lookup for the per-sink hot
+       paths (Rgraph.build probes every sink, which on the list was
+       O(sinks^2) per build) *)
   initial_arr : Liberty.arc array;   (* un-retimed arrivals *)
   max_paths : (int, float) Hashtbl.t;
   illegal : (int * int) list;        (* edges that can never hold a slave *)
@@ -59,7 +63,7 @@ let sinks t = Netlist.outputs (comb t)
 let slave_latch t = Liberty.latch t.lib
 
 let classify t s =
-  match List.assoc_opt s t.classes with
+  match Hashtbl.find_opt t.class_tbl s with
   | Some c -> c
   | None -> invalid_arg "Stage.classify: not a sink node"
 
@@ -333,6 +337,8 @@ let finish ~cc ~source ~lib ~clocking ~sta_an ~annot ~latch ~regions
              (s, r.cls))
            classified)
     in
+    let class_tbl = Hashtbl.create (Array.length classified * 2) in
+    List.iter (fun (s, c) -> Hashtbl.replace class_tbl s c) classes;
     let illegal = Hashtbl.fold (fun e () acc -> e :: acc) illegal_tbl [] in
     (* A source whose shared initial position covers an illegal edge
        must clear its host latch: promote to V_m. *)
@@ -348,7 +354,7 @@ let finish ~cc ~source ~lib ~clocking ~sta_an ~annot ~latch ~regions
           Netlist.kind net u = Netlist.Input)
     in
     Ok { cc; source; lib; clocking; sta = sta_an; annot; regions; classes;
-         initial_arr; max_paths; illegal; window = window_tbl;
+         class_tbl; initial_arr; max_paths; illegal; window = window_tbl;
          per_sink = classified }
 
 let make ?(model = Sta.Path_based) ?source ?annot ~lib ~clocking cc =
@@ -364,16 +370,17 @@ let make ?(model = Sta.Path_based) ?source ?annot ~lib ~clocking cc =
        forced by [compute_regions] above; force it regardless so the
        shared [Sta.t] stays read-only inside the workers. *)
     ignore (Sta.backward_all sta_an : float array);
-    (* Chunked dispatch with a deliberately coarse grain: a sink
-       classifies in well under a millisecond, so anything smaller
-       than a few hundred sinks is cheaper to scan in place than to
-       ship through the pool (waking a domain costs milliseconds on
-       a contended host — the BENCH_eval stage_make regression).
-       ISCAS-scale circuits (<= ~250 sinks) therefore stay on the
-       sequential path; only multi-thousand-sink designs fan out,
-       in ~50 ms tasks. *)
+    (* Adaptive chunked dispatch: a sink classifies in well under a
+       millisecond, so anything smaller than a few hundred sinks is
+       cheaper to scan in place than to ship through the pool (waking
+       a domain costs milliseconds on a contended host — the
+       BENCH_eval stage_make regression). ISCAS-scale circuits
+       (<= ~250 sinks) therefore stay on the sequential path; larger
+       endpoint sets are cut into a few chunks per worker, so
+       mid-size designs fan out instead of tripping the pool's
+       task-ratio fallback the old fixed 256-sink grain hit. *)
     let classified =
-      Rar_util.Pool.map ~min_chunk:256 (Netlist.outputs net) (fun s ->
+      Rar_util.Pool.map_adaptive (Netlist.outputs net) (fun s ->
           (s, classify_sink ~sta_an ~clocking ~latch net s))
     in
     finish ~cc ~source ~lib ~clocking ~sta_an ~annot ~latch ~regions
@@ -419,7 +426,7 @@ let patch t (applied : Transform.Edit.applied) =
     in
     ignore (Sta.backward_all sta_an : float array);
     let reclassified =
-      Rar_util.Pool.map ~min_chunk:256 affected (fun s ->
+      Rar_util.Pool.map_adaptive affected (fun s ->
           (s, classify_sink ~sta_an ~clocking ~latch net s))
     in
     let fresh = Hashtbl.create (Array.length reclassified * 2) in

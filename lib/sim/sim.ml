@@ -187,13 +187,15 @@ let run_cycle ?(on_event = fun ~time:_ ~node:_ ~value:_ -> ()) design ~prev ~nex
   let limit = Clocking.max_delay design.clocking in
   let errors = ref [] and silent = ref [] and late = ref [] in
   let captures = ref [] in
+  let ed_set = Hashtbl.create (1 + List.length design.ed_sinks) in
+  List.iter (fun s -> Hashtbl.replace ed_set s ()) design.ed_sinks;
   Array.iter
     (fun s ->
       let t = capture.(s) in
       if t > neg_infinity then captures := (s, t) :: !captures;
       if t > limit +. 1e-9 then late := s :: !late
       else if t > period +. 1e-9 then
-        if List.mem s design.ed_sinks then errors := s :: !errors
+        if Hashtbl.mem ed_set s then errors := s :: !errors
         else silent := s :: !silent)
     (Netlist.outputs net);
   { errors = !errors; silent = !silent; late = !late;

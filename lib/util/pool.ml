@@ -220,5 +220,24 @@ let map ?(min_chunk = 1) (xs : 'a array) (f : 'a -> 'b) : 'b array =
       results
   end
 
+(* Adaptive chunking: pick the chunk size from the batch size and the
+   effective worker count instead of a fixed grain. A fixed [min_chunk]
+   interacts badly with the task-ratio threshold in [decide]: 256-sink
+   chunks turn a 1125-sink batch into 5 tasks, which at 4 workers is
+   below the 2-tasks-per-domain floor, so the whole batch silently ran
+   sequentially — exactly on the multi-thousand-element inputs the
+   pool exists for. Aiming at [chunks_per_worker] tasks per worker
+   keeps the batch above the threshold while leaving enough tasks for
+   the queue to balance uneven chunk costs. *)
+let map_adaptive ?(seq_below = 512) ?(floor = 64) ?(chunks_per_worker = 4)
+    (xs : 'a array) (f : 'a -> 'b) : 'b array =
+  let n = Array.length xs in
+  if n < seq_below then map ~min_chunk:(Int.max 1 n) xs f
+  else begin
+    let target = effective_jobs () * chunks_per_worker in
+    let chunk = Int.max floor ((n + target - 1) / target) in
+    map ~min_chunk:chunk xs f
+  end
+
 let run (thunks : (unit -> 'a) list) : 'a list =
   Array.to_list (map (Array.of_list thunks) (fun f -> f ()))

@@ -73,8 +73,18 @@ let run_on_stage ?deadline ?on_fallback ?engine ?solve_cache
     if rounds > List.length sinks + 1 then
       Error (Error.Retype_diverged { rounds })
     else begin
-      let non_ed = List.filter (fun s -> not (List.mem s ed_set)) sinks in
-      let forbidden = List.concat_map (forbidden_for stage) non_ed in
+      let ed_tbl = Hashtbl.create (1 + List.length ed_set) in
+      List.iter (fun s -> Hashtbl.replace ed_tbl s ()) ed_set;
+      let non_ed = List.filter (fun s -> not (Hashtbl.mem ed_tbl s)) sinks in
+      (* Per-sink setup-constraint prep reads only the stage's cached
+         window edges, so it fans out over the pool; the merge
+         concatenates in sink order, keeping the constraint emission
+         order identical at any pool size. *)
+      let forbidden =
+        Rar_util.Pool.map_adaptive (Array.of_list non_ed)
+          (forbidden_for stage)
+        |> Array.to_list |> List.concat
+      in
       let g = Rgraph.build ~forbidden_edges:forbidden ~bias_early:true stage in
       match Rgraph.solve ?deadline ?on_fallback ?engine ?cache:solve_cache g
       with
@@ -114,23 +124,26 @@ let run_on_stage ?deadline ?on_fallback ?engine ?solve_cache
     | Error _ as e -> e
     | Ok () -> (
       (* Size-only incremental compile against the typed deadlines. *)
-      let deadline s = if List.mem s typed_ed then limit else period in
+      let typed_tbl = Hashtbl.create (1 + List.length typed_ed) in
+      List.iter (fun s -> Hashtbl.replace typed_tbl s ()) typed_ed;
+      let deadline s = if Hashtbl.mem typed_tbl s then limit else period in
       match Sizing.fix ~deadlines:deadline stage placements with
       | Error _ as e -> e
       | Ok stage' ->
         (* Mandatory fixes: non-ED masters still inside the window
            become error-detecting. *)
         let tmp = Outcome.assemble ~ed:typed_ed ~c stage' placements in
+        let arrival_tbl = Hashtbl.create (Array.length tmp.Outcome.arrivals) in
+        Array.iter
+          (fun (s, a) -> Hashtbl.replace arrival_tbl s a)
+          tmp.Outcome.arrivals;
         let arrival s =
-          match
-            Array.find_opt (fun (s', _) -> s' = s) tmp.Outcome.arrivals
-          with
-          | Some (_, a) -> a
-          | None -> 0.
+          Option.value ~default:0. (Hashtbl.find_opt arrival_tbl s)
         in
         let forced_to_ed =
           List.filter
-            (fun s -> (not (List.mem s typed_ed)) && arrival s > period +. eps)
+            (fun s ->
+              (not (Hashtbl.mem typed_tbl s)) && arrival s > period +. eps)
             sinks
         in
         let ed_fixed = List.sort_uniq compare (typed_ed @ forced_to_ed) in
@@ -141,8 +154,10 @@ let run_on_stage ?deadline ?on_fallback ?engine ?solve_cache
             List.filter (fun s -> arrival s <= period +. eps) ed_fixed
           else []
         in
+        let swapped_tbl = Hashtbl.create (1 + List.length swapped_to_non_ed) in
+        List.iter (fun s -> Hashtbl.replace swapped_tbl s ()) swapped_to_non_ed;
         let ed_final =
-          List.filter (fun s -> not (List.mem s swapped_to_non_ed)) ed_fixed
+          List.filter (fun s -> not (Hashtbl.mem swapped_tbl s)) ed_fixed
         in
         let outcome = Outcome.assemble ~ed:ed_final ~c stage' placements in
         if outcome.Outcome.violations <> [] then

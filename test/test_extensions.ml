@@ -186,6 +186,52 @@ let test_vcd_trace () =
     Alcotest.(check bool) "O9 present" true (has "O9");
     Alcotest.(check bool) "time marks" true (has "#")
 
+(* --- jobs byte-identity on the pooled G-RAR hot paths -------------- *)
+
+let test_grar_identical_across_jobs () =
+  (* The pooled per-sink prep (Stage.make's classification fan-out over
+     [Pool.map_adaptive], the rgraph endpoint dedup) and the
+     block-priced simplex must produce byte-identical results at every
+     pool size. The circuit has > 512 sinks so the adaptive fan-out
+     takes its parallel branch rather than the sequential floor. *)
+  let spec =
+    { (Option.get (Rar_circuits.Spec.find "s1196")) with
+      Rar_circuits.Spec.n_flops = 560;
+      n_gates = 2200;
+      depth = 10 }
+  in
+  let net = Rar_circuits.Generator.generate spec in
+  let p = Suite.prepare net in
+  let run () =
+    let stage =
+      match
+        Stage.make ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
+      with
+      | Ok s -> s
+      | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
+    in
+    match Grar.run_on_stage ~c:1.0 stage with
+    | Ok r ->
+      Digest.to_hex
+        (Digest.string
+           (Marshal.to_string
+              ( r.Grar.r,
+                r.Grar.modelled_non_ed,
+                r.Grar.outcome.Outcome.placements,
+                r.Grar.outcome.Outcome.ed_sinks )
+              []))
+    | Error e -> Alcotest.fail (Rar_retime.Error.to_string e)
+  in
+  let reference = run () in
+  Fun.protect ~finally:(fun () -> Rar_util.Pool.set_jobs 1) @@ fun () ->
+  List.iter
+    (fun jobs ->
+      Rar_util.Pool.set_jobs jobs;
+      Alcotest.(check string)
+        (Printf.sprintf "digest identical at jobs=%d" jobs)
+        reference (run ()))
+    [ 2; 4 ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_solvers_certified;
@@ -200,4 +246,6 @@ let suite =
     QCheck_alcotest.to_alcotest test_cluster_monotone;
     Alcotest.test_case "cluster annotate" `Quick test_annotate;
     Alcotest.test_case "vcd trace" `Quick test_vcd_trace;
+    Alcotest.test_case "G-RAR identical across pool sizes" `Quick
+      test_grar_identical_across_jobs;
   ]

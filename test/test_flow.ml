@@ -11,6 +11,7 @@ module Netsimplex = Rar_flow.Netsimplex
 module Closure = Rar_flow.Closure
 module Spfa = Rar_flow.Spfa
 module Maxflow = Rar_flow.Maxflow
+module Certificate = Rar_flow.Certificate
 module Rng = Rar_util.Rng
 
 let feq = Alcotest.(check (float 1e-6))
@@ -39,7 +40,7 @@ let test_ssp_chain () =
 
 let test_simplex_chain () =
   match Netsimplex.solve (mk_chain ()) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Netsimplex.error_to_string e)
   | Ok s -> feq "cheap route" 4. s.Netsimplex.objective
 
 let test_flow_infeasible () =
@@ -214,7 +215,7 @@ let test_zero_demand_instance () =
   | Error e -> Alcotest.fail e);
   match Netsimplex.solve p with
   | Ok s -> feq "zero objective" 0. s.Netsimplex.objective
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Netsimplex.error_to_string e)
 
 let test_fractional_demands () =
   (* fanout-sharing breadths: 1/3 units routed exactly *)
@@ -298,6 +299,57 @@ let prop_solutions_feasible =
           | Ok r -> Difflp.check lp r = Ok () && r.(reference) = 0)
         Difflp.all_engines)
 
+(* --- property: block pricing vs the Dantzig reference rule -------- *)
+
+(* Instances big enough (hundreds of arcs) that the rotating-block
+   scan actually visits several blocks rather than degenerating to one
+   full sweep. *)
+let random_flow_problem rng =
+  let n = 16 + Rng.int rng 48 in
+  let p = Problem.create ~n in
+  for _ = 1 to n * 6 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then
+      ignore (Problem.add_arc p ~src:u ~dst:v ~cost:(Rng.int rng 5))
+  done;
+  (* balanced random demands routed along an added backbone so the
+     instance is likely feasible *)
+  for v = 0 to n - 2 do
+    ignore (Problem.add_arc p ~src:v ~dst:(v + 1) ~cost:1);
+    ignore (Problem.add_arc p ~src:(v + 1) ~dst:v ~cost:1)
+  done;
+  let total = ref 0. in
+  for v = 0 to n - 2 do
+    let d = float_of_int (Rng.range rng (-3) 3) in
+    Problem.add_demand p v d;
+    total := !total +. d
+  done;
+  Problem.add_demand p (n - 1) (-. !total);
+  p
+
+let prop_block_matches_dantzig =
+  QCheck.Test.make ~name:"block pricing matches dantzig pricing" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.make ((seed + 13) * 1103515245) in
+      let p = random_flow_problem rng in
+      let certified (s : Netsimplex.solution) =
+        Certificate.is_optimal
+          (Certificate.check p ~flow:s.Netsimplex.flow
+             ~potentials:s.Netsimplex.potentials)
+      in
+      match
+        ( Netsimplex.solve ~pricing:Netsimplex.Block p,
+          Netsimplex.solve ~pricing:Netsimplex.Dantzig p )
+      with
+      | Ok a, Ok b ->
+        (* both rules must land on an optimal basis with the same
+           objective (the basis itself may differ: alternate optima) *)
+        Float.abs (a.Netsimplex.objective -. b.Netsimplex.objective) < 1e-6
+        && certified a && certified b
+      | Error ea, Error eb -> ea = eb
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
 let test_engines_agree_medium_scale () =
   (* one medium-size instance (hundreds of variables), beyond what the
      qcheck shrinker explores *)
@@ -351,4 +403,5 @@ let suite =
       test_engines_agree_medium_scale;
     QCheck_alcotest.to_alcotest prop_engines_match_brute;
     QCheck_alcotest.to_alcotest prop_solutions_feasible;
+    QCheck_alcotest.to_alcotest prop_block_matches_dantzig;
   ]

@@ -84,7 +84,9 @@ let test_netsimplex_deadline () =
   let p = chain_problem 2000 in
   (match Netsimplex.solve p with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail ("chain problem must be solvable: " ^ e));
+  | Error e ->
+    Alcotest.fail
+      ("chain problem must be solvable: " ^ Netsimplex.error_to_string e));
   let d = Deadline.make ~budget_s:0. in
   match Netsimplex.solve ~deadline:d p with
   | exception Deadline.Expired { phase; _ } ->
