@@ -51,12 +51,33 @@ let trace_sink : string option ref = ref None
 
 let () = at_exit (fun () -> Option.iter Rar_obs.Trace.export_file !trace_sink)
 
+(* SIGINT/SIGTERM raise a cooperative cancel through [Deadline]
+   instead of killing the process mid-solve: the engine's check sites
+   notice the request, the run unwinds as a timeout-class error, and
+   the [at_exit] trace export (plus any --metrics output the command
+   prints on the error path) is flushed rather than truncated. A
+   second signal while a cancel is already pending force-exits with
+   the conventional 128+SIGINT status — still through [at_exit]. *)
+let install_cancel_handlers () =
+  Rar_util.Deadline.arm_cancel ();
+  let handle name =
+    Sys.Signal_handle
+      (fun _ ->
+        if Rar_util.Deadline.cancel_pending () <> None then exit 130
+        else Rar_util.Deadline.request_cancel ~reason:name)
+  in
+  (try Sys.set_signal Sys.sigint (handle "sigint")
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (handle "sigterm")
+  with Invalid_argument _ | Sys_error _ -> ()
+
 (* Shared [--verbose]/[--jobs] preamble: every evaluation-heavy
    command starts with [const setup $ verbose_arg $ jobs_arg].
    [RAR_TRACE=FILE] arms tracing for any subcommand; the [run]
    subcommand's [--trace] flag takes precedence over it. *)
 let setup verbose jobs =
   setup_logs verbose;
+  install_cancel_handlers ();
   (match Sys.getenv_opt "RAR_TRACE" with
   | Some path when path <> "" && !trace_sink = None ->
     trace_sink := Some path;
@@ -728,6 +749,19 @@ let eco_cmd =
                 if !failure = None then begin
                   match Engine.resolve ?deadline session batch with
                   | Error err ->
+                    (* Stream a structured error record for the failed
+                       batch (consumers tailing the rar-run/1 stream see
+                       why it ended) and fail the command: the session
+                       state is unchanged, later batches would resolve
+                       against a netlist missing this batch's edits. *)
+                    print_endline
+                      (Json.to_string
+                         (Json.Obj
+                            [ ("schema", Json.String "rar-eco-error/1");
+                              ("circuit", Json.String name);
+                              ("batch", Json.Int i);
+                              ("kind", Json.String (Error.kind err));
+                              ("error", Json.String (Error.to_string err)) ]));
                     failure :=
                       Some
                         (Printf.sprintf "batch %d: %s" i (Error.to_string err))
@@ -815,12 +849,88 @@ let eco_cmd =
           incrementally — cone-limited STA, patched W/D memos and \
           warm-started solvers — streaming one rar-run/1 JSON record per \
           batch. Results are identical to cold re-solves on the edited \
-          netlist ($(b,--verify-cold) checks).")
+          netlist ($(b,--verify-cold) checks)."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P
+             "$(tname) exits 0 only when every batch in the script resolved \
+              (and, under $(b,--verify-cold), matched its cold re-solve). \
+              When a batch fails, a $(b,rar-eco-error/1) JSON record naming \
+              the batch and the error kind is streamed to standard output \
+              after the successful batches' records, the remaining batches \
+              are skipped, and the exit status is non-zero (124, cmdliner's \
+              error status) — so $(b,rar eco && deploy) never deploys a \
+              partially applied script." ])
     Term.(
       ret
         (const run $ verbose_arg $ jobs_arg $ name_arg $ bench_arg $ edits_arg
         $ approach_arg $ model_arg $ c_arg $ deadline_arg $ metrics_arg
         $ verify_arg))
+
+(* --- rar serve ------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at PATH (one thread per \
+             connection). Default: framed stdin/stdout.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Arm the counter/gauge registry so the $(b,metrics) verb (and \
+             run requests with $(b,\"metrics\": true)) report solver and \
+             cache counters. Per-cache hit/miss totals are reported either \
+             way.")
+  in
+  let run verbose jobs socket metrics =
+    setup verbose jobs;
+    if metrics then Rar_obs.Metrics.arm ();
+    let server = Rar_serve.Server.create () in
+    (* Override the default cooperative-cancel handlers: a signal must
+       also stop request intake. The handler only flips atomics; the
+       interrupted read/accept loop completes the shutdown. *)
+    let handle name =
+      Sys.Signal_handle
+        (fun _ ->
+          if Rar_serve.Server.stopping server then exit 130
+          else begin
+            Rar_util.Deadline.request_cancel ~reason:name;
+            Rar_serve.Server.signal_stop server
+          end)
+    in
+    (try Sys.set_signal Sys.sigint (handle "sigint")
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigterm (handle "sigterm")
+     with Invalid_argument _ | Sys_error _ -> ());
+    (match socket with
+    | Some path -> Rar_serve.Server.serve_socket server ~path
+    | None -> Rar_serve.Server.serve_stdio server);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running retiming daemon: newline-delimited rar-req/1 JSON \
+          requests in, streamed rar-serve/1 responses out. Each request \
+          runs on the shared domain pool under its own deadline and heap \
+          guard; parsed libraries, prepared circuits, stage analyses and \
+          warm engine sessions are cached across requests by content hash. \
+          Admin verbs: $(b,ping), $(b,metrics), $(b,shutdown)."
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P
+             "$(tname) exits 0 after a clean drain — $(b,shutdown) verb, \
+              end-of-input on stdio, or a first SIGINT/SIGTERM (which also \
+              cancels in-flight requests; each still receives a structured \
+              $(b,cancelled) error response). A second signal during the \
+              drain force-exits with status 130." ])
+    Term.(ret (const run $ verbose_arg $ jobs_arg $ socket_arg $ metrics_arg))
 
 (* --- rar generate ---------------------------------------------------- *)
 
@@ -1092,6 +1202,6 @@ let main =
           reproduction of Cheng et al. (DAC 2017 / journal extension).")
     [ table_cmd; all_cmd; info_cmd; run_cmd; bench_cmd; dot_cmd; period_cmd;
       trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd; generate_cmd;
-      eco_cmd ]
+      eco_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

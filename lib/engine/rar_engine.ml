@@ -135,14 +135,23 @@ let guard f =
 
 (* An explicit [?deadline] wins; otherwise a [deadline=<ms>] fault
    profile arms one, so the whole tier-1 suite can run deadline-bound
-   from the environment. *)
+   from the environment. When a cooperative-cancellation source exists
+   (the CLI installed signal handlers, or the serve daemon is
+   draining) an unbounded token is threaded instead of none at all:
+   it costs one strided clock sample per 256 inner-loop iterations and
+   gives [Deadline.request_cancel] check sites to fire from, so a
+   SIGINT lands as [Error.Timeout] instead of killing the process
+   before the [at_exit] trace export. *)
 let effective_deadline deadline =
   match deadline with
   | Some _ -> deadline
   | None -> (
     match Faults.deadline_s () with
     | Some budget_s -> Some (Deadline.make ~budget_s)
-    | None -> None)
+    | None ->
+      if Deadline.cancel_armed () then
+        Some (Deadline.make ~budget_s:Float.infinity)
+      else None)
 
 let run ?deadline ?solve_cache (cfg : config) stage =
   (* The span sits inside [guard] below via Fun.protect semantics:

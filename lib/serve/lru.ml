@@ -1,0 +1,111 @@
+(* Bounded, mutex-guarded LRU for the cross-request caches. Capacities
+   are small (tens of entries), so recency is a monotonically stamped
+   Hashtbl with an O(n) eviction scan — no intrusive list to get wrong
+   under concurrency. *)
+
+module Metrics = Rar_obs.Metrics
+
+(* Aggregate across every serve cache, for the one-glance "are the
+   caches working" number the metrics verb reports. *)
+let agg_hits = Metrics.counter "serve_cache_hits"
+let agg_misses = Metrics.counter "serve_cache_misses"
+
+type 'a t = {
+  name : string;
+  capacity : int;
+  tbl : (string, 'a * int ref) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  m_hits : Metrics.t;
+  m_misses : Metrics.t;
+  m_evictions : Metrics.t;
+  m_entries : Metrics.t;
+}
+
+let create ~name ~capacity =
+  if capacity < 1 then invalid_arg "Rar_serve.Lru.create: capacity must be >= 1";
+  {
+    name;
+    capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    m_hits = Metrics.counter (Printf.sprintf "serve_cache_%s_hits" name);
+    m_misses = Metrics.counter (Printf.sprintf "serve_cache_%s_misses" name);
+    m_evictions =
+      Metrics.counter (Printf.sprintf "serve_cache_%s_evictions" name);
+    m_entries = Metrics.gauge (Printf.sprintf "serve_cache_%s_entries" name);
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let note_hit t =
+  t.hits <- t.hits + 1;
+  Metrics.incr t.m_hits;
+  Metrics.incr agg_hits
+
+let note_miss t =
+  t.misses <- t.misses + 1;
+  Metrics.incr t.m_misses;
+  Metrics.incr agg_misses
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some (v, stamp) ->
+    t.tick <- t.tick + 1;
+    stamp := t.tick;
+    note_hit t;
+    Some v
+  | None ->
+    note_miss t;
+    None
+
+(* Find-and-remove: checkout semantics for single-owner values
+   (engine sessions). The caller puts the value back when done. *)
+let take t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some (v, _) ->
+    Hashtbl.remove t.tbl key;
+    Metrics.set t.m_entries (Hashtbl.length t.tbl);
+    note_hit t;
+    Some v
+  | None ->
+    note_miss t;
+    None
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k (_, stamp) ->
+      match !victim with
+      | Some (_, s) when s <= !stamp -> ()
+      | _ -> victim := Some (k, !stamp))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    Metrics.incr t.m_evictions
+  | None -> ()
+
+let put t key v =
+  locked t @@ fun () ->
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.tbl key (v, ref t.tick);
+  while Hashtbl.length t.tbl > t.capacity do
+    evict_oldest t
+  done;
+  Metrics.set t.m_entries (Hashtbl.length t.tbl)
+
+let length t = locked t @@ fun () -> Hashtbl.length t.tbl
+let stats t = locked t @@ fun () -> (t.hits, t.misses)

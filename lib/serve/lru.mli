@@ -1,0 +1,35 @@
+(** Bounded, mutex-guarded LRU maps for the cross-request caches.
+
+    Every operation is atomic under an internal lock, so connection
+    threads and pool workers share a cache freely. Each cache
+    registers its own [serve_cache_<name>_{hits,misses,evictions}]
+    counters and [serve_cache_<name>_entries] gauge with
+    [Rar_obs.Metrics], and every hit/miss also feeds the aggregate
+    [serve_cache_hits]/[serve_cache_misses] counters the metrics verb
+    reports. Local hit/miss totals ({!stats}) are kept unconditionally
+    so tests can observe cache behaviour without arming metrics. *)
+
+type 'a t
+
+val create : name:string -> capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; refreshes the entry's recency. Counts a hit or a miss. *)
+
+val take : 'a t -> string -> 'a option
+(** Lookup {e and remove}: checkout semantics for single-owner values
+    (engine sessions must not be shared between concurrent requests —
+    the holder puts the value back with {!put} when done, and a
+    concurrent identical request simply misses). *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or overwrite; evicts least-recently-used entries beyond
+    the capacity. *)
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val stats : 'a t -> int * int
+(** [(hits, misses)] since creation. *)

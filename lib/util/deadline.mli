@@ -25,8 +25,48 @@ exception Expired of { elapsed : float; phase : string }
     since {!make}. *)
 
 val make : budget_s:float -> t
-(** Start the budget now. A zero budget expires at the first check.
-    @raise Invalid_argument on a negative budget. *)
+(** Start the budget now. A zero budget expires at the first check; an
+    [infinity] budget never expires on its own and exists purely as a
+    carrier of check sites for {!cancel} / {!request_cancel} and the
+    {!set_on_sample} resource guards.
+    @raise Invalid_argument on a negative (or NaN) budget. *)
+
+val set_on_sample : t -> (phase:string -> unit) -> unit
+(** Install a hook run at every clock sample — the same stride-256
+    sites as the budget test, after the cancellation tests and before
+    the expiry test. The hook may raise (the serve layer's heap guard
+    raises its ceiling error from here); whatever it raises propagates
+    out of the check exactly like {!Expired}. *)
+
+(** {1 Cooperative cancellation}
+
+    Two layers: {!cancel} marks one token (the serve daemon cancels
+    each in-flight request's token when draining), while
+    {!request_cancel} sets a process-wide flag that every token
+    notices (the CLI's SIGINT/SIGTERM handlers, which may only set a
+    flag, park the signal name here). Either way the next strided
+    sample raises {!Expired} with [phase = "cancel:<reason>"], so a
+    cancelled run unwinds through the same typed-error path as a
+    budget overrun and [at_exit] work (trace export) still runs. *)
+
+val cancel : t -> reason:string -> unit
+(** Cancel this token: its next sample raises. *)
+
+val arm_cancel : unit -> unit
+(** Declare that a cancellation source exists (signal handlers were
+    installed). [Rar_engine] threads an [infinity]-budget token
+    through runs that were given no explicit deadline whenever this is
+    armed, so cancellation has check sites to fire from. *)
+
+val cancel_armed : unit -> bool
+
+val request_cancel : reason:string -> unit
+(** Process-wide cancel: every live token's next sample raises.
+    Async-signal-safe (one atomic store). *)
+
+val cancel_pending : unit -> string option
+val clear_cancel : unit -> unit
+(** Reset the process-wide flag (tests; the CLI between evaluations). *)
 
 val check : t -> phase:string -> unit
 (** Strided check for inner loops: decrements the countdown and, every
@@ -37,7 +77,8 @@ val force_check : t -> phase:string -> unit
 (** Sample the clock unconditionally; raise {!Expired} if spent. *)
 
 val expired : t -> bool
-(** Non-raising probe. *)
+(** Non-raising probe: budget spent, or a cancel (token or process)
+    pending. *)
 
 val elapsed_s : t -> float
 val remaining_s : t -> float

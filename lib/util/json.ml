@@ -71,12 +71,26 @@ let to_string v =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-exception Parse of string
+exception Parse of { offset : int; reason : string }
 
-let of_string s =
+(* 1-based line/column of a byte offset, for located diagnostics.
+   Clamped to the end of input so "unexpected end of input" points at
+   the character after the last one. *)
+let line_col s offset =
+  let offset = Int.min offset (String.length s) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol + 1)
+
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg = raise (Parse { offset = !pos; reason = msg }) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -220,14 +234,25 @@ let of_string s =
       end
     | Some _ -> parse_number ()
   in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-  with
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_string s =
+  (* Historical API: offset-only error strings, byte-compatible with
+     the pre-diagnostic parser. *)
+  match parse s with
   | v -> Ok v
-  | exception Parse msg -> Error msg
+  | exception Parse { offset; reason } ->
+    Error (Printf.sprintf "%s at offset %d" reason offset)
+
+let of_string_diag ?file s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse { offset; reason } ->
+    let line, col = line_col s offset in
+    Error (Diag.make ?file ~line ~col reason)
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
@@ -237,3 +262,17 @@ let to_float = function
   | Int i -> Some (float_of_int i)
   | Float x -> Some x
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Typed accessors (request parsing helpers)                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None
+
+let member_string key j = Option.bind (member key j) to_string_opt
+let member_float key j = Option.bind (member key j) to_float
+let member_int key j = Option.bind (member key j) to_int_opt
+let member_bool key j = Option.bind (member key j) to_bool_opt

@@ -86,7 +86,13 @@ let worker p () =
 
 let current : pool option ref = ref None
 
-let shutdown () =
+(* Guards [current]: pool creation and teardown may now race (the
+   serve daemon's connection threads submit concurrently with the main
+   loop). Never held while waiting for work — only around the
+   spawn/join bookkeeping. *)
+let creation_lock = Mutex.create ()
+
+let shutdown_locked () =
   match !current with
   | None -> ()
   | Some p ->
@@ -97,11 +103,18 @@ let shutdown () =
     List.iter Domain.join p.domains;
     current := None
 
+let with_creation_lock f =
+  Mutex.lock creation_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock creation_lock) f
+
+let shutdown () = with_creation_lock shutdown_locked
+
 let () = at_exit shutdown
 
 let get_pool size =
+  with_creation_lock @@ fun () ->
   (match !current with
-  | Some p when p.size <> size -> shutdown ()
+  | Some p when p.size <> size -> shutdown_locked ()
   | Some _ | None -> ());
   match !current with
   | Some p -> p
@@ -117,8 +130,9 @@ let get_pool size =
 let set_jobs j =
   let j = Int.max 1 j in
   override := Some j;
+  with_creation_lock @@ fun () ->
   match !current with
-  | Some p when p.size <> Int.min j (host_cores ()) -> shutdown ()
+  | Some p when p.size <> Int.min j (host_cores ()) -> shutdown_locked ()
   | Some _ | None -> ()
 
 (* Optional per-element hook, run just before each element is
@@ -241,3 +255,18 @@ let map_adaptive ?(seq_below = 512) ?(floor = 64) ?(chunks_per_worker = 4)
 
 let run (thunks : (unit -> 'a) list) : 'a list =
   Array.to_list (map (Array.of_list thunks) (fun f -> f ()))
+
+(* Asynchronous single-task submission, for the serve daemon: enqueue
+   and return immediately; the task runs on a pool worker (so its own
+   nested [map] calls take the sequential path) and delivers its
+   result through whatever channel it captured. Unlike [map] there is
+   no join, so the submitter must do its own completion bookkeeping.
+   A pool is always materialised — even at an effective size of 1 —
+   because an async task needs a worker to run on. *)
+let submit (task : unit -> unit) : unit =
+  let size = Int.max 1 (effective_jobs ()) in
+  let p = get_pool size in
+  Mutex.lock p.lock;
+  Queue.add task p.queue;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.lock

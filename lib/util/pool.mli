@@ -80,6 +80,17 @@ val run : (unit -> 'a) list -> 'a list
 (** [run thunks] evaluates the thunks in parallel, returning results
     in the original order. *)
 
+val submit : (unit -> unit) -> unit
+(** [submit task] enqueues [task] for asynchronous execution on a pool
+    worker and returns immediately — the serve daemon's scheduling
+    primitive. The task runs with the nested-parallelism flag set (its
+    own {!map} calls evaluate sequentially in that worker), must not
+    raise (an escaping exception is swallowed by the worker loop; wrap
+    everything), and is responsible for delivering its own result —
+    there is no join. A worker domain is materialised even when the
+    effective pool size is 1, so submission never degrades to inline
+    execution in the calling domain. *)
+
 val set_task_hook : (unit -> unit) option -> unit
 (** Install (or clear) a hook run immediately before every element a
     {!map} call evaluates — on the sequential path too, so behaviour

@@ -19,4 +19,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
       ("eco", Test_eco.suite);
+      ("serve", Test_serve.suite);
     ]

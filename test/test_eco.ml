@@ -396,6 +396,76 @@ let test_eco_metrics_registered () =
       "sta_incremental_pins"; "difflp_cache_hits";
     ]
 
+(* --- concurrent sessions ------------------------------------------- *)
+
+(* Two sessions over the *same* shared stage, resolving interleaved
+   from different pool tasks, must produce transcripts bitwise equal
+   to the same sessions resolved serially. This exercises the shared
+   read-only [Stage.t] (forced STA memos), the [wd_lock]-guarded W/D
+   memo in [Classic.graph] and the thread-safe [Difflp] caches under
+   real contention. *)
+let test_concurrent_sessions_match_serial () =
+  let p = cached_prepared 4 in
+  let cfg = Engine.config Engine.Grar in
+  let stage0 =
+    match
+      Stage.make ~model:cfg.Engine.model ~source:p.Suite.two_phase
+        ~lib:p.Suite.lib ~clocking:p.Suite.clocking p.Suite.cc
+    with
+    | Ok s -> s
+    | Error e ->
+      Alcotest.failf "stage analysis failed: %s" (Rar_retime.Error.to_string e)
+  in
+  (* Pre-generate each session's batches against its own evolving
+     netlist, so serial and concurrent runs replay identical edits. *)
+  let mk_batches seed =
+    let rng = Random.State.make [| 0xcc; seed |] in
+    let net = ref (Stage.comb stage0) in
+    let annot = ref None in
+    List.init 3 (fun _ ->
+        let b = gen_batch rng !net p.Suite.lib in
+        let applied = Edit.apply ?annot:!annot !net b in
+        net := applied.Edit.net;
+        annot := Some applied.Edit.annot;
+        b)
+  in
+  let batches_a = mk_batches 1 and batches_b = mk_batches 2 in
+  let transcript batches =
+    let s = Engine.open_session cfg stage0 in
+    List.map
+      (fun b ->
+        match Engine.resolve s b with
+        | Ok r -> strip_json (Engine.session_config s) r
+        | Error e -> "error:" ^ Rar_retime.Error.to_string e)
+      batches
+  in
+  let serial_a = transcript batches_a in
+  let serial_b = transcript batches_b in
+  let results = Array.make 2 [] in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let pending = ref 2 in
+  let submit i batches =
+    Pool.submit (fun () ->
+        let t = transcript batches in
+        Mutex.lock lock;
+        results.(i) <- t;
+        decr pending;
+        if !pending = 0 then Condition.broadcast cond;
+        Mutex.unlock lock)
+  in
+  submit 0 batches_a;
+  submit 1 batches_b;
+  Mutex.lock lock;
+  while !pending > 0 do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Alcotest.(check (list string))
+    "session A matches serial" serial_a results.(0);
+  Alcotest.(check (list string))
+    "session B matches serial" serial_b results.(1)
+
 let suite =
   [
     Alcotest.test_case "edit-script parsing" `Quick test_parse_script;
@@ -405,6 +475,8 @@ let suite =
       test_resolve_bad_edit_keeps_session;
     Alcotest.test_case "eco metrics registered" `Quick
       test_eco_metrics_registered;
+    Alcotest.test_case "concurrent sessions match serial" `Slow
+      test_concurrent_sessions_match_serial;
     QCheck_alcotest.to_alcotest prop_wd_patch_matches_build;
     QCheck_alcotest.to_alcotest prop_classic_eco_min_period;
     QCheck_alcotest.to_alcotest prop_resolve_matches_cold;

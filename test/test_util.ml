@@ -4,6 +4,8 @@ module Vec = Rar_util.Vec
 module Heap = Rar_util.Heap
 module Rng = Rar_util.Rng
 module Pool = Rar_util.Pool
+module Json = Rar_util.Json
+module Deadline = Rar_util.Deadline
 
 let test_vec_basic () =
   let v = Vec.create () in
@@ -189,6 +191,167 @@ let prop_shuffle_is_permutation =
       Rng.shuffle (Rng.make seed) a;
       List.sort compare (Array.to_list a) = List.sort compare l)
 
+(* --- Json parser --------------------------------------------------- *)
+
+let test_json_parse_basics () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "null" true (ok "null" = Json.Null);
+  Alcotest.(check bool) "bools" true
+    (ok " true " = Json.Bool true && ok "false" = Json.Bool false);
+  Alcotest.(check bool) "int" true (ok "-42" = Json.Int (-42));
+  Alcotest.(check bool) "float" true (ok "2.5e1" = Json.Float 25.);
+  Alcotest.(check bool) "string escapes" true
+    (ok {|"a\n\"b\"A"|} = Json.String "a\n\"b\"A");
+  Alcotest.(check bool) "nested" true
+    (ok {|{"a":[1,{"b":null}],"c":""}|}
+    = Json.Obj
+        [ ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Null) ] ]);
+          ("c", Json.String "") ]);
+  Alcotest.(check bool) "empty containers" true
+    (ok "[ ]" = Json.List [] && ok "{ }" = Json.Obj [])
+
+let test_json_parse_diag_positions () =
+  let fail_at s (line, col) =
+    match Json.of_string_diag ~file:"t.json" s with
+    | Ok _ -> Alcotest.failf "%S must not parse" s
+    | Error d ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "position of error in %S" s)
+        (line, col)
+        (d.Rar_util.Diag.line, d.Rar_util.Diag.col);
+      Alcotest.(check (option string)) "file carried" (Some "t.json")
+        d.Rar_util.Diag.file
+  in
+  fail_at "" (1, 1);
+  fail_at "{\"a\":}" (1, 6);
+  fail_at "[1,2" (1, 5);
+  fail_at "{\n \"a\": nul\n}" (2, 7);
+  fail_at "[1] trailing" (1, 5);
+  (* member/typed accessors *)
+  let j =
+    match Json.of_string {|{"s":"x","i":3,"b":true,"f":1.5}|} with
+    | Ok j -> j
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (option string)) "member_string" (Some "x")
+    (Json.member_string "s" j);
+  Alcotest.(check (option int)) "member_int" (Some 3) (Json.member_int "i" j);
+  Alcotest.(check bool) "member_bool" true
+    (Json.member_bool "b" j = Some true);
+  Alcotest.(check bool) "member_float coerces" true
+    (Json.member_float "i" j = Some 3.);
+  Alcotest.(check (option int)) "mistyped member" None (Json.member_int "s" j)
+
+(* Round-trip fuzz against the emitter. Floats are drawn from values
+   whose [%.12g] rendering re-reads exactly, so equality is [=]. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        (* non-integral only: the emitter renders integral floats as
+           bare integers, which correctly re-read as [Int] *)
+        map
+          (fun x -> Json.Float x)
+          (oneofl [ 1.5; -2.25; 312.54; -0.0078125; 0.15625 ]);
+        map (fun s -> Json.String s) string_printable;
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_bound 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair string_printable (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json emit/parse round-trip" ~count:500
+    (QCheck.make ~print:(fun j -> Json.to_string j) json_gen)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> j = j'
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e)
+
+(* Parsing arbitrary garbage must return [Error], never raise. *)
+let prop_json_parse_total =
+  QCheck.Test.make ~name:"json parser is total" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 40))
+    (fun s ->
+      match Json.of_string_diag s with
+      | Ok _ | Error _ -> true)
+
+(* --- Deadline cancellation ----------------------------------------- *)
+
+let test_deadline_token_cancel () =
+  let d = Deadline.make ~budget_s:Float.infinity in
+  Deadline.force_check d ~phase:"before";
+  Deadline.cancel d ~reason:"test";
+  Alcotest.(check bool) "expired after cancel" true (Deadline.expired d);
+  match Deadline.force_check d ~phase:"after" with
+  | exception Deadline.Expired { phase; _ } ->
+    Alcotest.(check string) "phase names the cancel" "cancel:test" phase
+  | () -> Alcotest.fail "cancelled token must raise"
+
+let test_deadline_global_cancel () =
+  let d = Deadline.make ~budget_s:Float.infinity in
+  Deadline.request_cancel ~reason:"sigterm";
+  Fun.protect ~finally:Deadline.clear_cancel (fun () ->
+      Alcotest.(check bool) "pending visible" true
+        (Deadline.cancel_pending () = Some "sigterm");
+      match Deadline.force_check d ~phase:"x" with
+      | exception Deadline.Expired { phase; _ } ->
+        Alcotest.(check string) "global reason" "cancel:sigterm" phase
+      | () -> Alcotest.fail "global cancel must trip every live token");
+  (* cleared: the same token is usable again *)
+  Deadline.force_check d ~phase:"x"
+
+let test_deadline_sample_hook () =
+  let d = Deadline.make ~budget_s:Float.infinity in
+  let phases = ref [] in
+  Deadline.set_on_sample d (fun ~phase -> phases := phase :: !phases);
+  Deadline.force_check d ~phase:"a";
+  Deadline.force_check d ~phase:"b";
+  Alcotest.(check (list string)) "hook saw each sample" [ "b"; "a" ] !phases
+
+(* --- Pool.submit --------------------------------------------------- *)
+
+let test_pool_submit () =
+  let n = 16 in
+  let done_count = ref 0 in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let seen_nested = Atomic.make true in
+  for i = 0 to n - 1 do
+    Pool.submit (fun () ->
+        (* nested maps from a submitted task must take the sequential
+           path, like any pool-worker context *)
+        let r = Pool.map (Array.init 8 Fun.id) (fun x -> x + i) in
+        if Array.length r <> 8 then Atomic.set seen_nested false;
+        Mutex.lock lock;
+        incr done_count;
+        if !done_count = n then Condition.broadcast cond;
+        Mutex.unlock lock)
+  done;
+  Mutex.lock lock;
+  while !done_count < n do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Alcotest.(check int) "all tasks ran" n !done_count;
+  Alcotest.(check bool) "nested maps fine" true (Atomic.get seen_nested)
+
 let suite =
   [
     Alcotest.test_case "vec basic ops" `Quick test_vec_basic;
@@ -206,6 +369,17 @@ let suite =
       test_pool_worker_survives_raise;
     Alcotest.test_case "pool size-1 fallback" `Quick test_pool_size_clamp;
     Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
+    Alcotest.test_case "pool submit" `Quick test_pool_submit;
+    Alcotest.test_case "json parse basics" `Quick test_json_parse_basics;
+    Alcotest.test_case "json diag positions" `Quick
+      test_json_parse_diag_positions;
+    Alcotest.test_case "deadline token cancel" `Quick
+      test_deadline_token_cancel;
+    Alcotest.test_case "deadline global cancel" `Quick
+      test_deadline_global_cancel;
+    Alcotest.test_case "deadline sample hook" `Quick test_deadline_sample_hook;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_json_parse_total;
     QCheck_alcotest.to_alcotest prop_heap_matches_sort;
     QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
