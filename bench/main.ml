@@ -334,25 +334,10 @@ let overhead_ratios kernels pairs =
 (* Scaling curve: generated 10^5..10^6-gate circuits                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Sizing defaults mirror `rar generate` (bin/rar_cli.ml), so a curve
-   row is reproducible from the CLI with the same gate count. *)
-let scale_spec ~gates =
-  let flops = max 16 (gates / 25) in
-  let depth =
-    max 8 (int_of_float (Float.round (4. *. log (float_of_int gates))))
-  in
-  let name = Printf.sprintf "gen%dx%d" gates depth in
-  {
-    Rar_circuits.Spec.name;
-    n_flops = flops;
-    n_pi = max 8 (gates / 200);
-    n_po = max 8 (gates / 200);
-    n_gates = gates;
-    depth;
-    nce_target = max 4 (flops / 8);
-    seed = name;
-    src_bias_pct = 55;
-  }
+(* Sizing defaults are shared with `rar generate` via
+   Rar_circuits.Defaults, so a curve row is reproducible from the CLI
+   with the same gate count. *)
+let scale_spec ~gates = Rar_circuits.Defaults.scale_spec ~gates
 
 (* Run [f] under armed tracing and metrics; return its result plus the
    summed inclusive wall seconds per span name — the per-phase

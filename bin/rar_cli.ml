@@ -932,6 +932,148 @@ let serve_cmd =
               drain force-exits with status 130." ])
     Term.(ret (const run $ verbose_arg $ jobs_arg $ socket_arg $ metrics_arg))
 
+(* --- rar convert ----------------------------------------------------- *)
+
+let convert_cmd =
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT"
+          ~doc:
+            "Suite benchmark whose edge-triggered form is converted (omit \
+             when $(b,--bench) or $(b,--verilog) is given).")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:"Convert an edge-triggered ISCAS89 \".bench\" netlist from FILE.")
+  in
+  let verilog_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "verilog" ] ~docv:"FILE"
+          ~doc:
+            "Convert an edge-triggered structural Verilog netlist (the \
+             subset $(b,Verilog_io) writes: primitive gates and dff \
+             instances) from FILE.")
+  in
+  let phases_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "phases" ] ~docv:"N"
+          ~doc:
+            "Latch scheme: $(b,2) (master/slave two-phase, default) or \
+             $(b,3) (adds a phase-3 latch per flop, for the three-phase \
+             resiliency clocking).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the converted netlist to FILE (stdout when omitted, with \
+             diagnostics moved to stderr).")
+  in
+  let emit_conv = Arg.enum [ ("bench", `Bench); ("verilog", `Verilog) ] in
+  let emit_arg =
+    Arg.(
+      value & opt emit_conv `Bench
+      & info [ "emit" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,bench) (default; latches as \
+             MLATCH/SLATCH, round-trippable) or $(b,verilog).")
+  in
+  let check_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "check" ] ~docv:"CYCLES"
+          ~doc:
+            "Prove simulation equivalence of the original and converted \
+             netlists over CYCLES seeded random input vectors before \
+             emitting; any primary-output mismatch fails the command.")
+  in
+  let run verbose jobs name bench verilog phases out emit check =
+    setup verbose jobs;
+    (* With no --out the netlist owns stdout; keep it byte-clean. *)
+    let say fmt =
+      Printf.ksprintf
+        (fun s ->
+          if out = None then prerr_endline s else print_endline s)
+        fmt
+    in
+    match Rar_netlist.Convert.phases_of_int phases with
+    | Error e -> `Error (false, e)
+    | Ok scheme -> (
+      let loaded =
+        match (bench, verilog, name) with
+        | Some file, None, _ ->
+          Result.map_error Rar_util.Diag.to_string
+            (Bench_io.parse_file_diag file)
+        | None, Some file, _ ->
+          Result.map_error Rar_util.Diag.to_string
+            (Rar_netlist.Verilog_io.parse_file_diag file)
+        | Some _, Some _, _ -> Error "give only one of --bench and --verilog"
+        | None, None, Some name ->
+          Result.map (fun p -> p.Suite.flop_netlist) (Suite.load name)
+        | None, None, None ->
+          Error "give a CIRCUIT name, --bench FILE or --verilog FILE"
+      in
+      match loaded with
+      | Error e -> `Error (false, e)
+      | Ok net -> (
+        match Rar_netlist.Convert.run ~phases:scheme net with
+        | Error e -> `Error (false, e)
+        | Ok (converted, stats) -> (
+          let checked =
+            if check <= 0 then Ok ()
+            else
+              match
+                Rar_sim.Cycle.equivalent ~cycles:check
+                  ~seed:(Netlist.name net ^ "/convert-check")
+                  net converted
+              with
+              | Ok n ->
+                say "equivalence: %d cycles, outputs identical" n;
+                Ok ()
+              | Error e -> Error e
+          in
+          match checked with
+          | Error e -> `Error (false, e)
+          | Ok () ->
+            let text =
+              match emit with
+              | `Bench -> Bench_io.print converted
+              | `Verilog -> Rar_netlist.Verilog_io.print converted
+            in
+            (match out with
+            | Some path ->
+              let oc = open_out path in
+              output_string oc text;
+              close_out oc
+            | None -> print_string text);
+            say "converted %s: %s"
+              (Netlist.name net)
+              (Format.asprintf "%a" Rar_netlist.Convert.pp_stats stats);
+            Option.iter (fun path -> say "wrote %s" path) out;
+            `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert an edge-triggered (flip-flop) design into a retimeable \
+          latch-based one: each DFF becomes a master/slave two-phase latch \
+          pair (or a three-latch chain with $(b,--phases 3)), \
+          combinational structure untouched, output deterministic. \
+          $(b,--check) proves input/output equivalence by bounded random \
+          simulation. The emitted \".bench\" (MLATCH/SLATCH) feeds every \
+          other subcommand; suite names also accept a \".conv\"/\".conv3\" \
+          suffix to run the conversion in-process.")
+    Term.(
+      ret
+        (const run $ verbose_arg $ jobs_arg $ name_arg $ bench_arg
+        $ verilog_arg $ phases_arg $ out_arg $ emit_arg $ check_arg))
+
 (* --- rar generate ---------------------------------------------------- *)
 
 let generate_cmd =
@@ -980,11 +1122,27 @@ let generate_cmd =
   in
   let bias_arg =
     Arg.(
-      value & opt int 55
+      value & opt int Rar_circuits.Defaults.src_bias_pct
       & info [ "src-bias" ] ~docv:"PCT"
           ~doc:
             "Percentage of side pins tied straight to sources rather than \
              an earlier layer (the suite uses 55).")
+  in
+  let pipe_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "pipe-depth" ] ~docv:"STAGES"
+          ~doc:
+            "Generate the pipelined-datapath family instead of the layered \
+             DAG: STAGES register banks separated by ripple-carry \
+             add/mix stages of $(b,--width) bits (a latency_p-style \
+             pipeline-depth knob). Ignores the DAG sizing flags.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "width" ] ~docv:"BITS"
+          ~doc:"Datapath bit width for $(b,--pipe-depth).")
   in
   let out_arg =
     Arg.(
@@ -994,50 +1152,67 @@ let generate_cmd =
             "Write the netlist as ISCAS89 \".bench\" text to FILE (stats \
              only when omitted).")
   in
-  let run verbose gates depth flops pi po nce seed bias out =
+  let emit net name dt out =
+    let st = Stats.compute net in
+    Format.printf "%a@." Stats.pp st;
+    Printf.printf "generated %s in %.2f s\n" name dt;
+    (match out with
+    | Some path ->
+      Bench_io.write_file path net;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    `Ok ()
+  in
+  let run verbose gates depth flops pi po nce seed bias pipe width out =
     setup_logs verbose;
-    if gates < 4 then `Error (false, "--gates must be at least 4")
-    else begin
-      let flops = Option.value flops ~default:(max 16 (gates / 25)) in
-      let pi = Option.value pi ~default:(max 8 (gates / 200)) in
-      let po = Option.value po ~default:(max 8 (gates / 200)) in
-      let nce = Option.value nce ~default:(max 4 (flops / 8)) in
-      let depth =
-        match depth with
-        | Some d -> max 4 d
-        | None ->
-          (* ~36 at 10^4 gates, ~55 at 10^6: a synthesis-like slow
-             growth of depth with area. *)
-          max 8 (int_of_float (Float.round (4. *. log (float_of_int gates))))
-      in
-      let name = Printf.sprintf "gen%dx%d" gates depth in
-      let seed = Option.value seed ~default:name in
-      let spec =
-        {
-          Spec.name;
-          n_flops = flops;
-          n_pi = pi;
-          n_po = po;
-          n_gates = gates;
-          depth;
-          nce_target = nce;
-          seed;
-          src_bias_pct = bias;
-        }
-      in
-      let t0 = Unix.gettimeofday () in
-      let net = Rar_circuits.Generator.generate spec in
-      let dt = Unix.gettimeofday () -. t0 in
-      let st = Stats.compute net in
-      Format.printf "%a@." Stats.pp st;
-      Printf.printf "generated %s in %.2f s\n" name dt;
-      (match out with
-      | Some path ->
-        Bench_io.write_file path net;
-        Printf.printf "wrote %s\n" path
-      | None -> ());
-      `Ok ()
-    end
+    match pipe with
+    | Some stages ->
+      if stages < 1 || stages > 1024 then
+        `Error (false, "--pipe-depth must be in 1..1024")
+      else if width < 2 then `Error (false, "--width must be at least 2")
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let net =
+          Rar_circuits.Generator.pipeline ~width
+            ?seed
+            ~stages ()
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        emit net (Rar_netlist.Netlist.name net) dt out
+      end
+    | None ->
+      if gates < 4 then `Error (false, "--gates must be at least 4")
+      else begin
+        (* Sizing defaults live in Rar_circuits.Defaults — the single
+           source the bench scaling specs mirror. *)
+        let module D = Rar_circuits.Defaults in
+        let flops = Option.value flops ~default:(D.flops ~gates) in
+        let pi = Option.value pi ~default:(D.ports ~gates) in
+        let po = Option.value po ~default:(D.ports ~gates) in
+        let nce = Option.value nce ~default:(D.nce ~flops) in
+        let depth =
+          match depth with Some d -> max 4 d | None -> D.depth ~gates
+        in
+        let name = D.name ~gates ~depth in
+        let seed = Option.value seed ~default:name in
+        let spec =
+          {
+            Spec.name;
+            n_flops = flops;
+            n_pi = pi;
+            n_po = po;
+            n_gates = gates;
+            depth;
+            nce_target = nce;
+            seed;
+            src_bias_pct = bias;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let net = Rar_circuits.Generator.generate spec in
+        let dt = Unix.gettimeofday () -. t0 in
+        emit net name dt out
+      end
   in
   Cmd.v
     (Cmd.info "generate"
@@ -1049,7 +1224,8 @@ let generate_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ gates_arg $ depth_arg $ flops_arg $ pi_arg
-        $ po_arg $ nce_arg $ seed_arg $ bias_arg $ out_arg))
+        $ po_arg $ nce_arg $ seed_arg $ bias_arg $ pipe_arg $ width_arg
+        $ out_arg))
 
 (* --- rar lib -------------------------------------------------------- *)
 
@@ -1201,7 +1377,7 @@ let main =
          "Retiming of two-phase latch-based resilient circuits — \
           reproduction of Cheng et al. (DAC 2017 / journal extension).")
     [ table_cmd; all_cmd; info_cmd; run_cmd; bench_cmd; dot_cmd; period_cmd;
-      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd; generate_cmd;
-      eco_cmd; serve_cmd ]
+      trace_cmd; sweep_cmd; timing_cmd; lib_cmd; classic_cmd; convert_cmd;
+      generate_cmd; eco_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

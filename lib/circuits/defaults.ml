@@ -1,0 +1,42 @@
+(* Single source of truth for the sizing defaults `rar generate`
+   documents in --help and the bench scaling specs mirror: a change
+   here lands in both (and in the unit test pinning the documented
+   values), so a CLI-reproducible bench row can't silently drift. *)
+
+let min_flops = 16
+let gates_per_flop = 25
+let min_ports = 8
+let gates_per_port = 200
+let min_nce = 4
+let flops_per_nce = 8
+let min_depth = 8
+let depth_log_factor = 4.
+let src_bias_pct = 55
+
+let flops ~gates = max min_flops (gates / gates_per_flop)
+let ports ~gates = max min_ports (gates / gates_per_port)
+let nce ~flops = max min_nce (flops / flops_per_nce)
+
+let depth ~gates =
+  (* ~36 at 10^4 gates, ~55 at 10^6: a synthesis-like slow growth of
+     depth with area. *)
+  max min_depth
+    (int_of_float (Float.round (depth_log_factor *. log (float_of_int gates))))
+
+let name ~gates ~depth = Printf.sprintf "gen%dx%d" gates depth
+
+let scale_spec ~gates =
+  let n_flops = flops ~gates in
+  let depth = depth ~gates in
+  let name = name ~gates ~depth in
+  {
+    Spec.name;
+    n_flops;
+    n_pi = ports ~gates;
+    n_po = ports ~gates;
+    n_gates = gates;
+    depth;
+    nce_target = nce ~flops:n_flops;
+    seed = name;
+    src_bias_pct;
+  }

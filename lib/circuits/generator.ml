@@ -281,3 +281,61 @@ let generate (spec : Spec.t) =
     (fun i ff -> B.connect b ff ~fanins:[ flop_driver.(i) ])
     flops;
   B.freeze b
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined-datapath family                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A register-balanced arithmetic pipeline in the style of the
+   BlackParrot FPU retiming patch, where the latency is a knob
+   ([latency_p] there, [stages] here): each stage is a full
+   ripple-carry add/mix over [width] bits — a long carry chain, the
+   profile retiming feeds on — followed by a flop bank, with the
+   carry-out registered and folded into the next stage's second
+   operand. Deterministic from [seed]. *)
+let pipeline ?(width = 32) ?(seed = "") ~stages () =
+  if stages < 1 then invalid_arg "Generator.pipeline: stages must be >= 1";
+  if width < 2 then invalid_arg "Generator.pipeline: width must be >= 2";
+  let name = Printf.sprintf "pipe%dx%d" stages width in
+  let seed = if seed = "" then name else seed in
+  let rng = Rng.of_string seed in
+  let b = B.create ~name () in
+  let a = Array.init width (fun i -> B.add_input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.add_input b (Printf.sprintf "b%d" i)) in
+  let gate nm fn fanins = B.add_gate b nm ~fn ~fanins () in
+  let cur = ref a and aux = ref bv in
+  let cout = ref (-1) in
+  for s = 0 to stages - 1 do
+    let nm fmt i = Printf.sprintf "s%d_%s%d" s fmt i in
+    let x = !cur and y = !aux in
+    let sum = Array.make width (-1) in
+    sum.(0) <- gate (nm "sum" 0) Cell_kind.Xor [ x.(0); y.(0) ];
+    let carry = ref (gate (nm "c" 0) Cell_kind.And [ x.(0); y.(0) ]) in
+    for i = 1 to width - 1 do
+      let p = gate (nm "p" i) Cell_kind.Xor [ x.(i); y.(i) ] in
+      let g = gate (nm "g" i) Cell_kind.And [ x.(i); y.(i) ] in
+      sum.(i) <- gate (nm "sum" i) Cell_kind.Xor [ p; !carry ];
+      let t = gate (nm "t" i) Cell_kind.And [ p; !carry ] in
+      carry := gate (nm "c" i) Cell_kind.Or [ g; t ]
+    done;
+    let bank =
+      Array.init width (fun i ->
+          B.add_seq b (Printf.sprintf "r%d_%d" s i) ~role:Netlist.Flop
+            ~fanin:sum.(i))
+    in
+    cout := B.add_seq b (Printf.sprintf "r%d_c" s) ~role:Netlist.Flop
+              ~fanin:!carry;
+    (* Second operand of the next stage: the bank rotated by a seeded
+       amount, with the registered carry-out folded into bit 0 — keeps
+       every flop (including the carry) on a live path. *)
+    let rot = 1 + Rng.int rng (width - 1) in
+    cur := bank;
+    aux :=
+      Array.init width (fun i ->
+          if i = 0 then !cout else bank.((i + rot) mod width))
+  done;
+  Array.iteri
+    (fun i v -> ignore (B.add_output b (Printf.sprintf "po%d" i) ~fanin:v))
+    !cur;
+  ignore (B.add_output b "po_c" ~fanin:!cout);
+  B.freeze b

@@ -16,3 +16,15 @@
     The same spec and seed always produce the identical netlist. *)
 
 val generate : Spec.t -> Rar_netlist.Netlist.t
+
+val pipeline :
+  ?width:int -> ?seed:string -> stages:int -> unit -> Rar_netlist.Netlist.t
+(** A pipelined CPU-datapath benchmark (the BlackParrot-FPU-style
+    [latency_p] family): [stages] ripple-carry add/mix stages over
+    [width]-bit operands (default 32), a flop bank plus a registered
+    carry-out after each. The pipeline depth knob sets both the
+    sequential depth and the retiming headroom — carry chains give each
+    stage a long, genuinely unbalanced critical path. Deterministic
+    from [seed] (default ["pipe<stages>x<width>"]); named
+    ["pipe<stages>x<width>"], loadable from the suite as
+    ["pipe<stages>"]. *)

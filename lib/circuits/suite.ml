@@ -18,7 +18,7 @@ type prepared = {
   runtime_s : float;
 }
 
-let derive_clocking lib cc =
+let derive_clocking ?(clock = Clocking.of_p) lib cc =
   let sta = Sta.analyse lib Sta.Path_based cc.Transform.comb in
   let worst =
     Array.fold_left
@@ -32,14 +32,18 @@ let derive_clocking lib cc =
      genuinely stuck in the window while the bulk of the near-critical
      set is retimable — the profile Tables I and VI exhibit. *)
   let p = worst /. 0.72 in
-  (Clocking.of_p p, p)
+  (clock p, p)
 
-let prepare ?lib net =
+let prepare ?lib ?clock ?flop_base net =
   let t0 = Rar_util.Clock.now_s () in
   let lib = match lib with Some l -> l | None -> Liberty.default () in
+  (* [flop_base]: the edge-triggered source when [net] is already a
+     Convert output — kept as [flop_netlist] so flop-domain consumers
+     (classic retiming, Table I baselines) see the original design. *)
+  let base = Option.value flop_base ~default:net in
   let two_phase = Transform.to_two_phase net in
   let cc = Transform.extract_comb two_phase in
-  let clocking, p = derive_clocking lib cc in
+  let clocking, p = derive_clocking ?clock lib cc in
   let sta = Sta.analyse lib Sta.Path_based cc.Transform.comb in
   (* NCE of the initial two-phase design: source pins latched, so the
      slave-opening floor delays every path. *)
@@ -57,26 +61,25 @@ let prepare ?lib net =
       0
       (Netlist.outputs cc.Transform.comb)
   in
-  let flop_area =
-    Liberty.comb_area lib net
-    +. Array.fold_left
-         (fun acc v ->
-           match Netlist.kind net v with
-           | Netlist.Seq Netlist.Flop -> acc +. (Liberty.flop lib).Liberty.seq_area
-           | _ -> acc)
-         0. (Netlist.seqs net)
-  in
+  (* Counted on [base]; a master latch counts as one original flop so
+     a directly prepared Convert output (no [flop_base]) still reports
+     the register count and flop-equivalent baseline area of its
+     edge-triggered source. *)
   let n_flops =
     Array.fold_left
       (fun acc v ->
-        match Netlist.kind net v with
-        | Netlist.Seq Netlist.Flop -> acc + 1
+        match Netlist.kind base v with
+        | Netlist.Seq Netlist.Flop | Netlist.Seq Netlist.Master -> acc + 1
         | _ -> acc)
-      0 (Netlist.seqs net)
+      0 (Netlist.seqs base)
+  in
+  let flop_area =
+    Liberty.comb_area lib base
+    +. (float_of_int n_flops *. (Liberty.flop lib).Liberty.seq_area)
   in
   {
     name = Netlist.name net;
-    flop_netlist = net;
+    flop_netlist = base;
     two_phase;
     cc;
     lib;
@@ -88,13 +91,57 @@ let prepare ?lib net =
     runtime_s = Rar_util.Clock.now_s () -. t0;
   }
 
+(* "pipe<stages>": the pipelined-datapath family, depth as the knob. *)
+let pipe_stages lname =
+  if String.length lname > 4 && String.sub lname 0 4 = "pipe" then
+    match int_of_string_opt (String.sub lname 4 (String.length lname - 4)) with
+    | Some s when s >= 1 && s <= 64 -> Some s
+    | Some _ | None -> None
+  else None
+
+let base_netlist name lname =
+  if lname = "plasma" then Ok (Plasma.generate ())
+  else
+    match pipe_stages lname with
+    | Some stages -> Ok (Generator.pipeline ~stages ())
+    | None -> (
+      match Spec.find lname with
+      | Some spec -> Ok (Generator.generate spec)
+      | None -> Error (Printf.sprintf "Suite.load: unknown benchmark %S" name))
+
 let load ?lib name =
   let lname = String.lowercase_ascii name in
-  if lname = "plasma" then Ok (prepare ?lib (Plasma.generate ()))
-  else
-    match Spec.find lname with
-    | Some spec -> Ok (prepare ?lib (Generator.generate spec))
-    | None -> Error (Printf.sprintf "Suite.load: unknown benchmark %S" name)
+  let strip suffix =
+    if
+      String.length lname > String.length suffix
+      && String.sub lname
+           (String.length lname - String.length suffix)
+           (String.length suffix)
+         = suffix
+    then Some (String.sub lname 0 (String.length lname - String.length suffix))
+    else None
+  in
+  (* "<name>.conv" / "<name>.conv3": the edge-triggered base design
+     pushed through the Convert front end before preparation — the
+     converted circuits sit beside the hand-written ones under every
+     subcommand. .conv3 also switches the derived clock to the
+     three-phase scheme with its own resiliency-window rule. *)
+  let converted base phases clock =
+    match base_netlist name base with
+    | Error _ as e -> e
+    | Ok net -> (
+      match Rar_netlist.Convert.run ~phases net with
+      | Error e -> Error ("Suite.load: " ^ e)
+      | Ok (latch_net, _stats) ->
+        Ok (prepare ?lib ?clock ~flop_base:net latch_net))
+  in
+  match strip ".conv3" with
+  | Some base ->
+    converted base Rar_netlist.Convert.Three (Some Clocking.of_p3)
+  | None -> (
+    match strip ".conv" with
+    | Some base -> converted base Rar_netlist.Convert.Two None
+    | None -> Result.map (prepare ?lib) (base_netlist name lname))
 
 let load_all ?lib () =
   List.map

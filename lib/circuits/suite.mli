@@ -22,17 +22,39 @@ type prepared = {
   runtime_s : float;          (** preparation time *)
 }
 
-val derive_clocking : Liberty.t -> Transform.comb_circuit -> Clocking.t * float
+val derive_clocking :
+  ?clock:(float -> Clocking.t) ->
+  Liberty.t ->
+  Transform.comb_circuit ->
+  Clocking.t * float
 (** Path-based STA over the stage; [p] is the measured critical arrival
-    plus a latch-delay guard band, split per §VI-A. *)
+    plus a latch-delay guard band, split per §VI-A. [clock] maps the
+    derived [p] to the clocking model (default {!Clocking.of_p}; pass
+    {!Clocking.of_p3} for the three-phase scheme). *)
 
-val prepare : ?lib:Liberty.t -> Netlist.t -> prepared
-(** Prepare an arbitrary flop-based netlist (e.g. a parsed ".bench"
-    file). [lib] defaults to {!Liberty.default}. *)
+val prepare :
+  ?lib:Liberty.t ->
+  ?clock:(float -> Clocking.t) ->
+  ?flop_base:Netlist.t ->
+  Netlist.t ->
+  prepared
+(** Prepare an arbitrary netlist — flop-based (e.g. a parsed ".bench"
+    file) or already latch-based (a {!Rar_netlist.Convert} output,
+    whose master/slave pairs pass through unchanged). [lib] defaults to
+    {!Liberty.default}; [clock] as in {!derive_clocking}. [flop_base]
+    supplies the edge-triggered source of a converted netlist: it
+    becomes [flop_netlist] and the basis for [n_flops]/[flop_area], so
+    flop-domain consumers (classic retiming, Table I baselines) keep
+    operating on the original design. *)
 
 val load : ?lib:Liberty.t -> string -> (prepared, string) result
-(** Load a named benchmark (Table I names or ["plasma"];
-    case-insensitive). *)
+(** Load a named benchmark (case-insensitive): Table I names,
+    ["plasma"], or ["pipe<stages>"] for the pipelined-datapath family
+    ({!Generator.pipeline}, 1-64 stages). A [".conv"] (or [".conv3"])
+    suffix on any of these converts the edge-triggered base design
+    through {!Rar_netlist.Convert} first — [".conv3"] uses the
+    three-phase decomposition and derives a
+    {!Clocking.Three_phase} clock. *)
 
 val load_all : ?lib:Liberty.t -> unit -> prepared list
 (** All twelve, in Table I order. *)

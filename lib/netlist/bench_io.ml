@@ -105,6 +105,8 @@ let parse_err text =
            let mk () =
              match String.uppercase_ascii op with
              | "DFF" -> Ok (B.add_seq_deferred b lhs ~role:Netlist.Flop)
+             | "MLATCH" -> Ok (B.add_seq_deferred b lhs ~role:Netlist.Master)
+             | "SLATCH" -> Ok (B.add_seq_deferred b lhs ~role:Netlist.Slave)
              | _ -> (
                match Cell_kind.of_name op with
                | Some fn -> Ok (B.add_gate_deferred b lhs ~fn ())
@@ -217,9 +219,15 @@ let print net =
       Buffer.add_string buf
         (Printf.sprintf "%s = %s(%s)\n" (Netlist.node_name net v) (op_name fn)
            (args v))
-    | Netlist.Seq _ ->
+    | Netlist.Seq role ->
+      let op =
+        match role with
+        | Netlist.Flop -> "DFF"
+        | Netlist.Master -> "MLATCH"
+        | Netlist.Slave -> "SLATCH"
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s = DFF(%s)\n" (Netlist.node_name net v) (args v))
+        (Printf.sprintf "%s = %s(%s)\n" (Netlist.node_name net v) op (args v))
   done;
   Buffer.contents buf
 

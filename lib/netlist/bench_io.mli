@@ -10,8 +10,11 @@
     G11 = NAND(G0, G10)
     v}
 
-    DFF lines become [Seq Flop] nodes. Fanout-only names referenced
-    before definition are handled (the format has no ordering rule).
+    DFF lines become [Seq Flop] nodes; the non-standard MLATCH/SLATCH
+    operators (emitted by the writer for converted two-phase designs)
+    become [Seq Master]/[Seq Slave], so latch roles survive a round
+    trip. Fanout-only names referenced before definition are handled
+    (the format has no ordering rule).
     Because a ".bench" OUTPUT names an existing signal rather than a
     dedicated node, the writer/reader pair round-trips through explicit
     [Output] nodes named ["<signal>$po"] when the output signal also
@@ -41,10 +44,11 @@ val parse_file_diag : string -> (Netlist.t, Rar_util.Diag.t) result
     becomes a diagnostic, not a [Sys_error]. *)
 
 val print : Netlist.t -> string
-(** Render a netlist (combinational gates, flops, PIs, POs) back to
-    ".bench" text. Master/slave latches are rendered as [DFF] pairs
-    suffixed so a re-read produces an equivalent structure. Gates whose
-    kind has no ".bench" spelling (AOI/OAI/MUX) are emitted with their
-    library names, which {!parse} also accepts. *)
+(** Render a netlist (combinational gates, sequential elements, PIs,
+    POs) back to ".bench" text. Flops are rendered as [DFF]; master and
+    slave latches as [MLATCH]/[SLATCH], which {!parse} maps back to the
+    same roles — a converted two-phase design round-trips exactly.
+    Gates whose kind has no ".bench" spelling (AOI/OAI/MUX) are emitted
+    with their library names, which {!parse} also accepts. *)
 
 val write_file : string -> Netlist.t -> unit

@@ -188,3 +188,9 @@ val map_gates : t -> (int -> kind -> kind) -> t
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line "name: #pi #po #gate #seq depth" summary. *)
+
+val digest : t -> string
+(** MD5 hex over the complete structure — names, kinds, drives and
+    fanin wiring, in id order. Two netlists with equal digests are
+    structurally identical node for node; the suite regression tests
+    pin these values to freeze the generator and conversion passes. *)

@@ -1,0 +1,31 @@
+(** Functional cycle-accurate simulation and bounded equivalence.
+
+    A zero-delay companion to the timing simulator in {!Sim}: evaluates
+    a sequential netlist cycle by cycle over explicit input vectors,
+    with flip-flop semantics for [Seq Flop] nodes and two-phase
+    transparency for master/slave pairs (the slave chain takes the
+    master's new value within the same cycle). On a design and its
+    flip-flop decomposition ({!Rar_netlist.Convert}) the primary-output
+    traces are therefore identical cycle for cycle, which is the
+    mechanical correctness argument behind [rar convert --check] and
+    the CI conversion gate. *)
+
+val run : Rar_netlist.Netlist.t -> vectors:bool array array -> bool array array
+(** [run net ~vectors] applies [vectors.(t)] (one bool per primary
+    input, in {!Rar_netlist.Netlist.inputs} order) at cycle [t],
+    starting from the all-false sequential state, and returns the
+    per-cycle primary-output rows (in [outputs] order). Raises
+    [Invalid_argument] on a vector arity mismatch. *)
+
+val equivalent :
+  ?cycles:int ->
+  seed:string ->
+  Rar_netlist.Netlist.t ->
+  Rar_netlist.Netlist.t ->
+  (int, string) result
+(** [equivalent ~seed a b] drives both netlists with the same [cycles]
+    (default 256) seeded random vectors — inputs and outputs matched by
+    name, so node ids and declaration order may differ — and checks the
+    output traces cycle by cycle. [Ok cycles] on success; the error
+    names the first mismatching cycle and output, or the port-set
+    difference when the interfaces disagree. *)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate the rar-bench-eval/1 document of the bench-smoke job.
+
+Validates the schema, gates the classic-retiming kernel against the
+checked-in floor (a >2x regression fails the build), requires the ECO
+section's identity bit, and holds the armed-deadline and armed-tracing
+instrumentation overheads under their budgets.
+
+Usage: bench_smoke_gate.py BENCH_EVAL_JSON FLOOR_JSON
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(f"usage: {argv[0]} BENCH_EVAL_JSON FLOOR_JSON")
+    d = json.load(open(argv[1]))
+    assert d["schema"] == "rar-bench-eval/1", d
+    host = d["host"]
+    assert host["cores"] >= 1 and host["jobs_effective"] >= 1, host
+    assert d["kernels"], "no kernels measured"
+    for k in d["kernels"]:
+        assert k["name"] and k["ns_per_run"] > 0, k
+    for section in ("stage_make", "all_tables"):
+        w = d["wallclock"][section]
+        assert w["circuits"] and w["seq_s"] > 0 and w["par_s"] > 0, w
+        assert w["jobs"] >= 1 and w["speedup"] > 0, w
+    eco = d["eco"]
+    assert eco["cold_solve_s"] > 0 and eco["mean_resolve_s"] > 0, eco
+    assert eco["identical"] is True, eco
+    cold_s, mean_s, sp = (
+        eco["cold_solve_s"], eco["mean_resolve_s"], eco["speedup"])
+    print(f"eco: cold {cold_s:.2f} s, mean resolve "
+          f"{mean_s:.3f} s ({sp:.1f}x)")
+    floor = json.load(open(argv[2]))
+    assert floor["schema"] == "rar-bench-smoke-floor/1", floor
+    ns = {k["name"]: k["ns_per_run"] for k in d["kernels"]}
+    name = floor["kernel"]
+    measured = ns[name]
+    limit = 2.0 * floor["ns_per_run_floor"]
+    assert measured <= limit, (
+        f"{name} regressed: {measured:.0f} ns/run > "
+        f"2x floor ({limit:.0f} ns/run)")
+    print(f"{name}: {measured:.0f} ns/run (limit {limit:.0f})")
+    # Overhead section: historically named "resilience"; tolerate a
+    # rename to "observability" but fail with a clear message when
+    # neither is present rather than a bare KeyError.
+    res = d.get("resilience") or d.get("observability")
+    if res is None:
+        raise SystemExit(
+            "BENCH_eval.json has no resilience/observability "
+            f"section; top-level keys: {sorted(d)}")
+
+    def gated(label, cap_key):
+        if label not in res:
+            raise SystemExit(
+                f"overhead section lacks {label!r}; present: {sorted(res)}")
+        ratio, cap = res[label], floor[cap_key]
+        assert 0 < ratio <= cap, (
+            f"{label} {ratio:.3f}x exceeds the {cap:.2f}x budget")
+        print(f"{label}: {ratio:.3f}x (cap {cap:.2f}x)")
+
+    gated("deadline_overhead_ratio", "deadline_overhead_max_ratio")
+    gated("trace_overhead_ratio", "trace_overhead_max_ratio")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Gate the machine-readable CLI outputs of the build-and-test job.
+
+Checks the rar-tables/1 document written by `rar table --format json`
+and the rar-run/1 document written by `rar run --format json` (which
+must not carry a metrics object unless --metrics was passed).
+
+Usage: cli_smoke_gate.py TABLE_JSON RUN_JSON
+"""
+
+import json
+import sys
+
+
+def gate_table(path):
+    d = json.load(open(path))
+    assert d["schema"] == "rar-tables/1", d
+    assert d["number"] == 4 and d["columns"] and d["rows"], d
+
+
+def gate_run(path):
+    d = json.load(open(path))
+    assert d["schema"] == "rar-run/1", d
+    assert d["approach"] == "grar" and "total_area" in d["outcome"], d
+    assert "metrics" not in d, "metrics must be opt-in via --metrics"
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(f"usage: {argv[0]} TABLE_JSON RUN_JSON")
+    gate_table(argv[1])
+    gate_run(argv[2])
+    print("cli smoke: table and run documents well-formed")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Mechanical source hygiene for the tracked OCaml/Python/config files.
+
+No ocamlformat binary is pinned in the build image, so this enforces
+the subset of formatting that is toolchain-independent and always
+correct: no tab indentation in OCaml or Python sources, no trailing
+whitespace, no CRLF line endings, and every file ending in exactly one
+newline. Runs on `git ls-files`, so generated and untracked artifacts
+are never linted.
+
+Usage: source_lint.py [ROOT]
+"""
+
+import os
+import subprocess
+import sys
+
+EXTENSIONS = (".ml", ".mli", ".py", ".yml", ".yaml", ".md", ".json")
+BASENAMES = ("dune", "dune-project")
+NO_TABS = (".ml", ".mli", ".py", ".yml", ".yaml")
+
+
+def tracked_files(root):
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=root, capture_output=True, text=True,
+        check=True).stdout
+    for rel in out.splitlines():
+        base = os.path.basename(rel)
+        if rel.endswith(EXTENSIONS) or base in BASENAMES:
+            yield rel
+
+
+def lint(root, rel):
+    problems = []
+    data = open(os.path.join(root, rel), "rb").read()
+    if not data:
+        return problems
+    if b"\r" in data:
+        problems.append("CRLF line endings")
+    if not data.endswith(b"\n"):
+        problems.append("missing final newline")
+    elif data.endswith(b"\n\n"):
+        problems.append("trailing blank lines")
+    check_tabs = rel.endswith(NO_TABS) or os.path.basename(rel) in BASENAMES
+    for i, line in enumerate(data.split(b"\n"), start=1):
+        if line.rstrip() != line:
+            problems.append(f"line {i}: trailing whitespace")
+        if check_tabs and b"\t" in line:
+            problems.append(f"line {i}: tab character")
+    return problems
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    bad = 0
+    files = 0
+    for rel in tracked_files(root):
+        files += 1
+        for p in lint(root, rel):
+            print(f"{rel}: {p}")
+            bad += 1
+    if bad:
+        raise SystemExit(f"source lint: {bad} problem(s)")
+    print(f"source lint: {files} files clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ let () =
       ("vl", Test_vl.suite);
       ("sim", Test_sim.suite);
       ("circuits", Test_circuits.suite);
+      ("convert", Test_convert.suite);
       ("engine", Test_engine.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);

@@ -76,10 +76,14 @@ let test_clock_split () =
   | Ok p ->
     let c = p.Suite.clocking in
     (* §VI-A: phi1 = 0.3P, gamma1 = 0, phi2 = 0.35P, gamma2 = 0.05P *)
-    Alcotest.(check (float 1e-9)) "phi1" (0.3 *. p.Suite.p) c.Clocking.phi1;
-    Alcotest.(check (float 1e-9)) "gamma1" 0. c.Clocking.gamma1;
-    Alcotest.(check (float 1e-9)) "phi2" (0.35 *. p.Suite.p) c.Clocking.phi2;
-    Alcotest.(check (float 1e-9)) "gamma2" (0.05 *. p.Suite.p) c.Clocking.gamma2;
+    (match c with
+    | Clocking.Two_phase { phi1; gamma1; phi2; gamma2 } ->
+      Alcotest.(check (float 1e-9)) "phi1" (0.3 *. p.Suite.p) phi1;
+      Alcotest.(check (float 1e-9)) "gamma1" 0. gamma1;
+      Alcotest.(check (float 1e-9)) "phi2" (0.35 *. p.Suite.p) phi2;
+      Alcotest.(check (float 1e-9)) "gamma2" (0.05 *. p.Suite.p) gamma2
+    | Clocking.Three_phase _ -> Alcotest.fail "expected a two-phase clocking");
+    Alcotest.(check int) "phases" 2 (Clocking.phases c);
     Alcotest.(check (float 1e-9)) "period" (0.7 *. p.Suite.p)
       (Clocking.period c)
 
@@ -180,29 +184,7 @@ let prop_generated_bench_roundtrip =
 let suite_digest name =
   match Suite.load name with
   | Error e -> Alcotest.failf "%s: %s" name e
-  | Ok c ->
-    let n = c.Suite.two_phase in
-    let kind_tag = function
-      | Netlist.Input -> "I"
-      | Netlist.Output -> "O"
-      | Netlist.Gate { fn; drive } ->
-        Printf.sprintf "G%s/%d" (Rar_netlist.Cell_kind.name fn) drive
-      | Netlist.Seq Netlist.Flop -> "F"
-      | Netlist.Seq Netlist.Master -> "M"
-      | Netlist.Seq Netlist.Slave -> "S"
-    in
-    let b = Buffer.create (1 lsl 16) in
-    let nn = Netlist.node_count n in
-    Buffer.add_string b (string_of_int nn);
-    for v = 0 to nn - 1 do
-      Buffer.add_string b (Netlist.node_name n v);
-      Buffer.add_string b (kind_tag (Netlist.kind n v));
-      Array.iter
-        (fun u -> Buffer.add_string b (string_of_int u ^ ","))
-        (Netlist.fanins n v);
-      Buffer.add_char b ';'
-    done;
-    Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
+  | Ok c -> Netlist.digest c.Suite.two_phase
 
 let check_digests pairs =
   List.iter
